@@ -1,0 +1,109 @@
+// Benchmarks: one per paper table and figure (each regenerates the
+// artifact at 1% trace scale per iteration; run cmd/experiments at scale
+// 1.0 for the full published trace lengths), plus reference-throughput
+// microbenchmarks of the three cache organizations.
+package vrsim_test
+
+import (
+	"io"
+	"testing"
+
+	vrsim "repro"
+	"repro/internal/experiments"
+)
+
+// benchScale keeps single benchmark iterations around tens of
+// milliseconds.
+const benchScale = 0.01
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(io.Discard, benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B)  { benchExperiment(b, "table1") }
+func BenchmarkTable2(b *testing.B)  { benchExperiment(b, "table2") }
+func BenchmarkTable3(b *testing.B)  { benchExperiment(b, "table3") }
+func BenchmarkTable5(b *testing.B)  { benchExperiment(b, "table5") }
+func BenchmarkTable6(b *testing.B)  { benchExperiment(b, "table6") }
+func BenchmarkTable7(b *testing.B)  { benchExperiment(b, "table7") }
+func BenchmarkFig4(b *testing.B)    { benchExperiment(b, "fig4") }
+func BenchmarkFig5(b *testing.B)    { benchExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)    { benchExperiment(b, "fig6") }
+func BenchmarkTable8(b *testing.B)  { benchExperiment(b, "table8") }
+func BenchmarkTable9(b *testing.B)  { benchExperiment(b, "table9") }
+func BenchmarkTable10(b *testing.B) { benchExperiment(b, "table10") }
+func BenchmarkTable11(b *testing.B) { benchExperiment(b, "table11") }
+func BenchmarkTable12(b *testing.B) { benchExperiment(b, "table12") }
+func BenchmarkTable13(b *testing.B) { benchExperiment(b, "table13") }
+
+func BenchmarkInclusionInvalidations(b *testing.B) { benchExperiment(b, "inclusion") }
+func BenchmarkAssocBound(b *testing.B)             { benchExperiment(b, "assoc") }
+func BenchmarkAssocBoundEmpirical(b *testing.B)    { benchExperiment(b, "assocbound") }
+func BenchmarkWriteBufferDepth(b *testing.B)       { benchExperiment(b, "wbdepth") }
+func BenchmarkEagerFlush(b *testing.B)             { benchExperiment(b, "eagerflush") }
+func BenchmarkPIDTags(b *testing.B)                { benchExperiment(b, "pidtags") }
+func BenchmarkUpdateProtocol(b *testing.B)         { benchExperiment(b, "protocol") }
+func BenchmarkRelaxedReplacement(b *testing.B)     { benchExperiment(b, "replacement") }
+func BenchmarkWritePolicy(b *testing.B)            { benchExperiment(b, "writepolicy") }
+func BenchmarkScaling(b *testing.B)                { benchExperiment(b, "scaling") }
+func BenchmarkBandwidth(b *testing.B)              { benchExperiment(b, "bandwidth") }
+func BenchmarkAssocSweep(b *testing.B)             { benchExperiment(b, "assocsweep") }
+func BenchmarkPageSize(b *testing.B)               { benchExperiment(b, "pagesize") }
+func BenchmarkTLBPressure(b *testing.B)            { benchExperiment(b, "tlb") }
+
+// benchOrganization measures raw simulation throughput in references per
+// second for one cache organization.
+func benchOrganization(b *testing.B, org vrsim.Organization) {
+	b.Helper()
+	wl := vrsim.PopsWorkload().Scaled(benchScale)
+	b.ReportAllocs()
+	var refs uint64
+	for i := 0; i < b.N; i++ {
+		sys, err := vrsim.New(vrsim.Config{
+			CPUs:         wl.CPUs,
+			Organization: org,
+			L1:           vrsim.Geometry{Size: 16 << 10, Block: 16, Assoc: 1},
+			L2:           vrsim.Geometry{Size: 256 << 10, Block: 32, Assoc: 1},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := vrsim.RunWorkload(sys, wl); err != nil {
+			b.Fatal(err)
+		}
+		refs += sys.Refs()
+	}
+	b.ReportMetric(float64(refs)/b.Elapsed().Seconds(), "refs/s")
+}
+
+func BenchmarkThroughputVR(b *testing.B)            { benchOrganization(b, vrsim.VR) }
+func BenchmarkThroughputRRInclusion(b *testing.B)   { benchOrganization(b, vrsim.RRInclusion) }
+func BenchmarkThroughputRRNoInclusion(b *testing.B) { benchOrganization(b, vrsim.RRNoInclusion) }
+
+// BenchmarkTraceGeneration measures the synthetic workload generator
+// alone.
+func BenchmarkTraceGeneration(b *testing.B) {
+	wl := vrsim.PopsWorkload().Scaled(benchScale)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		gen, err := vrsim.NewWorkload(wl)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			if _, err := gen.Next(); err != nil {
+				break
+			}
+		}
+	}
+}

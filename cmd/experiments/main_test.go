@@ -1,0 +1,42 @@
+package main
+
+import "testing"
+
+func TestSelectExperimentsAll(t *testing.T) {
+	got, err := selectExperiments("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) < 20 {
+		t.Errorf("all selected only %d experiments", len(got))
+	}
+}
+
+func TestSelectExperimentsList(t *testing.T) {
+	got, err := selectExperiments("table6, fig6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].ID != "table6" || got[1].ID != "fig6" {
+		t.Errorf("selected %+v", got)
+	}
+}
+
+func TestSelectExperimentsUnknown(t *testing.T) {
+	if _, err := selectExperiments("table6,bogus"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestRunAllSequentialAndParallel(t *testing.T) {
+	sel, err := selectExperiments("assoc,table5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runAll(sel, 0.001, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := runAll(sel, 0.001, 4); err != nil {
+		t.Fatal(err)
+	}
+}

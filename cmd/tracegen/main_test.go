@@ -1,0 +1,103 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestRunBinary(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.trc")
+	if err := run("pops", 0.0005, "binary", path, 0); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := trace.OpenBinary(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs, err := trace.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) == 0 {
+		t.Fatal("empty trace written")
+	}
+}
+
+func TestRunGzip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.trc.gz")
+	if err := run("thor", 0.0005, "gzip", path, 7); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := trace.OpenBinary(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs, err := trace.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) == 0 {
+		t.Fatal("empty gzip trace")
+	}
+}
+
+func TestRunText(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.txt")
+	if err := run("abaqus", 0.0005, "text", path, 0); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	refs, err := trace.ReadAll(trace.NewTextReader(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) == 0 {
+		t.Fatal("empty text trace")
+	}
+}
+
+func TestSeedOverrideChangesTrace(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.trc")
+	b := filepath.Join(dir, "b.trc")
+	if err := run("pops", 0.0005, "binary", a, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("pops", 0.0005, "binary", b, 2); err != nil {
+		t.Fatal(err)
+	}
+	da, _ := os.ReadFile(a)
+	db, _ := os.ReadFile(b)
+	if string(da) == string(db) {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("nope", 1, "binary", filepath.Join(t.TempDir(), "x"), 0); err == nil {
+		t.Error("unknown preset accepted")
+	}
+	if err := run("pops", 0.0005, "yaml", filepath.Join(t.TempDir(), "x"), 0); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if err := run("pops", 0.0005, "binary", "/nonexistent/dir/x.trc", 0); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}

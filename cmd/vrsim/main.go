@@ -1,0 +1,274 @@
+// Command vrsim runs a workload through a configured cache hierarchy and
+// prints the statistics the paper's evaluation is built on.
+//
+// Usage:
+//
+//	vrsim -preset pops -org vr -l1 16K -l2 256K
+//	vrsim -trace pops.trc -trace-preset pops -cpus 4 -org rr
+//	vrsim -preset abaqus -org vr -split -scale 0.1
+//
+// When replaying a saved trace produced by cmd/tracegen, pass the same
+// preset via -trace-preset so the shared-segment mappings (the synonym
+// source) are reconstructed identically.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bus"
+	"repro/internal/cache"
+	"repro/internal/report"
+	"repro/internal/system"
+	"repro/internal/timemodel"
+	"repro/internal/trace"
+	"repro/internal/tracegen"
+)
+
+func main() {
+	preset := flag.String("preset", "", "generate and run a workload preset (pops, thor, abaqus)")
+	traceFile := flag.String("trace", "", "replay a binary trace file instead of generating")
+	tracePreset := flag.String("trace-preset", "", "preset whose shared mappings the trace was generated with")
+	org := flag.String("org", "vr", "organization: vr, rr, rrnoincl")
+	l1 := flag.String("l1", "16K", "first-level cache size")
+	l2 := flag.String("l2", "256K", "second-level cache size")
+	b1 := flag.Uint64("b1", 16, "first-level block size")
+	b2 := flag.Uint64("b2", 32, "second-level block size")
+	a1 := flag.Int("a1", 1, "first-level associativity")
+	a2 := flag.Int("a2", 1, "second-level associativity")
+	split := flag.Bool("split", false, "split the first level into I and D caches")
+	cpus := flag.Int("cpus", 0, "CPU count (default: from preset)")
+	scale := flag.Float64("scale", 1.0, "preset trace length scale factor")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of text")
+	compare := flag.Bool("compare", false, "run all three organizations on the same workload and compare")
+	flag.Parse()
+
+	if *compare {
+		if err := runCompare(*preset, *l1, *l2, *b1, *b2, *a1, *a2, *cpus, *scale); err != nil {
+			fmt.Fprintln(os.Stderr, "vrsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*preset, *traceFile, *tracePreset, *org, *l1, *l2, *b1, *b2, *a1, *a2, *split, *cpus, *scale, *jsonOut); err != nil {
+		fmt.Fprintln(os.Stderr, "vrsim:", err)
+		os.Exit(1)
+	}
+}
+
+// runCompare runs the identical workload under V-R, R-R(incl) and
+// R-R(no incl) and prints the paper's headline comparison columns.
+func runCompare(preset, l1s, l2s string, b1, b2 uint64, a1, a2, cpus int, scale float64) error {
+	if preset == "" {
+		return fmt.Errorf("-compare requires -preset")
+	}
+	l1Size, err := parseSize(l1s)
+	if err != nil {
+		return err
+	}
+	l2Size, err := parseSize(l2s)
+	if err != nil {
+		return err
+	}
+	cfg, err := tracegen.PresetByName(preset)
+	if err != nil {
+		return err
+	}
+	if scale != 1 {
+		cfg = cfg.Scaled(scale)
+	}
+	if cpus == 0 {
+		cpus = cfg.CPUs
+	}
+	fmt.Printf("%-13s %-7s %-7s %-12s %-12s %-14s %s\n",
+		"organization", "h1", "h2", "TLB lookups", "writebacks", "msgs to L1", "Tacc(t2=4t1)")
+	for _, org := range []system.Organization{system.VR, system.RRInclusion, system.RRNoInclusion} {
+		sc := system.Config{
+			CPUs:         cpus,
+			Organization: org,
+			PageSize:     cfg.PageSize,
+			L1:           cache.Geometry{Size: l1Size, Block: b1, Assoc: a1},
+			L2:           cache.Geometry{Size: l2Size, Block: b2, Assoc: a2},
+		}
+		sys, err := system.New(sc)
+		if err != nil {
+			return err
+		}
+		if err := cfg.SetupSharedMappings(sys.MMU()); err != nil {
+			return err
+		}
+		gen, err := tracegen.New(cfg)
+		if err != nil {
+			return err
+		}
+		if err := sys.Run(gen); err != nil {
+			return err
+		}
+		agg := sys.Aggregate()
+		var tlbLookups, wbs, msgs uint64
+		for cpu := 0; cpu < sys.CPUs(); cpu++ {
+			st := sys.Stats(cpu)
+			tlbLookups += st.TLB.Hits + st.TLB.Misses
+			wbs += st.WriteBacks
+			msgs += st.Coherence.Total()
+		}
+		tacc := timemodel.AccessTime(timemodel.DefaultParams(agg.H1, agg.H2))
+		fmt.Printf("%-13s %-7.3f %-7.3f %-12d %-12d %-14d %.3f\n",
+			org, agg.H1, agg.H2, tlbLookups, wbs, msgs, tacc)
+	}
+	return nil
+}
+
+func parseSize(s string) (uint64, error) {
+	s = strings.TrimSpace(strings.ToUpper(s))
+	mult := uint64(1)
+	switch {
+	case strings.HasSuffix(s, "K"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "K")
+	case strings.HasSuffix(s, "M"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "M")
+	}
+	n, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return n * mult, nil
+}
+
+func parseOrg(s string) (system.Organization, error) {
+	switch strings.ToLower(s) {
+	case "vr":
+		return system.VR, nil
+	case "rr", "rrincl":
+		return system.RRInclusion, nil
+	case "rrnoincl", "noincl":
+		return system.RRNoInclusion, nil
+	default:
+		return 0, fmt.Errorf("unknown organization %q (vr, rr, rrnoincl)", s)
+	}
+}
+
+func run(preset, traceFile, tracePreset, orgName, l1s, l2s string, b1, b2 uint64,
+	a1, a2 int, split bool, cpus int, scale float64, jsonOut bool) error {
+	org, err := parseOrg(orgName)
+	if err != nil {
+		return err
+	}
+	l1Size, err := parseSize(l1s)
+	if err != nil {
+		return err
+	}
+	l2Size, err := parseSize(l2s)
+	if err != nil {
+		return err
+	}
+
+	var reader trace.Reader
+	var wlCfg *tracegen.Config
+	switch {
+	case preset != "" && traceFile != "":
+		return fmt.Errorf("-preset and -trace are mutually exclusive")
+	case preset != "":
+		cfg, err := tracegen.PresetByName(preset)
+		if err != nil {
+			return err
+		}
+		if scale != 1 {
+			cfg = cfg.Scaled(scale)
+		}
+		gen, err := tracegen.New(cfg)
+		if err != nil {
+			return err
+		}
+		reader, wlCfg = gen, &cfg
+	case traceFile != "":
+		f, err := os.Open(traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		reader, err = trace.OpenBinary(f)
+		if err != nil {
+			return err
+		}
+		if tracePreset != "" {
+			cfg, err := tracegen.PresetByName(tracePreset)
+			if err != nil {
+				return err
+			}
+			wlCfg = &cfg
+		}
+	default:
+		return fmt.Errorf("one of -preset or -trace is required")
+	}
+
+	if cpus == 0 {
+		if wlCfg != nil {
+			cpus = wlCfg.CPUs
+		} else {
+			cpus = 1
+		}
+	}
+	sc := system.Config{
+		CPUs:         cpus,
+		Organization: org,
+		L1:           cache.Geometry{Size: l1Size, Block: b1, Assoc: a1},
+		Split:        split,
+		L2:           cache.Geometry{Size: l2Size, Block: b2, Assoc: a2},
+	}
+	if wlCfg != nil {
+		sc.PageSize = wlCfg.PageSize
+	}
+	sys, err := system.New(sc)
+	if err != nil {
+		return err
+	}
+	if wlCfg != nil {
+		if err := wlCfg.SetupSharedMappings(sys.MMU()); err != nil {
+			return err
+		}
+	}
+	if err := sys.Run(reader); err != nil {
+		return err
+	}
+	if jsonOut {
+		return report.FromSystem(sys, sc).WriteJSON(os.Stdout)
+	}
+	printReport(sys, sc)
+	return nil
+}
+
+func printReport(sys *system.System, sc system.Config) {
+	agg := sys.Aggregate()
+	fmt.Printf("organization: %v, %d CPUs, L1 %v%s, L2 %v\n",
+		sc.Organization, sc.CPUs, sc.L1, splitLabel(sc.Split), sc.L2)
+	fmt.Printf("references:   %d\n", sys.Refs())
+	fmt.Printf("h1 = %.3f (read %.3f, write %.3f, instr %.3f)\n",
+		agg.H1, agg.L1.DataRead, agg.L1.DataWrite, agg.L1.Instr)
+	fmt.Printf("h2 = %.3f\n", agg.H2)
+	bs := sys.Bus().Stats()
+	fmt.Printf("bus: %d read-miss, %d rmw, %d invalidation (%d cache-supplied)\n",
+		bs.Count(bus.Read), bs.Count(bus.ReadMod), bs.Count(bus.Invalidate), bs.Supplies)
+	for cpu := 0; cpu < sys.CPUs(); cpu++ {
+		st := sys.Stats(cpu)
+		fmt.Printf("cpu %d: ctxsw %d, writebacks %d (%d swapped), synonyms %d, "+
+			"incl-invals %d, tlb-miss %d, coherence msgs to L1: %d",
+			cpu, st.CtxSwitches, st.WriteBacks, st.SwappedWriteBacks,
+			st.SynonymTotal()-st.Synonyms[0], st.InclusionInvals, st.TLB.Misses,
+			st.Coherence.Total())
+		if s := st.Coherence.String(); s != "" {
+			fmt.Printf(" (%s)", s)
+		}
+		fmt.Println()
+	}
+}
+
+func splitLabel(split bool) string {
+	if split {
+		return " (split I/D)"
+	}
+	return ""
+}

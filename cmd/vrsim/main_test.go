@@ -1,0 +1,147 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/system"
+	"repro/internal/trace"
+	"repro/internal/tracegen"
+)
+
+func TestParseSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want uint64
+	}{
+		{"16K", 16 << 10}, {"256k", 256 << 10}, {"2M", 2 << 20},
+		{"512", 512}, {" 4K ", 4 << 10},
+	}
+	for _, c := range cases {
+		got, err := parseSize(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("parseSize(%q) = %d, %v; want %d", c.in, got, err, c.want)
+		}
+	}
+	for _, bad := range []string{"", "K", "16Q", "-4K", "4.5K"} {
+		if _, err := parseSize(bad); err == nil {
+			t.Errorf("parseSize(%q): want error", bad)
+		}
+	}
+}
+
+func TestParseOrg(t *testing.T) {
+	cases := map[string]system.Organization{
+		"vr": system.VR, "VR": system.VR,
+		"rr": system.RRInclusion, "rrincl": system.RRInclusion,
+		"rrnoincl": system.RRNoInclusion, "noincl": system.RRNoInclusion,
+	}
+	for in, want := range cases {
+		got, err := parseOrg(in)
+		if err != nil || got != want {
+			t.Errorf("parseOrg(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := parseOrg("bogus"); err == nil {
+		t.Error("parseOrg(bogus): want error")
+	}
+}
+
+func TestRunPreset(t *testing.T) {
+	if err := run("pops", "", "", "vr", "4K", "64K", 16, 32, 1, 1,
+		false, 0, 0.001, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPresetJSON(t *testing.T) {
+	if err := run("thor", "", "", "rr", "4K", "64K", 16, 32, 1, 1,
+		false, 0, 0.001, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTraceFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.trc")
+	cfg := tracegen.AbaqusLike().Scaled(0.001)
+	gen, err := tracegen.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := trace.NewBinaryWriter(f)
+	for {
+		ref, err := gen.Next()
+		if err != nil {
+			break
+		}
+		if err := w.Write(ref); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := run("", path, "abaqus", "vr", "4K", "64K", 16, 32, 1, 1,
+		false, 0, 1, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		do   func() error
+	}{
+		{"both inputs", func() error {
+			return run("pops", "x.trc", "", "vr", "4K", "64K", 16, 32, 1, 1, false, 0, 1, false)
+		}},
+		{"no inputs", func() error {
+			return run("", "", "", "vr", "4K", "64K", 16, 32, 1, 1, false, 0, 1, false)
+		}},
+		{"bad org", func() error {
+			return run("pops", "", "", "zz", "4K", "64K", 16, 32, 1, 1, false, 0, 0.001, false)
+		}},
+		{"bad size", func() error {
+			return run("pops", "", "", "vr", "4Q", "64K", 16, 32, 1, 1, false, 0, 0.001, false)
+		}},
+		{"bad preset", func() error {
+			return run("nope", "", "", "vr", "4K", "64K", 16, 32, 1, 1, false, 0, 0.001, false)
+		}},
+		{"missing trace file", func() error {
+			return run("", "/nonexistent/x.trc", "", "vr", "4K", "64K", 16, 32, 1, 1, false, 0, 1, false)
+		}},
+		{"bad geometry", func() error {
+			return run("pops", "", "", "vr", "4K", "64K", 100, 32, 1, 1, false, 0, 0.001, false)
+		}},
+	}
+	for _, c := range cases {
+		if err := c.do(); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}
+
+func TestRunCompare(t *testing.T) {
+	if err := runCompare("pops", "4K", "64K", 16, 32, 1, 1, 0, 0.001); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCompareErrors(t *testing.T) {
+	if err := runCompare("", "4K", "64K", 16, 32, 1, 1, 0, 1); err == nil {
+		t.Error("compare without preset accepted")
+	}
+	if err := runCompare("nope", "4K", "64K", 16, 32, 1, 1, 0, 1); err == nil {
+		t.Error("unknown preset accepted")
+	}
+	if err := runCompare("pops", "4Q", "64K", 16, 32, 1, 1, 0, 1); err == nil {
+		t.Error("bad size accepted")
+	}
+}

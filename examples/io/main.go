@@ -1,0 +1,69 @@
+// I/O demo: the paper's introduction lists I/O as problem #4 for
+// virtually-addressed caches — devices use physical addresses, so a
+// virtual cache would need reverse translation to stay coherent with DMA.
+// In the V-R organization the device simply joins the physical bus
+// protocol: the R-cache's v-pointers reach any first-level copies, and no
+// translation hardware is involved.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	vrsim "repro"
+)
+
+func main() {
+	sys, err := vrsim.New(vrsim.Config{
+		CPUs:         2,
+		Organization: vrsim.VR,
+		PageSize:     4096,
+		L1:           vrsim.Geometry{Size: 8 << 10, Block: 16, Assoc: 1},
+		L2:           vrsim.Geometry{Size: 64 << 10, Block: 32, Assoc: 1},
+		CheckOracle:  true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	apply := func(ref vrsim.Ref) vrsim.AccessResult {
+		res, err := sys.Apply(ref)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	// The CPU builds an output buffer (dirty data in its V-cache).
+	var bufPA [4]vrsim.PAddr
+	for i := 0; i < 4; i++ {
+		res := apply(vrsim.Ref{CPU: 0, Kind: vrsim.Write, PID: 1,
+			Addr: 0x2000 + vrsim.VAddr(i*16)})
+		bufPA[i] = res.PA
+	}
+
+	// A disk controller reads the buffer by physical address: each read
+	// snoops the dirty V-cache copies out through the v-pointers.
+	disk := sys.NewDMA()
+	fmt.Println("device output (memory-to-device):")
+	for i := 0; i < 4; i++ {
+		tok, err := disk.ReadBlock(bufPA[i])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  block %d at pa %#x: token %d (the CPU's freshly written data)\n",
+			i, uint64(bufPA[i]), tok)
+	}
+
+	// Device input: the controller writes a new page image; stale cached
+	// copies are invalidated through the ordinary invalidation protocol.
+	fmt.Println("\ndevice input (device-to-memory):")
+	newTok := disk.WriteBlock(bufPA[0])
+	res := apply(vrsim.Ref{CPU: 0, Kind: vrsim.Read, PID: 1, Addr: 0x2000})
+	fmt.Printf("  device wrote token %d; CPU read token %d (hit L%d)\n",
+		newTok, res.Token, res.Level())
+	if res.Token != newTok {
+		log.Fatal("CPU observed stale data after DMA input")
+	}
+	fmt.Println("\nno reverse translation anywhere: the physically-addressed R-cache and its")
+	fmt.Println("v-pointers handled both directions (the paper's solution to problem #4).")
+}

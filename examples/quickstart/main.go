@@ -1,0 +1,46 @@
+// Quickstart: build a 4-CPU machine with the paper's V-R organization, run
+// the pops-like workload, and print the headline hit ratios and the
+// average access time from the paper's equation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	vrsim "repro"
+)
+
+func main() {
+	sys, err := vrsim.New(vrsim.Config{
+		CPUs:         4,
+		Organization: vrsim.VR,
+		L1:           vrsim.Geometry{Size: 16 << 10, Block: 16, Assoc: 1},
+		L2:           vrsim.Geometry{Size: 256 << 10, Block: 32, Assoc: 1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A pops-like parallel workload at 10% of the published trace length;
+	// drop Scaled for the full 3.3M references.
+	workload := vrsim.PopsWorkload().Scaled(0.1)
+	if err := vrsim.RunWorkload(sys, workload); err != nil {
+		log.Fatal(err)
+	}
+
+	agg := sys.Aggregate()
+	fmt.Printf("ran %d references on %d CPUs\n", sys.Refs(), sys.CPUs())
+	fmt.Printf("h1 = %.3f  h2 = %.3f\n", agg.H1, agg.H2)
+	fmt.Printf("per kind: read %.3f  write %.3f  instr %.3f\n",
+		agg.L1.DataRead, agg.L1.DataWrite, agg.L1.Instr)
+
+	t := vrsim.DefaultTimeParams(agg.H1, agg.H2)
+	fmt.Printf("average access time (t1=1, t2=4, tm=20): %.3f cycles\n",
+		vrsim.AccessTime(t))
+
+	for cpu := 0; cpu < sys.CPUs(); cpu++ {
+		st := sys.Stats(cpu)
+		fmt.Printf("cpu %d: %d write-backs, %d synonym resolutions, %d coherence messages to L1\n",
+			cpu, st.WriteBacks, st.SynonymTotal()-st.Synonyms[0], st.Coherence.Total())
+	}
+}

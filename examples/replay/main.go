@@ -1,0 +1,93 @@
+// Replay demo: generate a workload once, save it as a compressed trace
+// file, then replay the identical reference stream through two different
+// cache configurations — the workflow for comparing designs on a fixed
+// trace, exactly how the paper's evaluation was run.
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+
+	vrsim "repro"
+	"repro/internal/trace"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "vrsim-replay")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "thor.trc.gz")
+
+	// 1. Generate once and save (gzip-compressed binary format).
+	wl := vrsim.ThorWorkload().Scaled(0.02)
+	gen, err := vrsim.NewWorkload(wl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := trace.NewGzipWriter(f)
+	n := 0
+	for {
+		ref, err := gen.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := w.Write(ref); err != nil {
+			log.Fatal(err)
+		}
+		n++
+	}
+	if err := w.Close(); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	info, _ := os.Stat(path)
+	fmt.Printf("saved %d records to %s (%d bytes compressed)\n\n", n, filepath.Base(path), info.Size())
+
+	// 2. Replay the identical stream through two L1 sizes.
+	for _, l1 := range []uint64{4 << 10, 16 << 10} {
+		sys, err := vrsim.New(vrsim.Config{
+			CPUs:         wl.CPUs,
+			Organization: vrsim.VR,
+			PageSize:     wl.PageSize,
+			L1:           vrsim.Geometry{Size: l1, Block: 16, Assoc: 1},
+			L2:           vrsim.Geometry{Size: 256 << 10, Block: 32, Assoc: 1},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The shared-segment layout must be rebuilt identically so the
+		// synonyms in the trace resolve to the same physical frames.
+		if err := wl.SetupSharedMappings(sys.MMU()); err != nil {
+			log.Fatal(err)
+		}
+		rf, err := os.Open(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		reader, err := trace.OpenBinary(rf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.Run(reader); err != nil {
+			log.Fatal(err)
+		}
+		rf.Close()
+		agg := sys.Aggregate()
+		fmt.Printf("L1 %2dK: h1 = %.3f  h2 = %.3f  (same %d references)\n",
+			l1>>10, agg.H1, agg.H2, sys.Refs())
+	}
+}

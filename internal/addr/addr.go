@@ -1,0 +1,131 @@
+// Package addr defines the address types and bit arithmetic shared by the
+// cache, TLB and virtual-memory packages.
+//
+// The simulator follows the paper's VAX-era conventions: byte-addressed
+// memory, power-of-two page and block sizes, and set indices taken from the
+// low-order address bits above the block offset. All sizes are in bytes.
+package addr
+
+import "fmt"
+
+// VAddr is a virtual (process-relative) byte address.
+type VAddr uint64
+
+// PAddr is a physical byte address.
+type PAddr uint64
+
+// PID identifies a process. Virtual addresses are meaningful only relative
+// to a PID; the pair (PID, page number) names a virtual page.
+type PID uint16
+
+// NoPID is a sentinel meaning "no process"; real PIDs start at 1.
+const NoPID PID = 0
+
+// Log2 returns the base-2 logarithm of v, which must be a power of two.
+func Log2(v uint64) (uint, error) {
+	if v == 0 || v&(v-1) != 0 {
+		return 0, fmt.Errorf("addr: %d is not a power of two", v)
+	}
+	n := uint(0)
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n, nil
+}
+
+// MustLog2 is Log2 for values known to be powers of two at construction
+// time; it panics otherwise.
+func MustLog2(v uint64) uint {
+	n, err := Log2(v)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// IsPow2 reports whether v is a non-zero power of two.
+func IsPow2(v uint64) bool {
+	return v != 0 && v&(v-1) == 0
+}
+
+// PageGeom captures a page size and exposes the derived bit fields.
+type PageGeom struct {
+	size uint64
+	bits uint
+}
+
+// NewPageGeom builds a PageGeom for the given page size in bytes.
+func NewPageGeom(pageSize uint64) (PageGeom, error) {
+	bits, err := Log2(pageSize)
+	if err != nil {
+		return PageGeom{}, fmt.Errorf("addr: bad page size: %w", err)
+	}
+	return PageGeom{size: pageSize, bits: bits}, nil
+}
+
+// Size returns the page size in bytes.
+func (g PageGeom) Size() uint64 { return g.size }
+
+// Bits returns log2(page size).
+func (g PageGeom) Bits() uint { return g.bits }
+
+// VPage returns the virtual page number of a.
+func (g PageGeom) VPage(a VAddr) uint64 { return uint64(a) >> g.bits }
+
+// PFrame returns the physical frame number of a.
+func (g PageGeom) PFrame(a PAddr) uint64 { return uint64(a) >> g.bits }
+
+// Offset returns the in-page offset of a virtual address.
+func (g PageGeom) Offset(a VAddr) uint64 { return uint64(a) & (g.size - 1) }
+
+// POffset returns the in-page offset of a physical address.
+func (g PageGeom) POffset(a PAddr) uint64 { return uint64(a) & (g.size - 1) }
+
+// JoinP rebuilds a physical address from a frame number and offset.
+func (g PageGeom) JoinP(frame, offset uint64) PAddr {
+	return PAddr(frame<<g.bits | offset&(g.size-1))
+}
+
+// JoinV rebuilds a virtual address from a page number and offset.
+func (g PageGeom) JoinV(page, offset uint64) VAddr {
+	return VAddr(page<<g.bits | offset&(g.size-1))
+}
+
+// Translate substitutes the frame number for the page number of v.
+func (g PageGeom) Translate(v VAddr, frame uint64) PAddr {
+	return g.JoinP(frame, g.Offset(v))
+}
+
+// BlockGeom captures a cache block size.
+type BlockGeom struct {
+	size uint64
+	bits uint
+}
+
+// NewBlockGeom builds a BlockGeom for the given block size in bytes.
+func NewBlockGeom(blockSize uint64) (BlockGeom, error) {
+	bits, err := Log2(blockSize)
+	if err != nil {
+		return BlockGeom{}, fmt.Errorf("addr: bad block size: %w", err)
+	}
+	return BlockGeom{size: blockSize, bits: bits}, nil
+}
+
+// Size returns the block size in bytes.
+func (g BlockGeom) Size() uint64 { return g.size }
+
+// Bits returns log2(block size).
+func (g BlockGeom) Bits() uint { return g.bits }
+
+// VBlock returns the virtual block number of a.
+func (g BlockGeom) VBlock(a VAddr) uint64 { return uint64(a) >> g.bits }
+
+// PBlock returns the physical block number of a.
+func (g BlockGeom) PBlock(a PAddr) uint64 { return uint64(a) >> g.bits }
+
+// PBase returns the address of the first byte of a's block.
+func (g BlockGeom) PBase(a PAddr) PAddr { return a &^ PAddr(g.size-1) }
+
+// VBase returns the address of the first byte of a's block.
+func (g BlockGeom) VBase(a VAddr) VAddr { return a &^ VAddr(g.size-1) }

@@ -1,0 +1,163 @@
+package addr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLog2(t *testing.T) {
+	cases := []struct {
+		in   uint64
+		want uint
+	}{
+		{1, 0}, {2, 1}, {4, 2}, {16, 4}, {4096, 12}, {1 << 20, 20}, {1 << 62, 62},
+	}
+	for _, c := range cases {
+		got, err := Log2(c.in)
+		if err != nil {
+			t.Fatalf("Log2(%d): unexpected error %v", c.in, err)
+		}
+		if got != c.want {
+			t.Errorf("Log2(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestLog2Errors(t *testing.T) {
+	for _, bad := range []uint64{0, 3, 5, 6, 7, 12, 4097, 1<<20 + 1} {
+		if _, err := Log2(bad); err == nil {
+			t.Errorf("Log2(%d): want error, got nil", bad)
+		}
+	}
+}
+
+func TestMustLog2Panics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustLog2(3) did not panic")
+		}
+	}()
+	MustLog2(3)
+}
+
+func TestIsPow2(t *testing.T) {
+	for _, v := range []uint64{1, 2, 4, 1024, 1 << 40} {
+		if !IsPow2(v) {
+			t.Errorf("IsPow2(%d) = false, want true", v)
+		}
+	}
+	for _, v := range []uint64{0, 3, 5, 1023, 1<<40 + 1} {
+		if IsPow2(v) {
+			t.Errorf("IsPow2(%d) = true, want false", v)
+		}
+	}
+}
+
+func TestPageGeomFields(t *testing.T) {
+	g, err := NewPageGeom(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != 4096 || g.Bits() != 12 {
+		t.Fatalf("got size %d bits %d", g.Size(), g.Bits())
+	}
+	a := VAddr(0x12345)
+	if got := g.VPage(a); got != 0x12 {
+		t.Errorf("VPage = %#x, want 0x12", got)
+	}
+	if got := g.Offset(a); got != 0x345 {
+		t.Errorf("Offset = %#x, want 0x345", got)
+	}
+	p := PAddr(0xABCDE)
+	if got := g.PFrame(p); got != 0xAB {
+		t.Errorf("PFrame = %#x, want 0xAB", got)
+	}
+	if got := g.POffset(p); got != 0xCDE {
+		t.Errorf("POffset = %#x, want 0xCDE", got)
+	}
+}
+
+func TestPageGeomBadSize(t *testing.T) {
+	if _, err := NewPageGeom(3000); err == nil {
+		t.Fatal("NewPageGeom(3000): want error")
+	}
+}
+
+func TestTranslatePreservesOffset(t *testing.T) {
+	g, _ := NewPageGeom(4096)
+	v := VAddr(0x7_1234)
+	p := g.Translate(v, 0x99)
+	if g.POffset(p) != g.Offset(v) {
+		t.Errorf("offset changed: %#x vs %#x", g.POffset(p), g.Offset(v))
+	}
+	if g.PFrame(p) != 0x99 {
+		t.Errorf("frame = %#x, want 0x99", g.PFrame(p))
+	}
+}
+
+func TestJoinSplitRoundTrip(t *testing.T) {
+	g, _ := NewPageGeom(1 << 13)
+	f := func(frame uint64, off uint64) bool {
+		frame &= 0xFFFF_FFFF
+		p := g.JoinP(frame, off)
+		return g.PFrame(p) == frame && g.POffset(p) == off&(g.Size()-1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJoinVRoundTrip(t *testing.T) {
+	g, _ := NewPageGeom(1 << 12)
+	f := func(page uint64, off uint64) bool {
+		page &= 0xFFFF_FFFF
+		v := g.JoinV(page, off)
+		return g.VPage(v) == page && g.Offset(v) == off&(g.Size()-1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlockGeom(t *testing.T) {
+	g, err := NewBlockGeom(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != 16 || g.Bits() != 4 {
+		t.Fatalf("got size %d bits %d", g.Size(), g.Bits())
+	}
+	if got := g.PBlock(0x1234); got != 0x123 {
+		t.Errorf("PBlock = %#x, want 0x123", got)
+	}
+	if got := g.VBlock(0x1234); got != 0x123 {
+		t.Errorf("VBlock = %#x, want 0x123", got)
+	}
+	if got := g.PBase(0x1234); got != 0x1230 {
+		t.Errorf("PBase = %#x, want 0x1230", got)
+	}
+	if got := g.VBase(0x123F); got != 0x1230 {
+		t.Errorf("VBase = %#x, want 0x1230", got)
+	}
+}
+
+func TestBlockGeomBadSize(t *testing.T) {
+	if _, err := NewBlockGeom(0); err == nil {
+		t.Fatal("NewBlockGeom(0): want error")
+	}
+	if _, err := NewBlockGeom(24); err == nil {
+		t.Fatal("NewBlockGeom(24): want error")
+	}
+}
+
+func TestBlockBaseIsAligned(t *testing.T) {
+	g, _ := NewBlockGeom(64)
+	f := func(a uint64) bool {
+		p := PAddr(a)
+		base := g.PBase(p)
+		return uint64(base)%64 == 0 && base <= p && p-base < 64
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,120 @@
+package bus
+
+import (
+	"strings"
+	"testing"
+)
+
+// fakeSnooper records transactions and returns a canned response.
+type fakeSnooper struct {
+	seen []Txn
+	resp SnoopResult
+}
+
+func (f *fakeSnooper) SnoopBus(t Txn) SnoopResult {
+	f.seen = append(f.seen, t)
+	return f.resp
+}
+
+func TestAttachIDs(t *testing.T) {
+	b := New()
+	a := b.Attach(&fakeSnooper{})
+	c := b.Attach(&fakeSnooper{})
+	if a != 0 || c != 1 {
+		t.Errorf("ids = %d, %d", a, c)
+	}
+	if b.Snoopers() != 2 {
+		t.Errorf("Snoopers = %d", b.Snoopers())
+	}
+}
+
+func TestIssueSkipsIssuer(t *testing.T) {
+	b := New()
+	s0, s1, s2 := &fakeSnooper{}, &fakeSnooper{}, &fakeSnooper{}
+	b.Attach(s0)
+	b.Attach(s1)
+	b.Attach(s2)
+	b.Issue(Txn{Kind: Read, From: 1, Addr: 0x100, Size: 32})
+	if len(s1.seen) != 0 {
+		t.Error("issuer snooped its own transaction")
+	}
+	if len(s0.seen) != 1 || len(s2.seen) != 1 {
+		t.Error("other snoopers missed the transaction")
+	}
+	if s0.seen[0].Addr != 0x100 || s0.seen[0].Size != 32 {
+		t.Error("transaction fields mangled")
+	}
+}
+
+func TestIssueAggregates(t *testing.T) {
+	b := New()
+	b.Attach(&fakeSnooper{resp: SnoopResult{Shared: true}})
+	b.Attach(&fakeSnooper{resp: SnoopResult{}})
+	b.Attach(&fakeSnooper{resp: SnoopResult{Supplied: true}})
+	got := b.Issue(Txn{Kind: Read, From: 1})
+	if !got.Shared || !got.Supplied {
+		t.Errorf("aggregate = %+v", got)
+	}
+}
+
+func TestIssueNoSharers(t *testing.T) {
+	b := New()
+	b.Attach(&fakeSnooper{})
+	b.Attach(&fakeSnooper{})
+	got := b.Issue(Txn{Kind: ReadMod, From: 0})
+	if got.Shared || got.Supplied {
+		t.Errorf("aggregate = %+v, want empty", got)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	b := New()
+	b.Attach(&fakeSnooper{resp: SnoopResult{Supplied: true}})
+	b.Attach(&fakeSnooper{})
+	b.Issue(Txn{Kind: Read, From: 1})
+	b.Issue(Txn{Kind: Read, From: 1})
+	b.Issue(Txn{Kind: Invalidate, From: 1})
+	s := b.Stats()
+	if s.Count(Read) != 2 || s.Count(Invalidate) != 1 || s.Count(ReadMod) != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.Total() != 3 {
+		t.Errorf("Total = %d", s.Total())
+	}
+	// The fake supplies on every transaction; the bus counts what snoopers
+	// report (real hierarchies never supply on Invalidate).
+	if s.Supplies != 3 {
+		t.Errorf("Supplies = %d, want 3", s.Supplies)
+	}
+}
+
+func TestBadKindPanics(t *testing.T) {
+	b := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad kind did not panic")
+		}
+	}()
+	b.Issue(Txn{Kind: Kind(99)})
+}
+
+func TestKindString(t *testing.T) {
+	if Read.String() != "read-miss" ||
+		ReadMod.String() != "read-modified-write" ||
+		Invalidate.String() != "invalidation" {
+		t.Error("kind names wrong")
+	}
+	if !strings.Contains(Kind(7).String(), "7") {
+		t.Error("unknown kind should include number")
+	}
+}
+
+func TestSingleSnooperBus(t *testing.T) {
+	// A uniprocessor bus: transactions see no other snoopers.
+	b := New()
+	b.Attach(&fakeSnooper{resp: SnoopResult{Shared: true}})
+	got := b.Issue(Txn{Kind: Read, From: 0})
+	if got.Shared {
+		t.Error("issuer's own response leaked into aggregate")
+	}
+}

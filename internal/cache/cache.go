@@ -1,0 +1,309 @@
+// Package cache implements the generic set-associative cache structure
+// shared by the V-cache, R-cache and TLB: geometry/bit arithmetic, tag
+// probes, and victim selection with pluggable replacement and a
+// victim-preference hook (used for the paper's relaxed inclusion rule,
+// "replace a block with the inclusion bit clear if there is one").
+//
+// The cache is metadata-only and generic over the per-line payload type, so
+// each level attaches its own control bits (dirty, swapped-valid, inclusion
+// subentries, pointers) without duplicating the set machinery.
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/addr"
+)
+
+// Policy selects the replacement algorithm used when no invalid way exists.
+type Policy int
+
+// Replacement policies.
+const (
+	LRU Policy = iota
+	FIFO
+	Random
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "LRU"
+	case FIFO:
+		return "FIFO"
+	case Random:
+		return "Random"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Geometry describes a cache's shape. All sizes are in bytes and must be
+// powers of two; Assoc of 1 is direct-mapped.
+type Geometry struct {
+	Size  uint64 // total data capacity
+	Block uint64 // block (line) size
+	Assoc int    // ways per set
+}
+
+// Validate checks the geometry for consistency.
+func (g Geometry) Validate() error {
+	if !addr.IsPow2(g.Size) {
+		return fmt.Errorf("cache: size %d is not a power of two", g.Size)
+	}
+	if !addr.IsPow2(g.Block) {
+		return fmt.Errorf("cache: block size %d is not a power of two", g.Block)
+	}
+	if g.Assoc < 1 || !addr.IsPow2(uint64(g.Assoc)) {
+		return fmt.Errorf("cache: associativity %d is not a positive power of two", g.Assoc)
+	}
+	if g.Block*uint64(g.Assoc) > g.Size {
+		return fmt.Errorf("cache: size %d too small for %d ways of %d-byte blocks",
+			g.Size, g.Assoc, g.Block)
+	}
+	return nil
+}
+
+// Sets returns the number of sets.
+func (g Geometry) Sets() int {
+	return int(g.Size / (g.Block * uint64(g.Assoc)))
+}
+
+// BlockBits returns log2(block size).
+func (g Geometry) BlockBits() uint { return addr.MustLog2(g.Block) }
+
+// SetBits returns log2(number of sets).
+func (g Geometry) SetBits() uint { return addr.MustLog2(uint64(g.Sets())) }
+
+// BlockNum returns the block number of byte address a.
+func (g Geometry) BlockNum(a uint64) uint64 { return a >> g.BlockBits() }
+
+// Locate maps a byte address to its (set, tag) pair. The tag is the block
+// number with the set-index bits stripped, so (set, tag) uniquely names a
+// block-aligned address.
+func (g Geometry) Locate(a uint64) (set int, tag uint64) {
+	block := g.BlockNum(a)
+	return int(block & uint64(g.Sets()-1)), block >> g.SetBits()
+}
+
+// BlockAddr reconstructs the block-aligned byte address of (set, tag).
+func (g Geometry) BlockAddr(set int, tag uint64) uint64 {
+	return (tag<<g.SetBits() | uint64(set)) << g.BlockBits()
+}
+
+// String renders the geometry as "16K/16B/2-way".
+func (g Geometry) String() string {
+	return fmt.Sprintf("%s/%dB/%d-way", sizeLabel(g.Size), g.Block, g.Assoc)
+}
+
+func sizeLabel(n uint64) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dM", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dK", n>>10)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}
+
+// way is one tag-store entry; the payload L carries level-specific bits.
+type way[L any] struct {
+	tag   uint64
+	valid bool
+	stamp uint64 // recency (LRU) or insertion order (FIFO)
+	line  L
+}
+
+// Cache is a generic set-associative tag store.
+type Cache[L any] struct {
+	geom   Geometry
+	policy Policy
+	sets   [][]way[L]
+	clock  uint64
+	rng    *rand.Rand
+}
+
+// New builds a cache with the given geometry, replacement policy and (for
+// Random replacement) deterministic seed.
+func New[L any](g Geometry, policy Policy, seed int64) (*Cache[L], error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	sets := make([][]way[L], g.Sets())
+	backing := make([]way[L], g.Sets()*g.Assoc)
+	for i := range sets {
+		sets[i], backing = backing[:g.Assoc:g.Assoc], backing[g.Assoc:]
+	}
+	return &Cache[L]{
+		geom:   g,
+		policy: policy,
+		sets:   sets,
+		rng:    rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// MustNew is New but panics on error, for configurations fixed at build
+// time.
+func MustNew[L any](g Geometry, policy Policy, seed int64) *Cache[L] {
+	c, err := New[L](g, policy, seed)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Geometry returns the cache's shape.
+func (c *Cache[L]) Geometry() Geometry { return c.geom }
+
+// Sets returns the number of sets.
+func (c *Cache[L]) Sets() int { return len(c.sets) }
+
+// Assoc returns the number of ways per set.
+func (c *Cache[L]) Assoc() int { return c.geom.Assoc }
+
+// Probe looks for tag in set without updating recency.
+func (c *Cache[L]) Probe(set int, tag uint64) (wayIdx int, ok bool) {
+	for i := range c.sets[set] {
+		w := &c.sets[set][i]
+		if w.valid && w.tag == tag {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// Touch marks (set, way) most recently used. FIFO caches ignore touches.
+func (c *Cache[L]) Touch(set, wayIdx int) {
+	if c.policy == FIFO {
+		return
+	}
+	c.clock++
+	c.sets[set][wayIdx].stamp = c.clock
+}
+
+// Line returns a pointer to the payload of (set, way). The pointer stays
+// valid until the cache is discarded; invalidation does not clear payloads.
+func (c *Cache[L]) Line(set, wayIdx int) *L { return &c.sets[set][wayIdx].line }
+
+// TagAt returns the tag stored at (set, way); meaningful only when valid.
+func (c *Cache[L]) TagAt(set, wayIdx int) uint64 { return c.sets[set][wayIdx].tag }
+
+// ValidAt reports whether (set, way) holds a valid entry.
+func (c *Cache[L]) ValidAt(set, wayIdx int) bool { return c.sets[set][wayIdx].valid }
+
+// Victim picks a way of set to replace. Invalid ways are taken first. If
+// prefer is non-nil, valid ways satisfying prefer are chosen (by policy)
+// before ways that do not, and the second return value reports whether the
+// chosen valid victim satisfied prefer. For an invalid way, preferred is
+// true.
+func (c *Cache[L]) Victim(set int, prefer func(wayIdx int) bool) (wayIdx int, preferred bool) {
+	ws := c.sets[set]
+	for i := range ws {
+		if !ws[i].valid {
+			return i, true
+		}
+	}
+	if prefer != nil {
+		if i := c.pick(set, prefer); i >= 0 {
+			return i, true
+		}
+	}
+	return c.pick(set, nil), prefer == nil
+}
+
+// pick applies the replacement policy over ways of set satisfying filter
+// (nil accepts all); returns -1 when none qualifies.
+func (c *Cache[L]) pick(set int, filter func(int) bool) int {
+	ws := c.sets[set]
+	switch c.policy {
+	case Random:
+		var candidates []int
+		for i := range ws {
+			if filter == nil || filter(i) {
+				candidates = append(candidates, i)
+			}
+		}
+		if len(candidates) == 0 {
+			return -1
+		}
+		return candidates[c.rng.Intn(len(candidates))]
+	default: // LRU and FIFO: minimum stamp
+		best, bestStamp := -1, uint64(0)
+		for i := range ws {
+			if filter != nil && !filter(i) {
+				continue
+			}
+			if best == -1 || ws[i].stamp < bestStamp {
+				best, bestStamp = i, ws[i].stamp
+			}
+		}
+		return best
+	}
+}
+
+// Install writes tag into (set, way), marks it valid and most recently used,
+// and returns a pointer to the payload for the caller to initialize.
+func (c *Cache[L]) Install(set, wayIdx int, tag uint64) *L {
+	w := &c.sets[set][wayIdx]
+	w.tag = tag
+	w.valid = true
+	c.clock++
+	w.stamp = c.clock
+	return &w.line
+}
+
+// Retag changes the tag of a valid entry in place (the paper's sameset
+// synonym handling retags the line under the new virtual address).
+func (c *Cache[L]) Retag(set, wayIdx int, tag uint64) {
+	w := &c.sets[set][wayIdx]
+	if !w.valid {
+		panic("cache: Retag of invalid way")
+	}
+	w.tag = tag
+}
+
+// Invalidate clears the valid bit of (set, way). The payload is untouched;
+// callers that keep state across invalidation (the V-cache's swapped-valid
+// blocks) manage it in the payload.
+func (c *Cache[L]) Invalidate(set, wayIdx int) {
+	c.sets[set][wayIdx].valid = false
+}
+
+// InvalidateAll clears every valid bit.
+func (c *Cache[L]) InvalidateAll() {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			c.sets[s][w].valid = false
+		}
+	}
+}
+
+// ForEach visits every way (valid or not) as (set, way).
+func (c *Cache[L]) ForEach(fn func(set, wayIdx int)) {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			fn(s, w)
+		}
+	}
+}
+
+// ForEachValid visits every valid way as (set, way).
+func (c *Cache[L]) ForEachValid(fn func(set, wayIdx int)) {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			if c.sets[s][w].valid {
+				fn(s, w)
+			}
+		}
+	}
+}
+
+// CountValid returns the number of valid entries.
+func (c *Cache[L]) CountValid() int {
+	n := 0
+	c.ForEachValid(func(int, int) { n++ })
+	return n
+}

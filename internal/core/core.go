@@ -1,0 +1,308 @@
+// Package core implements the paper's contribution: the two-level
+// virtual-real (V-R) cache hierarchy controller of Section 3, together with
+// the physically-addressed (R-R) organizations the paper evaluates against.
+//
+// A Hierarchy is one processor's private two-level cache attached to the
+// shared bus. Three organizations are provided:
+//
+//   - NewVR: virtually-addressed L1 over a physically-addressed L2 with
+//     inclusion, synonym resolution through the L2's v-pointers, lazy
+//     swapped-valid context-switch flushing, and coherence shielding.
+//   - NewRR: physically-addressed L1 (behind a per-reference TLB) over the
+//     same L2 with inclusion — the paper's R-R (incl) baseline.
+//   - NewRRNoInclusion: physically-addressed two-level hierarchy without
+//     inclusion, where every remote bus transaction must probe the L1 —
+//     the paper's R-R (no incl) baseline.
+//
+// The simulator is reference-serial: references are applied one at a time
+// in global trace order, and a bus transaction runs all other hierarchies'
+// snoop handlers synchronously. Each processor write stamps a fresh token;
+// reads report the token they observed so the system layer can check
+// sequential consistency against an oracle.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/bus"
+	"repro/internal/cache"
+	"repro/internal/memory"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+// TokenSource hands out unique, monotonically increasing write tokens. One
+// source is shared by every hierarchy in a system so that "newest write"
+// is globally well defined.
+type TokenSource struct{ n uint64 }
+
+// Next returns a fresh token (never zero).
+func (t *TokenSource) Next() uint64 {
+	t.n++
+	return t.n
+}
+
+// Last returns the most recently issued token.
+func (t *TokenSource) Last() uint64 { return t.n }
+
+// SynonymKind classifies how a first-level miss found its data already at
+// the first level under another address.
+type SynonymKind int
+
+// Synonym resolution outcomes.
+const (
+	SynNone     SynonymKind = iota
+	SynSameSet              // live copy in the same V set: retagged in place
+	SynMove                 // live copy in a different set: moved
+	SynCross                // copy in the other cache of a split pair: moved
+	SynBuffered             // modified copy reattached from the write buffer
+)
+
+// String returns the outcome's label.
+func (k SynonymKind) String() string {
+	switch k {
+	case SynNone:
+		return "none"
+	case SynSameSet:
+		return "sameset"
+	case SynMove:
+		return "move"
+	case SynCross:
+		return "cross-cache"
+	case SynBuffered:
+		return "buffer-reattach"
+	default:
+		return fmt.Sprintf("SynonymKind(%d)", int(k))
+	}
+}
+
+// AccessResult reports what one memory reference did.
+type AccessResult struct {
+	CtxSwitch bool             // the record was a context switch, nothing else applies
+	Kind      stats.AccessKind //
+	L1Hit     bool             //
+	L2Hit     bool             // meaningful only when !L1Hit
+	Synonym   SynonymKind      //
+	PA        addr.PAddr       // physical address of the referenced L1 block
+	Token     uint64           // token read (loads) or written (stores)
+}
+
+// Level returns 1, 2 or 3 for L1 hit, L2 hit, or memory.
+func (r AccessResult) Level() int {
+	switch {
+	case r.L1Hit:
+		return 1
+	case r.L2Hit:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// Stats aggregates one hierarchy's counters.
+type Stats struct {
+	L1, L2    stats.LevelStats     // hit ratios by access kind
+	Coherence stats.CoherenceStats // messages reaching the first level
+	Synonyms  [5]uint64            // indexed by SynonymKind
+	TLB       struct{ Hits, Misses uint64 }
+
+	WriteBacks           uint64 // dirty victims leaving L1
+	SwappedWriteBacks    uint64 // of which swapped-valid
+	CtxSwitches          uint64
+	InclusionInvals      uint64 // L1 children invalidated by an L2 replacement
+	BufferStalls         uint64 // write-buffer pushes that found the buffer full
+	EagerFlushWriteBacks uint64 // write-backs clustered at switch time (ablation)
+	MemWritesDirect      uint64 // L1 write-backs bypassing L2 (no-inclusion only)
+
+	// WriteIntervals tracks distances between processor writes (the paper's
+	// Table 2 — the downward write stream of a write-through L1).
+	WriteIntervals *stats.IntervalTracker
+	// WriteBackIntervals tracks distances between write-backs leaving the
+	// L1 under write-back + swapped-valid (Table 3).
+	WriteBackIntervals *stats.IntervalTracker
+}
+
+func newStats() *Stats {
+	return &Stats{
+		WriteIntervals:     stats.NewIntervalTracker("inter-write", 10),
+		WriteBackIntervals: stats.NewIntervalTracker("inter-write-back", 10),
+	}
+}
+
+// Reset zeroes every counter and starts fresh interval trackers, so
+// steady-state behaviour can be measured without cold-start effects.
+func (s *Stats) Reset() {
+	*s = Stats{
+		WriteIntervals:     stats.NewIntervalTracker("inter-write", 10),
+		WriteBackIntervals: stats.NewIntervalTracker("inter-write-back", 10),
+	}
+}
+
+// SynonymTotal returns the number of synonym resolutions of all kinds.
+func (s *Stats) SynonymTotal() uint64 {
+	var t uint64
+	for _, v := range s.Synonyms {
+		t += v
+	}
+	return t
+}
+
+// Hierarchy is one processor's two-level cache organization.
+type Hierarchy interface {
+	// Access applies one trace record for this hierarchy's processor.
+	Access(ref trace.Ref) AccessResult
+	// SnoopBus handles a bus transaction issued by another hierarchy.
+	SnoopBus(t bus.Txn) bus.SnoopResult
+	// Drain empties the write buffer into the second level (end of run).
+	Drain()
+	// Stats exposes the hierarchy's counters.
+	Stats() *Stats
+	// Check validates internal invariants (inclusion, pointer round-trips,
+	// buffer-bit consistency); test harnesses call it after every access.
+	Check() error
+}
+
+// Protocol selects the bus coherence protocol.
+type Protocol int
+
+// Protocols.
+const (
+	// WriteInvalidate is the paper's protocol: remote copies are
+	// invalidated before a shared block is modified.
+	WriteInvalidate Protocol = iota
+	// WriteUpdate broadcasts the new data instead (Firefly/Dragon style):
+	// shared writes go through to the bus and memory, and remote copies —
+	// including first-level children, reached through the v-pointers — are
+	// refreshed in place. The paper notes its organization "will also work
+	// for other protocols"; this option demonstrates it.
+	WriteUpdate
+)
+
+// String returns the protocol name.
+func (p Protocol) String() string {
+	switch p {
+	case WriteInvalidate:
+		return "write-invalidate"
+	case WriteUpdate:
+		return "write-update"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// Options configures a hierarchy.
+type Options struct {
+	MMU *vm.MMU
+	Bus *bus.Bus
+	Mem *memory.Memory
+
+	L1    cache.Geometry // total first-level capacity (split halves it per side)
+	Split bool           // split L1 into equal I and D caches
+	L2    cache.Geometry
+
+	TLBEntries int // default 64
+	TLBAssoc   int // default 2
+
+	WriteBufDepth   int    // default 1 (the paper's single swapped write-back buffer)
+	WriteBufLatency uint64 // references until a buffered write-back drains; default 4
+
+	// EagerCtxFlush disables the swapped-valid scheme: context switches
+	// write every dirty line back immediately (the ablation the paper's
+	// Table 3 argues against). V-R only.
+	EagerCtxFlush bool
+
+	// PIDTagged widens every V-cache tag with the process identifier — the
+	// Section 2 alternative to flushing on context switches. V-R only;
+	// mutually exclusive with EagerCtxFlush.
+	PIDTagged bool
+
+	// Protocol selects the coherence protocol (default WriteInvalidate).
+	Protocol Protocol
+
+	// NaiveL2Replacement disables the relaxed-inclusion victim preference
+	// (ablation: how many inclusion invalidations the preference avoids).
+	NaiveL2Replacement bool
+
+	// L1WriteThrough switches the first level to the write-through,
+	// no-write-allocate policy the paper's Section 2 examines and rejects:
+	// every write goes down to the R-cache (through a bounded buffer whose
+	// stalls are counted), first-level lines are never dirty, and write
+	// misses do not allocate. Incompatible with WriteUpdate.
+	L1WriteThrough bool
+
+	// Tracer, when set, observes every V<->R interface signal of the
+	// paper's Table 4 (see SignalKind).
+	Tracer Tracer
+
+	Tokens *TokenSource
+}
+
+func (o *Options) applyDefaults() {
+	if o.TLBEntries == 0 {
+		o.TLBEntries = 64
+	}
+	if o.TLBAssoc == 0 {
+		o.TLBAssoc = 2
+	}
+	if o.WriteBufDepth == 0 {
+		o.WriteBufDepth = 1
+	}
+	if o.WriteBufLatency == 0 {
+		o.WriteBufLatency = 4
+	}
+	if o.Tokens == nil {
+		o.Tokens = &TokenSource{}
+	}
+}
+
+func (o *Options) validate() error {
+	if o.MMU == nil || o.Bus == nil || o.Mem == nil {
+		return fmt.Errorf("core: MMU, Bus and Mem are required")
+	}
+	if err := o.L1.Validate(); err != nil {
+		return fmt.Errorf("core: L1: %w", err)
+	}
+	if err := o.L2.Validate(); err != nil {
+		return fmt.Errorf("core: L2: %w", err)
+	}
+	if o.L2.Block < o.L1.Block {
+		return fmt.Errorf("core: L2 block (%d) smaller than L1 block (%d)", o.L2.Block, o.L1.Block)
+	}
+	if o.Mem.Granularity() != o.L1.Block {
+		return fmt.Errorf("core: memory granularity %d != L1 block %d",
+			o.Mem.Granularity(), o.L1.Block)
+	}
+	if o.Split {
+		half := o.L1
+		half.Size /= 2
+		if err := half.Validate(); err != nil {
+			return fmt.Errorf("core: split L1 half: %w", err)
+		}
+	}
+	return nil
+}
+
+// sideGeoms returns the geometries of the first-level caches: one unified,
+// or the D and I halves.
+func (o *Options) sideGeoms() []cache.Geometry {
+	if !o.Split {
+		return []cache.Geometry{o.L1}
+	}
+	half := o.L1
+	half.Size /= 2
+	return []cache.Geometry{half, half}
+}
+
+// statKind maps a trace record kind to its statistics class.
+func statKind(k trace.Kind) stats.AccessKind {
+	switch k {
+	case trace.IFetch:
+		return stats.KindIFetch
+	case trace.Read:
+		return stats.KindRead
+	default:
+		return stats.KindWrite
+	}
+}

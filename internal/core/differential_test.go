@@ -1,0 +1,198 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/addr"
+	"repro/internal/bus"
+	"repro/internal/cache"
+	"repro/internal/memory"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+// driveBoth runs the same reference sequence through two hierarchies built
+// on separate machines and returns their stats.
+func driveBoth(t *testing.T, mkA, mkB mkFunc, tweak func(*Options), refs []trace.Ref) (a, b *Stats) {
+	t.Helper()
+	run := func(mk mkFunc) *Stats {
+		r := &rig{
+			t:      t,
+			mmu:    vm.MustNew(testPageSize),
+			bus:    bus.New(),
+			mem:    memory.MustNew(16),
+			tokens: &TokenSource{},
+			oracle: map[addr.PAddr]uint64{},
+		}
+		o := baseOptions(r)
+		if tweak != nil {
+			tweak(&o)
+		}
+		h, err := mk(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.hs = []Hierarchy{h}
+		for _, ref := range refs {
+			r.access(0, ref.Kind, ref.PID, ref.Addr)
+		}
+		return h.Stats()
+	}
+	return run(mkA), run(mkB)
+}
+
+// randomRefs builds a single-process reference stream with no context
+// switches.
+func randomRefs(seed int64, n int) []trace.Ref {
+	rng := rand.New(rand.NewSource(seed))
+	refs := make([]trace.Ref, 0, n)
+	for i := 0; i < n; i++ {
+		kinds := []trace.Kind{trace.Read, trace.Read, trace.IFetch, trace.Write}
+		refs = append(refs, trace.Ref{
+			CPU:  0,
+			Kind: kinds[rng.Intn(len(kinds))],
+			PID:  1,
+			Addr: addr.VAddr(rng.Intn(2048)) &^ 3,
+		})
+	}
+	return refs
+}
+
+// When the first level is no larger than a page (times associativity), the
+// virtual and physical index bits coincide, so with a single process and
+// no context switches the V-R and R-R organizations must produce exactly
+// the same hit/miss sequence.
+func TestVREqualsRRWhenIndexBitsFitInPage(t *testing.T) {
+	// testPageSize is 64; a 64B direct-mapped L1 satisfies the condition.
+	tweak := func(o *Options) {
+		o.L1 = cache.Geometry{Size: 64, Block: 16, Assoc: 1}
+	}
+	refs := randomRefs(11, 4000)
+	vr, rr := driveBoth(t, vrMk, rrMk, tweak, refs)
+	if vr.L1.Overall() != rr.L1.Overall() {
+		t.Errorf("L1 diverged: VR %+v, RR %+v", vr.L1.Overall(), rr.L1.Overall())
+	}
+	if vr.L2.Overall() != rr.L2.Overall() {
+		t.Errorf("L2 diverged: VR %+v, RR %+v", vr.L2.Overall(), rr.L2.Overall())
+	}
+	if vr.WriteBacks != rr.WriteBacks {
+		t.Errorf("write-backs diverged: %d vs %d", vr.WriteBacks, rr.WriteBacks)
+	}
+}
+
+// The same equivalence holds per-seed as a property.
+func TestVREqualsRRProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		tweak := func(o *Options) {
+			o.L1 = cache.Geometry{Size: 64, Block: 16, Assoc: 1}
+		}
+		refs := randomRefs(seed, 800)
+		vr, rr := driveBoth(t, vrMk, rrMk, tweak, refs)
+		return vr.L1.Overall() == rr.L1.Overall() && vr.L2.Overall() == rr.L2.Overall()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// With a single CPU nothing is ever shared, so the write-update and
+// write-invalidate protocols must behave identically.
+func TestProtocolsEquivalentUniprocessor(t *testing.T) {
+	refs := randomRefs(23, 4000)
+	inv, upd := driveBoth(t, vrMk, updMk, nil, refs)
+	if inv.L1.Overall() != upd.L1.Overall() || inv.L2.Overall() != upd.L2.Overall() {
+		t.Error("protocols diverged on a uniprocessor")
+	}
+	if inv.WriteBacks != upd.WriteBacks {
+		t.Errorf("write-backs diverged: %d vs %d", inv.WriteBacks, upd.WriteBacks)
+	}
+}
+
+// Without context switches the PID-tagged V-cache matches the plain one
+// exactly (the tag widening changes nothing for a single process).
+func TestPIDTagsEquivalentWithoutSwitches(t *testing.T) {
+	refs := randomRefs(37, 4000)
+	plain, pid := driveBoth(t, vrMk, pidMk, nil, refs)
+	if plain.L1.Overall() != pid.L1.Overall() || plain.L2.Overall() != pid.L2.Overall() {
+		t.Error("PID tagging changed single-process behaviour")
+	}
+}
+
+// Determinism: identical machines fed identical references produce
+// identical statistics, including coherence counters.
+func TestDeterminism(t *testing.T) {
+	refs := randomRefs(51, 3000)
+	a, b := driveBoth(t, vrMk, vrMk, nil, refs)
+	if *aggOf(a) != *aggOf(b) {
+		t.Error("two identical runs diverged")
+	}
+}
+
+// aggOf reduces a Stats to a comparable summary.
+type statSummary struct {
+	l1h, l1t, l2h, l2t uint64
+	wbs, syn, coh      uint64
+}
+
+func aggOf(s *Stats) *statSummary {
+	o1, o2 := s.L1.Overall(), s.L2.Overall()
+	return &statSummary{
+		l1h: o1.Hits, l1t: o1.Total,
+		l2h: o2.Hits, l2t: o2.Total,
+		wbs: s.WriteBacks, syn: s.SynonymTotal(), coh: s.Coherence.Total(),
+	}
+}
+
+// Geometry fuzz: random legal cache shapes, organizations and option
+// combinations run a short random multiprocessor workload under full
+// invariant and oracle checking.
+func TestGeometryFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 60; trial++ {
+		l1Block := uint64(16)
+		l1Assoc := 1 << rng.Intn(3)
+		l1Sets := 1 << (2 + rng.Intn(3))
+		l1Size := l1Block * uint64(l1Assoc) * uint64(l1Sets)
+		mult := uint64(1 << rng.Intn(3)) // B2 in {16,32,64}
+		l2Block := l1Block * mult
+		l2Assoc := 1 << rng.Intn(3)
+		l2Sets := 1 << (2 + rng.Intn(4))
+		l2Size := l2Block * uint64(l2Assoc) * uint64(l2Sets)
+		tweak := func(o *Options) {
+			o.L1 = cache.Geometry{Size: l1Size, Block: l1Block, Assoc: l1Assoc}
+			o.L2 = cache.Geometry{Size: l2Size, Block: l2Block, Assoc: l2Assoc}
+			o.WriteBufDepth = 1 + rng.Intn(4)
+			o.WriteBufLatency = uint64(rng.Intn(16))
+		}
+		var mk mkFunc
+		switch rng.Intn(6) {
+		case 0:
+			mk = vrMk
+		case 1:
+			mk = rrMk
+		case 2:
+			mk = updMk
+		case 3:
+			mk = pidMk
+		case 4:
+			mk = wtMk
+		default:
+			mk = func(o Options) (Hierarchy, error) {
+				o.NaiveL2Replacement = true
+				return NewVR(o)
+			}
+		}
+		cpus := 1 + rng.Intn(3)
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("trial %d (L1 %d/%d-way, L2 %d/%dB/%d-way, %d cpus): panic %v",
+						trial, l1Size, l1Assoc, l2Size, l2Block, l2Assoc, cpus, p)
+				}
+			}()
+			randomWorkload(t, mk, tweak, cpus, 600, true)
+		}()
+	}
+}

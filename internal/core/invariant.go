@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/rcache"
+	"repro/internal/vcache"
+)
+
+// Check validates the hierarchy's structural invariants:
+//
+//  1. Inclusion: every present first-level line has a valid r-pointer to a
+//     present R-cache line whose matching subentry has the inclusion bit
+//     set and a v-pointer that points straight back.
+//  2. Uniqueness: at most one first-level copy of any physical block exists
+//     across the (possibly split) first level — the paper's synonym
+//     guarantee.
+//  3. Buffer bits and write-buffer contents are in bijection.
+//  4. VDirty is set exactly when a first-level or buffered copy is dirty;
+//     dangling VDirty without a child is impossible.
+//  5. In the V-R organization, the r-pointer agrees with the MMU: the
+//     line's virtual base translates to the subentry's physical address.
+//
+// It runs in O(cache size) and is meant to be called after every reference
+// in tests.
+func (h *VR) Check() error {
+	children := 0
+	for ci, vc := range h.vcs {
+		var err error
+		vc.ForEachPresent(func(set, way int, l *vcache.Line) {
+			if err != nil {
+				return
+			}
+			children++
+			rp := l.RPtr
+			if !h.rc.Present(rp.Set, rp.Way) {
+				err = fmt.Errorf("V%d[%d.%d] parent %v not present", ci, set, way, rp)
+				return
+			}
+			se := h.rc.Sub(rp.Set, rp.Way, rp.Sub)
+			if !se.Inclusion {
+				err = fmt.Errorf("V%d[%d.%d] parent %v inclusion clear", ci, set, way, rp)
+				return
+			}
+			want := rcache.VPtr{Cache: ci, Set: set, Way: way}
+			if se.VPtr != want {
+				err = fmt.Errorf("V%d[%d.%d] parent %v v-pointer %v, want %v",
+					ci, set, way, rp, se.VPtr, want)
+				return
+			}
+			if se.VDirty != l.Dirty {
+				err = fmt.Errorf("V%d[%d.%d] dirty %v but parent VDirty %v",
+					ci, set, way, l.Dirty, se.VDirty)
+				return
+			}
+			if se.Buffer {
+				err = fmt.Errorf("V%d[%d.%d] parent %v has both inclusion and buffer bits",
+					ci, set, way, rp)
+				return
+			}
+			if h.virtual {
+				pa, ok := h.opts.MMU.Lookup(l.PID, l.VBase)
+				if !ok {
+					err = fmt.Errorf("V%d[%d.%d] vbase %#x pid %d unmapped",
+						ci, set, way, uint64(l.VBase), l.PID)
+					return
+				}
+				if got := h.rc.SubAddr(rp.Set, rp.Way, rp.Sub); h.subAlign(pa) != got {
+					err = fmt.Errorf("V%d[%d.%d] vbase %#x translates to %#x but r-pointer says %#x",
+						ci, set, way, uint64(l.VBase), uint64(h.subAlign(pa)), uint64(got))
+					return
+				}
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	inclusionBits := 0
+	bufferBits := 0
+	var err error
+	h.rc.ForEachValid(func(set, way int, l *rcache.Line) {
+		if err != nil {
+			return
+		}
+		for i := range l.Subs {
+			se := &l.Subs[i]
+			if se.Inclusion {
+				inclusionBits++
+				child := h.vcs[se.VPtr.Cache]
+				if !child.Present(se.VPtr.Set, se.VPtr.Way) {
+					err = fmt.Errorf("R[%d.%d.%d] v-pointer %v to absent line", set, way, i, se.VPtr)
+					return
+				}
+				cl := child.Line(se.VPtr.Set, se.VPtr.Way)
+				if cl.RPtr != rptrOf(set, way, i) {
+					err = fmt.Errorf("R[%d.%d.%d] child r-pointer %v does not round-trip",
+						set, way, i, cl.RPtr)
+					return
+				}
+			}
+			if se.Buffer {
+				bufferBits++
+				if _, found := h.wb.Find(rptrOf(set, way, i)); !found {
+					err = fmt.Errorf("R[%d.%d.%d] buffer bit set but nothing buffered", set, way, i)
+					return
+				}
+				if !se.VDirty {
+					err = fmt.Errorf("R[%d.%d.%d] buffered but VDirty clear", set, way, i)
+					return
+				}
+			}
+			if se.VDirty && !se.Inclusion && !se.Buffer {
+				err = fmt.Errorf("R[%d.%d.%d] VDirty without child or buffer", set, way, i)
+				return
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if inclusionBits != children {
+		return fmt.Errorf("%d inclusion bits but %d first-level lines", inclusionBits, children)
+	}
+	if bufferBits != h.wb.Len() {
+		return fmt.Errorf("%d buffer bits but %d buffered entries", bufferBits, h.wb.Len())
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rcache"
+	"repro/internal/vcache"
+)
+
+// These tests corrupt hierarchy state deliberately and assert that Check
+// reports each class of violation — validating the validator.
+
+func corruptibleVR(t *testing.T) (*rig, *VR) {
+	t.Helper()
+	r := newRig(t, 1, vrMk, nil)
+	r.write(0, 1, 0x100) // one dirty resident line
+	r.read(0, 1, 0x200)  // one clean resident line
+	h := r.hs[0].(*VR)
+	if err := h.Check(); err != nil {
+		t.Fatalf("precondition: %v", err)
+	}
+	return r, h
+}
+
+// findResident returns the location and line of some resident V line.
+func findResident(h *VR) (set, way int) {
+	found := false
+	h.vcs[0].ForEachPresent(func(s, w int, _ *vcache.Line) {
+		if !found {
+			set, way = s, w
+			found = true
+		}
+	})
+	return set, way
+}
+
+func TestCheckDetectsClearedInclusion(t *testing.T) {
+	_, h := corruptibleVR(t)
+	set, way := findResident(h)
+	rp := h.vcs[0].Line(set, way).RPtr
+	h.rc.Sub(rp.Set, rp.Way, rp.Sub).Inclusion = false
+	err := h.Check()
+	if err == nil || !strings.Contains(err.Error(), "inclusion clear") {
+		t.Errorf("Check = %v, want inclusion-clear violation", err)
+	}
+}
+
+func TestCheckDetectsBrokenVPointer(t *testing.T) {
+	_, h := corruptibleVR(t)
+	set, way := findResident(h)
+	rp := h.vcs[0].Line(set, way).RPtr
+	h.rc.Sub(rp.Set, rp.Way, rp.Sub).VPtr = rcache.VPtr{Cache: 0, Set: set + 1, Way: way}
+	if err := h.Check(); err == nil {
+		t.Error("broken v-pointer not detected")
+	}
+}
+
+func TestCheckDetectsDirtyMismatch(t *testing.T) {
+	_, h := corruptibleVR(t)
+	set, way := findResident(h)
+	l := h.vcs[0].Line(set, way)
+	l.Dirty = !l.Dirty
+	if err := h.Check(); err == nil || !strings.Contains(err.Error(), "VDirty") {
+		t.Errorf("Check = %v, want dirty mismatch", err)
+	}
+}
+
+func TestCheckDetectsPhantomBufferBit(t *testing.T) {
+	r, h := corruptibleVR(t)
+	_ = r
+	// Set a buffer bit on a childless subentry with nothing buffered.
+	var done bool
+	h.rc.ForEachValid(func(set, way int, l *rcache.Line) {
+		if done {
+			return
+		}
+		for i := range l.Subs {
+			if !l.Subs[i].HasChild() {
+				l.Subs[i].Buffer = true
+				l.Subs[i].VDirty = true
+				done = true
+				return
+			}
+		}
+	})
+	if !done {
+		t.Skip("no childless subentry available")
+	}
+	if err := h.Check(); err == nil {
+		t.Error("phantom buffer bit not detected")
+	}
+}
+
+func TestCheckDetectsDanglingVDirty(t *testing.T) {
+	_, h := corruptibleVR(t)
+	var done bool
+	h.rc.ForEachValid(func(set, way int, l *rcache.Line) {
+		if done {
+			return
+		}
+		for i := range l.Subs {
+			if !l.Subs[i].HasChild() {
+				l.Subs[i].VDirty = true
+				done = true
+				return
+			}
+		}
+	})
+	if !done {
+		t.Skip("no childless subentry available")
+	}
+	if err := h.Check(); err == nil || !strings.Contains(err.Error(), "VDirty without") {
+		t.Errorf("Check = %v, want dangling VDirty", err)
+	}
+}
+
+func TestCheckDetectsOrphanedParentLine(t *testing.T) {
+	_, h := corruptibleVR(t)
+	set, way := findResident(h)
+	rp := h.vcs[0].Line(set, way).RPtr
+	// Invalidate the parent line under the child's feet.
+	h.rc.Invalidate(rp.Set, rp.Way)
+	if err := h.Check(); err == nil {
+		t.Error("orphaned child not detected")
+	}
+}
+
+func TestCheckDetectsCountMismatch(t *testing.T) {
+	_, h := corruptibleVR(t)
+	// Mark an extra inclusion bit with a v-pointer that points at a
+	// present line already owned by another subentry: pointer round-trip
+	// fails or counts diverge.
+	set, way := findResident(h)
+	var done bool
+	h.rc.ForEachValid(func(s, w int, l *rcache.Line) {
+		if done {
+			return
+		}
+		for i := range l.Subs {
+			if !l.Subs[i].HasChild() {
+				l.Subs[i].Inclusion = true
+				l.Subs[i].VPtr = rcache.VPtr{Cache: 0, Set: set, Way: way}
+				done = true
+				return
+			}
+		}
+	})
+	if !done {
+		t.Skip("no spare subentry")
+	}
+	if err := h.Check(); err == nil {
+		t.Error("duplicated child ownership not detected")
+	}
+}
+
+func TestNoInclusionCheckDetectsSharedDirty(t *testing.T) {
+	r := newRig(t, 1, niMk, nil)
+	r.write(0, 1, 0x100)
+	h := r.hs[0].(*RRNoInclusion)
+	// Force the dirty L1 line to Shared: the baseline invariant forbids it.
+	corrupted := false
+	h.l1.ForEachValid(func(set, way int) {
+		l := h.l1.Line(set, way)
+		if l.dirty {
+			l.state = rcache.Shared
+			corrupted = true
+		}
+	})
+	if !corrupted {
+		t.Fatal("no dirty line to corrupt")
+	}
+	if err := h.Check(); err == nil {
+		t.Error("shared-dirty L1 line not detected")
+	}
+}

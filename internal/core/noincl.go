@@ -1,0 +1,333 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/bus"
+	"repro/internal/cache"
+	"repro/internal/rcache"
+	"repro/internal/stats"
+	"repro/internal/tlb"
+	"repro/internal/trace"
+)
+
+// nl1Line is the first-level line payload of the no-inclusion baseline.
+// Without inclusion the L2 cannot answer coherence questions for the L1,
+// so the L1 carries its own sharing state.
+type nl1Line struct {
+	state rcache.State
+	dirty bool
+	token uint64
+}
+
+// RRNoInclusion is the paper's R-R (no incl) baseline: a physically
+// addressed two-level hierarchy whose levels replace independently. The
+// second level cannot filter coherence traffic, so every remote bus
+// transaction probes the first-level cache — the unshielded organization
+// Tables 11-13 compare against.
+type RRNoInclusion struct {
+	opts Options
+	id   int
+
+	l1  *cache.Cache[nl1Line]
+	l2  *rcache.RCache // inclusion machinery unused; subentries carry data state
+	tlb *tlb.TLB
+
+	pid addr.PID
+	st  *Stats
+}
+
+var _ Hierarchy = (*RRNoInclusion)(nil)
+
+// NewRRNoInclusion builds the baseline and attaches it to the bus. The
+// organization models a unified first level (the paper's coherence tables
+// use unified direct-mapped caches).
+func NewRRNoInclusion(o Options) (*RRNoInclusion, error) {
+	o.applyDefaults()
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	if o.Split {
+		return nil, fmt.Errorf("core: the no-inclusion baseline models a unified L1")
+	}
+	if o.EagerCtxFlush || o.PIDTagged {
+		return nil, fmt.Errorf("core: EagerCtxFlush and PIDTagged apply only to the V-R organization")
+	}
+	if o.Protocol != WriteInvalidate {
+		return nil, fmt.Errorf("core: the no-inclusion baseline models the write-invalidate protocol only")
+	}
+	h := &RRNoInclusion{
+		opts: o,
+		l1:   cache.MustNew[nl1Line](o.L1, cache.LRU, 0),
+		l2:   rcache.MustNew(o.L2, o.L1.Block),
+		st:   newStats(),
+	}
+	t, err := tlb.New(o.MMU, o.TLBEntries, o.TLBAssoc)
+	if err != nil {
+		return nil, err
+	}
+	h.tlb = t
+	h.id = o.Bus.Attach(h)
+	return h, nil
+}
+
+// Stats implements Hierarchy.
+func (h *RRNoInclusion) Stats() *Stats { return h.st }
+
+// Drain implements Hierarchy; there is no write buffer to drain.
+func (h *RRNoInclusion) Drain() {}
+
+// Access implements Hierarchy.
+func (h *RRNoInclusion) Access(ref trace.Ref) AccessResult {
+	if ref.Kind == trace.CtxSwitch {
+		h.st.CtxSwitches++
+		h.pid = ref.PID
+		return AccessResult{CtxSwitch: true}
+	}
+	h.st.WriteIntervals.Tick()
+	h.st.WriteBackIntervals.Tick()
+
+	kind := statKind(ref.Kind)
+	pa, hit := h.tlb.Translate(ref.PID, ref.Addr)
+	if hit {
+		h.st.TLB.Hits++
+	} else {
+		h.st.TLB.Misses++
+	}
+	paSub := pa &^ addr.PAddr(h.opts.L1.Block-1)
+
+	set, tag := h.opts.L1.Locate(uint64(pa))
+	if way, ok := h.l1.Probe(set, tag); ok {
+		h.st.L1.Record(kind, true)
+		h.l1.Touch(set, way)
+		l := h.l1.Line(set, way)
+		if ref.Kind != trace.Write {
+			return AccessResult{Kind: kind, L1Hit: true, PA: paSub, Token: l.token}
+		}
+		h.st.WriteIntervals.Event()
+		if l.state == rcache.Shared {
+			h.issueInvalidate(pa)
+			l.state = rcache.Private
+			// Keep our own L2 copy's state in step, if it exists.
+			if s2, w2, ok2 := h.l2.Lookup(pa); ok2 {
+				h.l2.Line(s2, w2).State = rcache.Private
+			}
+		}
+		token := h.opts.Tokens.Next()
+		l.dirty = true
+		l.token = token
+		return AccessResult{Kind: kind, L1Hit: true, PA: paSub, Token: token}
+	}
+
+	h.st.L1.Record(kind, false)
+	if ref.Kind == trace.Write {
+		h.st.WriteIntervals.Event()
+	}
+	return h.fill(ref, kind, pa, paSub, set, tag)
+}
+
+func (h *RRNoInclusion) issueInvalidate(pa addr.PAddr) {
+	h.opts.Bus.Issue(bus.Txn{
+		Kind: bus.Invalidate,
+		From: h.id,
+		Addr: pa &^ addr.PAddr(h.opts.L2.Block-1),
+		Size: h.opts.L2.Block,
+	})
+}
+
+// fill handles a first-level miss: independent victim write-back, L2
+// access, and install at both levels.
+func (h *RRNoInclusion) fill(ref trace.Ref, kind statsKind, pa, paSub addr.PAddr, set int, tag uint64) AccessResult {
+	isWrite := ref.Kind == trace.Write
+
+	// Dispose of the L1 victim. Without inclusion the block may or may not
+	// be in L2: a dirty victim updates the L2 copy when present, otherwise
+	// it is written straight to memory.
+	way, _ := h.l1.Victim(set, nil)
+	if h.l1.ValidAt(set, way) {
+		vl := h.l1.Line(set, way)
+		if vl.dirty {
+			h.st.WriteBacks++
+			h.st.WriteBackIntervals.Event()
+			vicPA := addr.PAddr(h.opts.L1.BlockAddr(set, h.l1.TagAt(set, way)))
+			if s2, w2, ok := h.l2.Lookup(vicPA); ok {
+				se := h.l2.Sub(s2, w2, h.l2.SubIndex(vicPA))
+				se.Token = vl.token
+				se.RDirty = true
+			} else {
+				h.opts.Mem.Write(vicPA, vl.token)
+				h.st.MemWritesDirect++
+			}
+		}
+		h.l1.Invalidate(set, way)
+	}
+
+	// Second level.
+	s2, w2, l2hit := h.l2.Lookup(pa)
+	h.st.L2.Record(kind, l2hit)
+	if l2hit {
+		if isWrite && h.l2.Line(s2, w2).State == rcache.Shared {
+			h.issueInvalidate(pa)
+			h.l2.Line(s2, w2).State = rcache.Private
+		}
+	} else {
+		s2, w2 = h.l2Miss(pa, isWrite)
+	}
+	h.l2.Touch(s2, w2)
+	sub := h.l2.Sub(s2, w2, h.l2.SubIndex(pa))
+	state := h.l2.Line(s2, w2).State
+
+	token := sub.Token
+	dirty := false
+	if isWrite {
+		token = h.opts.Tokens.Next()
+		dirty = true
+	}
+	*h.l1.Install(set, way, tag) = nl1Line{state: state, dirty: dirty, token: token}
+	return AccessResult{Kind: kind, L2Hit: l2hit, PA: paSub, Token: token}
+}
+
+// l2Miss replaces an L2 victim (never touching the L1 — the defining
+// non-inclusive behaviour) and fills from the bus.
+func (h *RRNoInclusion) l2Miss(pa addr.PAddr, isWrite bool) (set, way int) {
+	vic := h.l2.PickVictim(pa)
+	if vic.Present {
+		l := h.l2.Line(vic.Set, vic.Way)
+		for i := range l.Subs {
+			if l.Subs[i].RDirty {
+				h.opts.Mem.Write(h.l2.SubAddr(vic.Set, vic.Way, i), l.Subs[i].Token)
+			}
+		}
+		h.l2.Invalidate(vic.Set, vic.Way)
+	}
+	txn := bus.Txn{
+		Kind: bus.Read,
+		From: h.id,
+		Addr: pa &^ addr.PAddr(h.opts.L2.Block-1),
+		Size: h.opts.L2.Block,
+	}
+	if isWrite {
+		txn.Kind = bus.ReadMod
+	}
+	snoop := h.opts.Bus.Issue(txn)
+	state := rcache.Private
+	if txn.Kind == bus.Read && snoop.Shared {
+		state = rcache.Shared
+	}
+	l := h.l2.Install(vic.Set, vic.Way, pa, state)
+	for i := range l.Subs {
+		l.Subs[i].Token = h.opts.Mem.Read(h.l2.SubAddr(vic.Set, vic.Way, i))
+	}
+	return vic.Set, vic.Way
+}
+
+// SnoopBus implements Hierarchy. Without inclusion the L2 cannot vouch for
+// the L1's contents, so every remote transaction probes the L1 — the
+// unshielded disturbance the paper's Tables 11-13 count.
+func (h *RRNoInclusion) SnoopBus(t bus.Txn) bus.SnoopResult {
+	h.st.Coherence.Record(stats.MsgProbe)
+	var res bus.SnoopResult
+	// Probe the L1 in its own block strides.
+	for a := t.Addr; a < t.Addr+addr.PAddr(t.Size); a += addr.PAddr(h.opts.L1.Block) {
+		set, tag := h.opts.L1.Locate(uint64(a))
+		way, ok := h.l1.Probe(set, tag)
+		if !ok {
+			continue
+		}
+		l := h.l1.Line(set, way)
+		switch t.Kind {
+		case bus.Read:
+			res.Shared = true
+			if l.dirty {
+				h.flushL1(a, l)
+				res.Supplied = true
+			}
+			l.state = rcache.Shared
+		case bus.Invalidate:
+			h.l1.Invalidate(set, way)
+		case bus.ReadMod:
+			res.Shared = true
+			if l.dirty {
+				h.flushL1(a, l)
+				res.Supplied = true
+			}
+			h.l1.Invalidate(set, way)
+		}
+	}
+	// Probe the L2.
+	for a := t.Addr; a < t.Addr+addr.PAddr(t.Size); a += addr.PAddr(h.opts.L2.Block) {
+		s2, w2, ok := h.l2.Lookup(a)
+		if !ok {
+			continue
+		}
+		l := h.l2.Line(s2, w2)
+		switch t.Kind {
+		case bus.Read:
+			res.Shared = true
+			h.flushL2Subs(s2, w2, l, &res)
+			l.State = rcache.Shared
+		case bus.Invalidate:
+			h.l2.Invalidate(s2, w2)
+		case bus.ReadMod:
+			res.Shared = true
+			h.flushL2Subs(s2, w2, l, &res)
+			h.l2.Invalidate(s2, w2)
+		}
+	}
+	return res
+}
+
+// flushL1 writes a dirty L1 block to memory and, when the block is also in
+// our L2, refreshes that copy so it cannot later supply stale data.
+func (h *RRNoInclusion) flushL1(a addr.PAddr, l *nl1Line) {
+	h.opts.Mem.Write(a, l.token)
+	l.dirty = false
+	if s2, w2, ok := h.l2.Lookup(a); ok {
+		se := h.l2.Sub(s2, w2, h.l2.SubIndex(a))
+		se.Token = l.token
+		se.RDirty = false
+	}
+}
+
+func (h *RRNoInclusion) flushL2Subs(s2, w2 int, l *rcache.Line, res *bus.SnoopResult) {
+	for i := range l.Subs {
+		if l.Subs[i].RDirty {
+			h.opts.Mem.Write(h.l2.SubAddr(s2, w2, i), l.Subs[i].Token)
+			l.Subs[i].RDirty = false
+			res.Supplied = true
+		}
+	}
+}
+
+// Check validates the baseline's invariants: dirty blocks are held
+// privately at the level that owns them.
+func (h *RRNoInclusion) Check() error {
+	var err error
+	h.l1.ForEachValid(func(set, way int) {
+		if err != nil {
+			return
+		}
+		l := h.l1.Line(set, way)
+		if l.dirty && l.state != rcache.Private {
+			err = fmt.Errorf("L1[%d.%d] dirty but %v", set, way, l.state)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	h.l2.ForEachValid(func(set, way int, l *rcache.Line) {
+		if err != nil {
+			return
+		}
+		for i := range l.Subs {
+			if l.Subs[i].RDirty && l.State != rcache.Private {
+				err = fmt.Errorf("L2[%d.%d.%d] dirty but %v", set, way, i, l.State)
+			}
+			if l.Subs[i].Inclusion || l.Subs[i].Buffer || l.Subs[i].VDirty {
+				err = fmt.Errorf("L2[%d.%d.%d] inclusion machinery used in no-inclusion baseline", set, way, i)
+			}
+		}
+	})
+	return err
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/rcache"
+	"repro/internal/vcache"
+)
+
+// SignalKind names the V-cache/R-cache interface signals of the paper's
+// Table 4 (plus the write-update extension's delivery signal). A Tracer
+// attached to a hierarchy observes each one as the controller raises it,
+// which makes the protocol itself testable and demonstrable.
+type SignalKind int
+
+// Table 4 signals.
+const (
+	// SigHit: V-cache hit; the R-cache access and translation are aborted.
+	SigHit SignalKind = iota
+	// SigReplacement: a V-cache block is being replaced (V -> R).
+	SigReplacement
+	// SigMiss: miss(v-pointer, r-pointer) — the V-cache asks the R-cache
+	// to service a miss (V -> R).
+	SigMiss
+	// SigWriteBack: write-back(r-pointer) — buffered data drains into the
+	// R-cache (V -> R).
+	SigWriteBack
+	// SigSameSet: sameset(v-pointer) — the synonym copy is in the same V
+	// set; any pending write-back is canceled (R -> V).
+	SigSameSet
+	// SigMove: move(v-pointer) — the synonym copy is moved to the new set
+	// (R -> V).
+	SigMove
+	// SigDataSupply: data supply(r-pointer) — the R-cache supplies the
+	// block (R -> V).
+	SigDataSupply
+	// SigInvalidate: invalidation(v-pointer) (R -> V).
+	SigInvalidate
+	// SigFlush: flush(v-pointer) (R -> V).
+	SigFlush
+	// SigInvalidateBuffer: invalidation(buffer) (R -> V).
+	SigInvalidateBuffer
+	// SigFlushBuffer: flush(buffer) (R -> V).
+	SigFlushBuffer
+	// SigInvAck: invack — coherence cleared, the V-cache may update
+	// (R -> V).
+	SigInvAck
+	// SigUpdate: update(v-pointer) — write-update protocol data delivery
+	// (R -> V; extension).
+	SigUpdate
+)
+
+// String returns the paper's name for the signal.
+func (k SignalKind) String() string {
+	switch k {
+	case SigHit:
+		return "hit"
+	case SigReplacement:
+		return "replacement"
+	case SigMiss:
+		return "miss(v-pointer, r-pointer)"
+	case SigWriteBack:
+		return "write-back(r-pointer)"
+	case SigSameSet:
+		return "sameset(v-pointer)"
+	case SigMove:
+		return "move(v-pointer)"
+	case SigDataSupply:
+		return "data supply(r-pointer)"
+	case SigInvalidate:
+		return "invalidation(v-pointer)"
+	case SigFlush:
+		return "flush(v-pointer)"
+	case SigInvalidateBuffer:
+		return "invalidation(buffer)"
+	case SigFlushBuffer:
+		return "flush(buffer)"
+	case SigInvAck:
+		return "invack"
+	case SigUpdate:
+		return "update(v-pointer)"
+	default:
+		return fmt.Sprintf("SignalKind(%d)", int(k))
+	}
+}
+
+// Signal is one raised interface signal.
+type Signal struct {
+	CPU  int // bus id of the raising hierarchy
+	Kind SignalKind
+	RPtr vcache.RPtr // R-cache subentry involved, when applicable
+	VPtr rcache.VPtr // V-cache location involved, when applicable
+	PA   addr.PAddr  // physical block, when known
+}
+
+// String renders the signal for logs.
+func (s Signal) String() string {
+	return fmt.Sprintf("cpu%d %v %v %v pa=%#x", s.CPU, s.Kind, s.RPtr, s.VPtr, uint64(s.PA))
+}
+
+// Tracer observes interface signals. Implementations must be cheap; the
+// controller calls them inline.
+type Tracer interface {
+	Signal(Signal)
+}
+
+// TracerFunc adapts a function to the Tracer interface.
+type TracerFunc func(Signal)
+
+// Signal implements Tracer.
+func (f TracerFunc) Signal(s Signal) { f(s) }
+
+// sig raises a signal if a tracer is attached.
+func (h *VR) sig(kind SignalKind, rp vcache.RPtr, vp rcache.VPtr, pa addr.PAddr) {
+	if h.opts.Tracer == nil {
+		return
+	}
+	h.opts.Tracer.Signal(Signal{CPU: h.id, Kind: kind, RPtr: rp, VPtr: vp, PA: pa})
+}

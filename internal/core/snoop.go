@@ -1,0 +1,153 @@
+package core
+
+import (
+	"repro/internal/addr"
+	"repro/internal/bus"
+	"repro/internal/rcache"
+	"repro/internal/stats"
+)
+
+// SnoopBus implements the bus-induced half of the coherence protocol
+// (Section 3). Thanks to inclusion, the R-cache filters: the V-cache is
+// disturbed only when it actually holds (or buffers) the block — the
+// shielding effect Tables 11-13 measure.
+func (h *VR) SnoopBus(t bus.Txn) bus.SnoopResult {
+	var res bus.SnoopResult
+	// Walk the transaction's range in our own L2-block strides (hierarchies
+	// are homogeneous in practice, so this is a single iteration).
+	for a := t.Addr; a < t.Addr+addr.PAddr(t.Size); a += addr.PAddr(h.opts.L2.Block) {
+		switch t.Kind {
+		case bus.Read:
+			r := h.snoopRead(a)
+			res.Shared = res.Shared || r.Shared
+			res.Supplied = res.Supplied || r.Supplied
+		case bus.Invalidate:
+			h.snoopInvalidate(a)
+		case bus.ReadMod:
+			// Treated as a read-miss followed by an invalidation.
+			r := h.snoopRead(a)
+			res.Shared = res.Shared || r.Shared
+			res.Supplied = res.Supplied || r.Supplied
+			h.snoopInvalidate(a)
+		case bus.Update:
+			// Write-update protocol: refresh our copy in place. The
+			// transaction covers a single first-level block.
+			if h.snoopUpdate(t.Addr, t.Token) {
+				res.Shared = true
+			}
+		}
+	}
+	return res
+}
+
+// snoopUpdate applies a remote write-update to our copies, reaching a
+// first-level child through its v-pointer when one exists. It reports
+// whether we retain a copy (so the writer keeps broadcasting).
+func (h *VR) snoopUpdate(a addr.PAddr, token uint64) bool {
+	set, way, ok := h.rc.Lookup(a)
+	if !ok {
+		return false
+	}
+	sub := h.rc.SubIndex(a)
+	se := h.rc.Sub(set, way, sub)
+	se.Token = token
+	se.RDirty = false
+	if se.Buffer {
+		// A buffered modified copy being updated remotely cannot happen
+		// under a consistent protocol (dirty implies private), but refresh
+		// it defensively rather than lose the ordering.
+		h.wb.Update(rptrOf(set, way, sub), token)
+		h.st.Coherence.Record(stats.MsgUpdate)
+	}
+	if se.Inclusion {
+		child := h.vcs[se.VPtr.Cache]
+		cl := child.Line(se.VPtr.Set, se.VPtr.Way)
+		cl.Token = token
+		cl.Dirty = false
+		se.VDirty = false
+		h.st.Coherence.Record(stats.MsgUpdate)
+		h.sig(SigUpdate, rptrOf(set, way, sub), se.VPtr, a)
+	}
+	h.rc.Line(set, way).State = rcache.Shared
+	return true
+}
+
+// snoopRead handles a remote read-miss: flush modified data (from the
+// V-cache, the write buffer, or the R-cache itself) to memory, downgrade to
+// shared, and acknowledge sharing.
+func (h *VR) snoopRead(a addr.PAddr) bus.SnoopResult {
+	set, way, ok := h.rc.Lookup(a)
+	if !ok {
+		return bus.SnoopResult{}
+	}
+	res := bus.SnoopResult{Shared: true}
+	l := h.rc.Line(set, way)
+	for i := range l.Subs {
+		se := &l.Subs[i]
+		subAddr := h.rc.SubAddr(set, way, i)
+		switch {
+		case se.Buffer:
+			// Modified data in the write buffer: flush(buffer).
+			e, found := h.wb.Flush(rptrOf(set, way, i))
+			if !found {
+				panic("core: snoop found buffer bit without buffered entry")
+			}
+			se.Token = e.Token
+			h.opts.Mem.Write(subAddr, e.Token)
+			se.Buffer = false
+			se.VDirty = false
+			h.st.Coherence.Record(stats.MsgFlushBuffer)
+			h.sig(SigFlushBuffer, rptrOf(set, way, i), rcache.VPtr{}, subAddr)
+			res.Supplied = true
+		case se.Inclusion && se.VDirty:
+			// Modified data in the V-cache: flush(v-pointer). The child
+			// keeps a now-clean copy.
+			child := h.vcs[se.VPtr.Cache]
+			token := child.Line(se.VPtr.Set, se.VPtr.Way).Token
+			child.CleanLine(se.VPtr.Set, se.VPtr.Way)
+			se.Token = token
+			h.opts.Mem.Write(subAddr, token)
+			se.VDirty = false
+			h.st.Coherence.Record(stats.MsgFlush)
+			h.sig(SigFlush, rptrOf(set, way, i), se.VPtr, subAddr)
+			res.Supplied = true
+		case se.RDirty:
+			// Modified only here: supply from the R-cache.
+			h.opts.Mem.Write(subAddr, se.Token)
+			res.Supplied = true
+		}
+		se.RDirty = false
+	}
+	l.State = rcache.Shared
+	return res
+}
+
+// snoopInvalidate handles a remote invalidation (or the invalidation half
+// of a read-modified-write): drop the line and any first-level children or
+// buffered data.
+func (h *VR) snoopInvalidate(a addr.PAddr) {
+	set, way, ok := h.rc.Lookup(a)
+	if !ok {
+		return
+	}
+	l := h.rc.Line(set, way)
+	for i := range l.Subs {
+		se := &l.Subs[i]
+		if se.Buffer {
+			// invalidate(buffer): the remote writer supersedes our data.
+			if _, found := h.wb.Cancel(rptrOf(set, way, i)); !found {
+				panic("core: invalidate found buffer bit without buffered entry")
+			}
+			h.st.Coherence.Record(stats.MsgInvalidateBuffer)
+			h.sig(SigInvalidateBuffer, rptrOf(set, way, i), rcache.VPtr{}, a)
+		}
+		if se.Inclusion {
+			// invalidate(v-pointer): only blocks actually present at the
+			// first level disturb it — the shielding effect.
+			h.vcs[se.VPtr.Cache].Invalidate(se.VPtr.Set, se.VPtr.Way)
+			h.st.Coherence.Record(stats.MsgInvalidate)
+			h.sig(SigInvalidate, rptrOf(set, way, i), se.VPtr, a)
+		}
+	}
+	h.rc.Invalidate(set, way)
+}

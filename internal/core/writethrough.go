@@ -1,0 +1,119 @@
+package core
+
+import (
+	"repro/internal/addr"
+	"repro/internal/bus"
+	"repro/internal/rcache"
+	"repro/internal/trace"
+)
+
+// This file implements the write-through, no-write-allocate first-level
+// policy of Section 2 — the design the paper examines and rejects in favour
+// of write-back. Under it:
+//
+//   - first-level lines are never dirty: every processor write is sent
+//     down to the R-cache immediately (the R-cache copy becomes the dirty
+//     one relative to memory);
+//   - writes pass through a bounded buffer; the short inter-write
+//     intervals of Table 2 make it fill up, and the resulting stalls are
+//     counted (the paper's "several write buffers may be needed");
+//   - write misses do not allocate in the first level, which is why the
+//     paper notes write-through caches have smaller hit ratios;
+//   - context switches never cluster write-backs (there is nothing dirty),
+//     which is the property the swapped-valid bit recovers for write-back.
+
+// wtQueue models the write-through buffer's occupancy. Entries carry no
+// data (the write already updated the R-cache synchronously in this serial
+// simulator); only the timing — how many writes are still in flight —
+// matters for stall accounting.
+type wtQueue struct {
+	deadlines []uint64
+	depth     int
+	latency   uint64
+	clock     uint64
+}
+
+// tick advances time and retires completed writes.
+func (q *wtQueue) tick() {
+	q.clock++
+	n := 0
+	for n < len(q.deadlines) && q.deadlines[n] < q.clock {
+		n++
+	}
+	q.deadlines = q.deadlines[n:]
+}
+
+// push enqueues one write; it reports whether the buffer was full (a
+// stall), in which case the oldest write retires immediately.
+func (q *wtQueue) push() (stalled bool) {
+	if len(q.deadlines) >= q.depth {
+		q.deadlines = q.deadlines[1:]
+		stalled = true
+	}
+	q.deadlines = append(q.deadlines, q.clock+q.latency)
+	return stalled
+}
+
+// wtWrite performs a processor write under write-through: coherence first,
+// then the R-cache copy is updated in place and the buffer occupancy
+// charged. Any resident first-level copy — including one under a different
+// virtual address — is refreshed through the v-pointer and stays clean.
+// paKnown carries the R-R baseline's up-front translation; it is zero for
+// the V-R organization, which translates here (or follows the r-pointer on
+// a hit).
+func (h *VR) wtWrite(ref trace.Ref, kind statsKind, l1hit bool, ci, set, way int, paKnown addr.PAddr) AccessResult {
+	var pa addr.PAddr
+	var rset, rway int
+	l2hit := true
+	if l1hit {
+		// The r-pointer gives the R-cache location without translation.
+		l := h.vcs[ci].Line(set, way)
+		rset, rway = l.RPtr.Set, l.RPtr.Way
+		pa = h.rc.SubAddr(l.RPtr.Set, l.RPtr.Way, l.RPtr.Sub)
+		h.vcs[ci].Touch(set, way)
+	} else {
+		pa = paKnown
+		if h.virtual {
+			pa = h.translate(ref.PID, ref.Addr)
+		}
+		rset, rway, l2hit = h.rc.Lookup(pa)
+		h.st.L2.Record(kind, l2hit)
+		if !l2hit {
+			rset, rway = h.l2Miss(pa, true)
+		}
+	}
+	rl := h.rc.Line(rset, rway)
+	if rl.State == rcache.Shared {
+		h.opts.Bus.Issue(bus.Txn{
+			Kind: bus.Invalidate,
+			From: h.id,
+			Addr: h.rc.BlockAddr(rset, rway),
+			Size: h.opts.L2.Block,
+		})
+		rl.State = rcache.Private
+	}
+	h.rc.Touch(rset, rway)
+	sub := h.rc.SubIndex(pa)
+	se := h.rc.Sub(rset, rway, sub)
+	token := h.opts.Tokens.Next()
+	se.Token = token
+	se.RDirty = true
+	if se.Inclusion {
+		// Refresh the first-level copy (the hitting line itself, or a
+		// synonym under another virtual address) so it never goes stale.
+		child := h.vcs[se.VPtr.Cache]
+		cl := child.Line(se.VPtr.Set, se.VPtr.Way)
+		cl.Token = token
+		cl.Dirty = false
+	}
+	if h.wt.push() {
+		h.st.BufferStalls++
+	}
+	return AccessResult{
+		Kind:  kind,
+		L1Hit: l1hit,
+		L2Hit: l2hit,
+		PA:    h.subAlign(pa),
+		Token: token,
+	}
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/system"
+	"repro/internal/tracegen"
+)
+
+// WriteBufferDepth sweeps the write-buffer depth and reports stall counts,
+// the quantitative form of the paper's "several write buffers may be
+// needed" observation (and of why the swapped-valid scheme needs only
+// one).
+func WriteBufferDepth(w io.Writer, scale float64) error {
+	tc := scaled(tracegen.PopsLike(), scale)
+	fmt.Fprintf(w, "%-7s %-12s %-12s %s\n", "depth", "write-backs", "stalls", "stall rate")
+	for _, depth := range []int{1, 2, 4, 8} {
+		sc := machineConfig(tc, mainSizePairs()[2], system.VR)
+		sc.WriteBufDepth = depth
+		sc.WriteBufLatency = 8
+		sys, _, err := runWorkload(tc, sc)
+		if err != nil {
+			return err
+		}
+		var wbs, stalls uint64
+		for cpu := 0; cpu < sys.CPUs(); cpu++ {
+			st := sys.Stats(cpu)
+			wbs += st.WriteBacks
+			stalls += st.BufferStalls
+		}
+		rate := 0.0
+		if wbs > 0 {
+			rate = float64(stalls) / float64(wbs)
+		}
+		fmt.Fprintf(w, "%-7d %-12d %-12d %.4f\n", depth, wbs, stalls, rate)
+	}
+	return nil
+}
+
+// EagerFlush compares the swapped-valid lazy flush against eager
+// flush-at-switch on the context-switch-heavy abaqus workload: the same
+// write-backs happen either way, but eager flushing clusters them at
+// switch time (the latency spike the paper's scheme removes).
+func EagerFlush(w io.Writer, scale float64) error {
+	tc := scaled(tracegen.AbaqusLike(), scale)
+	for _, eager := range []bool{false, true} {
+		sc := machineConfig(tc, mainSizePairs()[2], system.VR)
+		sc.EagerCtxFlush = eager
+		sys, _, err := runWorkload(tc, sc)
+		if err != nil {
+			return err
+		}
+		var wbs, swapped, eagerWBs, switches uint64
+		for cpu := 0; cpu < sys.CPUs(); cpu++ {
+			st := sys.Stats(cpu)
+			wbs += st.WriteBacks
+			swapped += st.SwappedWriteBacks
+			eagerWBs += st.EagerFlushWriteBacks
+			switches += st.CtxSwitches
+		}
+		mode := "lazy (swapped-valid)"
+		if eager {
+			mode = "eager (flush at switch)"
+		}
+		fmt.Fprintf(w, "%s:\n", mode)
+		fmt.Fprintf(w, "  context switches:        %d\n", switches)
+		fmt.Fprintf(w, "  total write-backs:       %d\n", wbs)
+		if eager {
+			fmt.Fprintf(w, "  clustered at switches:   %d (%.0f per switch)\n",
+				eagerWBs, perSwitch(eagerWBs, switches))
+		} else {
+			fmt.Fprintf(w, "  swapped write-backs:     %d (spread over time; %.0f per switch)\n",
+				swapped, perSwitch(swapped, switches))
+		}
+	}
+	return nil
+}
+
+func perSwitch(n, switches uint64) float64 {
+	if switches == 0 {
+		return 0
+	}
+	return float64(n) / float64(switches)
+}

@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/system"
+	"repro/internal/tracegen"
+)
+
+// testScale keeps test runs fast; the shapes under test are robust to it.
+const testScale = 0.01
+
+func TestAllExperimentsRun(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var b strings.Builder
+			if err := e.Run(&b, testScale); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if b.Len() == 0 {
+				t.Fatalf("%s produced no output", e.ID)
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("table6")
+	if err != nil || e.ID != "table6" {
+		t.Fatalf("ByID(table6) = %+v, %v", e, err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestIDsSortedAndUnique(t *testing.T) {
+	ids := IDs()
+	if len(ids) != len(All()) {
+		t.Fatalf("IDs() has %d entries, All() has %d", len(ids), len(All()))
+	}
+	seen := map[string]bool{}
+	for i, id := range ids {
+		if seen[id] {
+			t.Errorf("duplicate id %q", id)
+		}
+		seen[id] = true
+		if i > 0 && ids[i-1] > id {
+			t.Error("ids not sorted")
+		}
+	}
+}
+
+func TestTable1ContainsPaperRows(t *testing.T) {
+	var b strings.Builder
+	if err := Table1(&b, testScale); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"no. of wr. per call", "total no. of wr", "call-write share"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table1 missing %q", want)
+		}
+	}
+}
+
+func TestTable6Labels(t *testing.T) {
+	var b strings.Builder
+	if err := Table6(&b, testScale); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"h1VR", "h1RR", "h2VR", "h2RR", "thor", "pops", "abaqus", "16K/256K"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table6 missing %q", want)
+		}
+	}
+}
+
+func TestFig6ReportsCrossover(t *testing.T) {
+	var b strings.Builder
+	if err := Fig6(&b, testScale); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "crossover") {
+		t.Error("fig6 missing crossover analysis")
+	}
+}
+
+// Shape test: h1 grows with cache size for every organization.
+func TestH1GrowsWithCacheSize(t *testing.T) {
+	tc := scaled(tracegen.PopsLike(), 0.02)
+	var prev float64
+	for i, p := range mainSizePairs() {
+		sys, _, err := runWorkload(tc, machineConfig(tc, p, system.VR))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h1 := sys.Aggregate().H1
+		if i > 0 && h1 < prev {
+			t.Errorf("h1 shrank from %.3f to %.3f at %s", prev, h1, p.label)
+		}
+		prev = h1
+	}
+}
+
+// Shape test: the V-R organization's L1 sees far fewer coherence messages
+// than the unshielded baseline.
+func TestShieldingShape(t *testing.T) {
+	tc := scaled(tracegen.PopsLike(), 0.02)
+	p := mainSizePairs()[0]
+	vr, _, err := runWorkload(tc, machineConfig(tc, p, system.VR))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ni, _, err := runWorkload(tc, machineConfig(tc, p, system.RRNoInclusion))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vrTotal, niTotal uint64
+	for _, v := range vr.CoherenceMessages() {
+		vrTotal += v
+	}
+	for _, v := range ni.CoherenceMessages() {
+		niTotal += v
+	}
+	if vrTotal*2 >= niTotal {
+		t.Errorf("shielding factor too small: VR %d vs no-incl %d", vrTotal, niTotal)
+	}
+}
+
+// Shape test: frequent context switches penalize the V-R h1 relative to
+// R-R (the Figure 6 situation), while rare switches do not.
+func TestContextSwitchPenaltyShape(t *testing.T) {
+	// Use an aggressive switch rate so the effect is visible at test scale.
+	tc := scaled(tracegen.AbaqusLike(), 0.05)
+	p := mainSizePairs()[2]
+	vr, _, err := runWorkload(tc, machineConfig(tc, p, system.VR))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, _, err := runWorkload(tc, machineConfig(tc, p, system.RRInclusion))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vr.Aggregate().H1 >= rr.Aggregate().H1 {
+		t.Errorf("V-R h1 %.3f should trail R-R h1 %.3f under frequent switches",
+			vr.Aggregate().H1, rr.Aggregate().H1)
+	}
+
+	// pops switches rarely: the two organizations are nearly identical.
+	tp := scaled(tracegen.PopsLike(), 0.02)
+	vrp, _, err := runWorkload(tp, machineConfig(tp, p, system.VR))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rrp, _, err := runWorkload(tp, machineConfig(tp, p, system.RRInclusion))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := rrp.Aggregate().H1 - vrp.Aggregate().H1; diff > 0.01 {
+		t.Errorf("rare-switch gap too large: %.4f", diff)
+	}
+}
+
+// Shape test: split I/D hit ratios stay close to unified.
+func TestSplitCloseToUnified(t *testing.T) {
+	tc := scaled(tracegen.ThorLike(), 0.02)
+	p := mainSizePairs()[1]
+	sc := machineConfig(tc, p, system.VR)
+	sc.Split = true
+	split, _, err := runWorkload(tc, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Split = false
+	uni, _, err := runWorkload(tc, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := split.Aggregate().H1 - uni.Aggregate().H1
+	if d < -0.05 || d > 0.05 {
+		t.Errorf("split vs unified gap %.4f exceeds 5%%", d)
+	}
+}
+
+// Shape test: write-buffer stalls drop sharply with depth.
+func TestWriteBufferDepthShape(t *testing.T) {
+	tc := scaled(tracegen.PopsLike(), 0.02)
+	stalls := func(depth int) uint64 {
+		sc := machineConfig(tc, mainSizePairs()[2], system.VR)
+		sc.WriteBufDepth = depth
+		sc.WriteBufLatency = 8
+		sys, _, err := runWorkload(tc, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total uint64
+		for cpu := 0; cpu < sys.CPUs(); cpu++ {
+			total += sys.Stats(cpu).BufferStalls
+		}
+		return total
+	}
+	s1, s4 := stalls(1), stalls(4)
+	if s1 == 0 {
+		t.Skip("no stalls at this scale")
+	}
+	if s4*2 >= s1 {
+		t.Errorf("depth 4 stalls (%d) should be far below depth 1 (%d)", s4, s1)
+	}
+}

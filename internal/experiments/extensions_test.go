@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/system"
+	"repro/internal/tracegen"
+)
+
+// The headline shape claims of the ablation/extension experiments, asserted
+// as regression guards at test scale.
+
+func TestWritePolicyShape(t *testing.T) {
+	tc := scaled(tracegen.PopsLike(), 0.02)
+	runPolicy := func(wt bool) (down, stalls uint64, writeHit float64) {
+		sc := machineConfig(tc, mainSizePairs()[2], system.VR)
+		sc.L1WriteThrough = wt
+		sc.WriteBufDepth = 1
+		sc.WriteBufLatency = 6
+		sys, _, err := runWorkload(tc, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cpu := 0; cpu < sys.CPUs(); cpu++ {
+			st := sys.Stats(cpu)
+			stalls += st.BufferStalls
+			if wt {
+				down += st.L1.Kind(2).Total
+			} else {
+				down += st.WriteBacks
+			}
+		}
+		return down, stalls, sys.Aggregate().L1.DataWrite
+	}
+	wtDown, wtStalls, wtHit := runPolicy(true)
+	wbDown, wbStalls, wbHit := runPolicy(false)
+	if wtDown <= 2*wbDown {
+		t.Errorf("write-through should send far more writes down: %d vs %d", wtDown, wbDown)
+	}
+	if wtStalls <= wbStalls {
+		t.Errorf("write-through should stall more: %d vs %d", wtStalls, wbStalls)
+	}
+	if wtHit >= wbHit {
+		t.Errorf("no-allocate write hit ratio %.3f should trail write-back %.3f", wtHit, wbHit)
+	}
+}
+
+func TestScalingFactorGrowsWithCPUs(t *testing.T) {
+	factor := func(cpus int) float64 {
+		tc := scaled(tracegen.PopsLike(), 0.02)
+		tc.CPUs = cpus
+		tc.TotalRefs = tc.TotalRefs / 4 * cpus
+		var per [2]float64
+		for i, org := range []system.Organization{system.VR, system.RRNoInclusion} {
+			sys, _, err := runWorkload(tc, machineConfig(tc, mainSizePairs()[2], org))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var total uint64
+			for _, m := range sys.CoherenceMessages() {
+				total += m
+			}
+			per[i] = float64(total) / float64(cpus)
+		}
+		return per[1] / per[0]
+	}
+	f2, f8 := factor(2), factor(8)
+	if f8 <= f2 {
+		t.Errorf("shielding factor should grow with CPUs: 2cpu=%.2f 8cpu=%.2f", f2, f8)
+	}
+}
+
+func TestTLBPressureShape(t *testing.T) {
+	tc := scaled(tracegen.PopsLike(), 0.02)
+	lookups := func(org system.Organization) uint64 {
+		sys, _, err := runWorkload(tc, machineConfig(tc, mainSizePairs()[2], org))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total uint64
+		for cpu := 0; cpu < sys.CPUs(); cpu++ {
+			st := sys.Stats(cpu)
+			total += st.TLB.Hits + st.TLB.Misses
+		}
+		return total
+	}
+	vr, rr := lookups(system.VR), lookups(system.RRInclusion)
+	if vr*5 >= rr {
+		t.Errorf("V-R TLB pressure should be several times lower: %d vs %d", vr, rr)
+	}
+}
+
+func TestPageSizeOutputSplitsByCondition(t *testing.T) {
+	var b strings.Builder
+	if err := PageSize(&b, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// Extract the sameset and move columns per page row.
+	re := regexp.MustCompile(`(?m)^(\d+)\s+(\d+)\s+(\d+)`)
+	rows := re.FindAllStringSubmatch(out, -1)
+	if len(rows) != 4 {
+		t.Fatalf("expected 4 page rows, got %d:\n%s", len(rows), out)
+	}
+	for _, row := range rows {
+		page, _ := strconv.Atoi(row[1])
+		sameset, _ := strconv.Atoi(row[2])
+		move, _ := strconv.Atoi(row[3])
+		if page < 16<<10 {
+			if move == 0 || sameset != 0 {
+				t.Errorf("page %d: want moves only, got sameset=%d move=%d", page, sameset, move)
+			}
+		} else {
+			if sameset == 0 || move != 0 {
+				t.Errorf("page %d: want sameset only, got sameset=%d move=%d", page, sameset, move)
+			}
+		}
+	}
+}
+
+func TestAssocBoundEmpiricalShape(t *testing.T) {
+	var b strings.Builder
+	if err := AssocBoundEmpirical(&b, 0.02); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "analytic bound: A2 >= 16") {
+		t.Fatalf("bound missing:\n%s", out)
+	}
+	// Parse per-A2 failure counts; they must be non-increasing and zero at
+	// the bound.
+	re := regexp.MustCompile(`(?m)^(\d+)\s+(\d+)`)
+	rows := re.FindAllStringSubmatch(out, -1)
+	if len(rows) < 5 {
+		t.Fatalf("rows = %d:\n%s", len(rows), out)
+	}
+	prev := int(^uint(0) >> 1)
+	for _, row := range rows {
+		a2, _ := strconv.Atoi(row[1])
+		fails, _ := strconv.Atoi(row[2])
+		if fails > prev {
+			t.Errorf("failures rose at A2=%d: %d > %d", a2, fails, prev)
+		}
+		prev = fails
+		if a2 >= 16 && fails != 0 {
+			t.Errorf("failures at A2=%d despite the bound: %d", a2, fails)
+		}
+	}
+}
+
+func TestPIDTagsOutputLabels(t *testing.T) {
+	var b strings.Builder
+	if err := PIDTags(&b, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"lazy swapped-valid", "eager flush", "PID-tagged"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("pidtags missing %q", want)
+		}
+	}
+}
+
+func TestUpdateProtocolOutputLabels(t *testing.T) {
+	var b strings.Builder
+	if err := UpdateProtocol(&b, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "write-invalidate:") || !strings.Contains(out, "write-update:") {
+		t.Errorf("protocol output missing sections:\n%s", out)
+	}
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/system"
+	"repro/internal/timemodel"
+	"repro/internal/tracegen"
+)
+
+// figure runs one trace over the main size pairs for both organizations
+// and prints the Figure 4-6 series: average access time (t2 = 4·t1) versus
+// the R-R first-level slow-down due to address translation, one pair of
+// curves per size configuration, plus the crossover points.
+func figure(w io.Writer, tc tracegen.Config) error {
+	fmt.Fprintf(w, "average access time vs first-level R-cache slow-down (%s, t1=1 t2=4 tm=20)\n", tc.Name)
+	for _, p := range mainSizePairs() {
+		vrSys, _, err := runWorkload(tc, machineConfig(tc, p, system.VR))
+		if err != nil {
+			return err
+		}
+		rrSys, _, err := runWorkload(tc, machineConfig(tc, p, system.RRInclusion))
+		if err != nil {
+			return err
+		}
+		av, ar := vrSys.Aggregate(), rrSys.Aggregate()
+		vr := timemodel.DefaultParams(av.H1, av.H2)
+		rr := timemodel.DefaultParams(ar.H1, ar.H2)
+		fmt.Fprintf(w, "\nsizes %s: h1VR=%.3f h2VR=%.3f  h1RR=%.3f h2RR=%.3f\n",
+			p.label, av.H1, av.H2, ar.H1, ar.H2)
+		pts := timemodel.Curve(vr, rr, 0.10, 10)
+		fmt.Fprintf(w, "%-10s %-10s %s\n", "slowdown", "VR Tacc", "RR Tacc")
+		for _, pt := range pts {
+			fmt.Fprintf(w, "%-10.2f %-10.4f %.4f\n", pt.Slowdown, pt.VR, pt.RR)
+		}
+		plotCurves(w, pts)
+		x := timemodel.Crossover(vr, rr)
+		switch {
+		case math.IsInf(x, 1):
+			fmt.Fprintf(w, "crossover: none (degenerate)\n")
+		case x <= 0:
+			fmt.Fprintf(w, "crossover: V-R faster at any translation penalty (%.2f%%)\n", 100*x)
+		default:
+			fmt.Fprintf(w, "crossover: V-R wins once translation slows the R-cache by %.2f%%\n", 100*x)
+		}
+	}
+	return nil
+}
+
+// Fig4 reproduces Figure 4 (thor): with rare context switches the curves
+// start together and the R-R curve rises with the translation penalty.
+func Fig4(w io.Writer, scale float64) error {
+	return figure(w, scaled(tracegen.ThorLike(), scale))
+}
+
+// Fig5 reproduces Figure 5 (pops): same shape as thor.
+func Fig5(w io.Writer, scale float64) error {
+	return figure(w, scaled(tracegen.PopsLike(), scale))
+}
+
+// Fig6 reproduces Figure 6 (abaqus): frequent context switches give the
+// R-R organization a head start, and the paper's headline crossover — V-R
+// wins once translation costs ~6% — appears here.
+func Fig6(w io.Writer, scale float64) error {
+	return figure(w, scaled(tracegen.AbaqusLike(), scale))
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/timemodel"
+)
+
+// plotCurves renders a Figure 4-6 style ASCII chart: average access time
+// (y) versus R-cache slow-down (x), V-R as a flat line of 'v' marks and
+// R-R as a rising line of 'r' marks ('*' where they overlap).
+func plotCurves(w io.Writer, pts []timemodel.CurvePoint) {
+	const width, height = 56, 12
+	if len(pts) == 0 {
+		return
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, p := range pts {
+		lo = math.Min(lo, math.Min(p.VR, p.RR))
+		hi = math.Max(hi, math.Max(p.VR, p.RR))
+	}
+	if hi-lo < 1e-9 {
+		hi = lo + 1e-9
+	}
+	// Pad the range slightly so curves do not hug the frame.
+	pad := (hi - lo) * 0.1
+	lo, hi = lo-pad, hi+pad
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	row := func(v float64) int {
+		r := int(math.Round((hi - v) / (hi - lo) * float64(height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	for i, p := range pts {
+		col := i * (width - 1) / (len(pts) - 1)
+		rv, rr := row(p.VR), row(p.RR)
+		if rv == rr {
+			grid[rv][col] = '*'
+			continue
+		}
+		grid[rv][col] = 'v'
+		grid[rr][col] = 'r'
+	}
+	for i, line := range grid {
+		label := "        "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%7.3f ", hi)
+		case height - 1:
+			label = fmt.Sprintf("%7.3f ", lo)
+		}
+		fmt.Fprintf(w, "%s|%s\n", label, string(line))
+	}
+	fmt.Fprintf(w, "%s+%s\n", strings.Repeat(" ", 8), strings.Repeat("-", width))
+	fmt.Fprintf(w, "%s%-*.2f%*.2f\n", strings.Repeat(" ", 9), width/2,
+		pts[0].Slowdown, width/2-1, pts[len(pts)-1].Slowdown)
+	fmt.Fprintf(w, "%sv = V-R (flat)   r = R-R (rises with translation slow-down)\n",
+		strings.Repeat(" ", 9))
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/timemodel"
+)
+
+func TestPlotCurvesRenders(t *testing.T) {
+	vr := timemodel.DefaultParams(0.85, 0.55)
+	rr := timemodel.DefaultParams(0.88, 0.50)
+	pts := timemodel.Curve(vr, rr, 0.10, 10)
+	var b strings.Builder
+	plotCurves(&b, pts)
+	out := b.String()
+	if !strings.Contains(out, "v") || !strings.Contains(out, "r") {
+		t.Fatalf("plot missing series marks:\n%s", out)
+	}
+	if !strings.Contains(out, "V-R (flat)") {
+		t.Error("plot missing legend")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 15 { // 12 grid rows + axis + labels + legend
+		t.Errorf("plot has %d lines", len(lines))
+	}
+}
+
+func TestPlotCurvesFlatSeries(t *testing.T) {
+	// Identical parameters: every column renders the overlap mark.
+	p := timemodel.DefaultParams(0.9, 0.5)
+	pts := timemodel.Curve(p, p, 0, 10)
+	var b strings.Builder
+	plotCurves(&b, pts)
+	out := b.String()
+	if !strings.Contains(out, "*") {
+		t.Error("overlapping curves should render '*'")
+	}
+	// No separate series marks inside the plot frame (the legend line is
+	// excluded).
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.Contains(line, "|") {
+			continue
+		}
+		body := line[strings.Index(line, "|"):]
+		if strings.ContainsAny(body, "vr") {
+			t.Errorf("identical curves rendered as separate series: %q", line)
+		}
+	}
+}
+
+func TestPlotCurvesEmpty(t *testing.T) {
+	var b strings.Builder
+	plotCurves(&b, nil) // must not panic
+	if b.Len() != 0 {
+		t.Error("empty input should render nothing")
+	}
+}
+
+func TestPlotAxisLabels(t *testing.T) {
+	vr := timemodel.DefaultParams(0.85, 0.55)
+	rr := timemodel.DefaultParams(0.88, 0.50)
+	var b strings.Builder
+	plotCurves(&b, timemodel.Curve(vr, rr, 0.10, 10))
+	out := b.String()
+	if !strings.Contains(out, "0.00") || !strings.Contains(out, "0.10") {
+		t.Error("x-axis labels missing")
+	}
+}

@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/system"
+	"repro/internal/trace"
+	"repro/internal/tracegen"
+)
+
+// Table1 reproduces the writes-per-procedure-call histogram. The paper
+// measured it on the pops trace; here it is a property of the pops-like
+// workload itself.
+func Table1(w io.Writer, scale float64) error {
+	tc := scaled(tracegen.PopsLike(), scale)
+	gen, err := tracegen.New(tc)
+	if err != nil {
+		return err
+	}
+	chars, err := trace.Summarize(gen)
+	if err != nil {
+		return err
+	}
+	h := gen.WritesPerCall()
+	fmt.Fprintf(w, "%-22s %-10s %s\n", "no. of wr. per call", "count", "total writes")
+	for n := 1; n <= 16; n++ {
+		if c := h.Count(n); c > 0 || n <= 16 {
+			fmt.Fprintf(w, "%-22d %-10d %d\n", n, c, uint64(n)*c)
+		}
+	}
+	fmt.Fprintf(w, "%-22s %d\n", "no. of wr. due to p", h.Sum())
+	fmt.Fprintf(w, "%-22s %d\n", "total no. of wr", chars.Writes)
+	fmt.Fprintf(w, "call-write share: %.1f%% (paper: 30%%)\n",
+		100*float64(h.Sum())/float64(chars.Writes))
+	return nil
+}
+
+// snapshotLen is the paper's Table 2/3 snapshot length.
+const snapshotLen = 411_237
+
+// Table2 reproduces the inter-write-interval distribution that motivates
+// multiple write buffers: under write-through, every processor write goes
+// down a level, and the intervals between them are short.
+func Table2(w io.Writer, scale float64) error {
+	tc := scaled(tracegen.PopsLike(), scale)
+	n := snapshotLen
+	if scale < 1 && tc.TotalRefs < n {
+		n = tc.TotalRefs
+	}
+	sys, err := runLimited(tc, machineConfig(tc, mainSizePairs()[2], system.VR), n)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "inter-write intervals (snapshot of %d references, 16K direct-mapped, 16-byte blocks)\n", n)
+	fmt.Fprintf(w, "%-16s %s\n", "interval", "count")
+	h := sys.Stats(0).WriteIntervals.Histogram()
+	for v := 1; v < 10; v++ {
+		fmt.Fprintf(w, "%-16d %d\n", v, h.Count(v))
+	}
+	fmt.Fprintf(w, "%-16s %d\n", "10 and larger", h.Overflow())
+	short := uint64(0)
+	for v := 1; v < 10; v++ {
+		short += h.Count(v)
+	}
+	fmt.Fprintf(w, "short-interval share: %.0f%% (paper: ~75%%)\n",
+		100*float64(short)/float64(h.Total()))
+	return nil
+}
+
+// Table3 reproduces the interval distribution with write-back plus the
+// swapped-valid scheme: write-backs become rare and far apart, so a single
+// buffer suffices.
+func Table3(w io.Writer, scale float64) error {
+	tc := scaled(tracegen.PopsLike(), scale)
+	n := snapshotLen
+	if scale < 1 && tc.TotalRefs < n {
+		n = tc.TotalRefs
+	}
+	sys, err := runLimited(tc, machineConfig(tc, mainSizePairs()[2], system.VR), n)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "write-back intervals with write-back + swapped write-back (snapshot of %d references)\n", n)
+	fmt.Fprintf(w, "%-16s %s\n", "interval", "count")
+	h := sys.Stats(0).WriteBackIntervals.Histogram()
+	for v := 1; v < 10; v++ {
+		fmt.Fprintf(w, "%-16d %d\n", v, h.Count(v))
+	}
+	fmt.Fprintf(w, "%-16s %d\n", "10 and larger", h.Overflow())
+	fmt.Fprintf(w, "total write-backs: %d of %d writes (the shape to match: almost all intervals in the '10 and larger' bucket)\n",
+		h.Total()+1, sys.Stats(0).L1.Kind(2).Total)
+	return nil
+}
+
+// Table5 prints the characteristics of the three synthetic traces.
+func Table5(w io.Writer, scale float64) error {
+	fmt.Fprintf(w, "%-8s %-5s %-11s %-12s %-11s %-11s %s\n",
+		"trace", "cpus", "total refs", "instr count", "data read", "data write", "ctx switches")
+	for _, preset := range tracegen.Presets() {
+		tc := scaled(preset, scale)
+		gen, err := tracegen.New(tc)
+		if err != nil {
+			return err
+		}
+		c, err := trace.Summarize(gen)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-8s %-5d %-11d %-12d %-11d %-11d %d\n",
+			tc.Name, c.CPUs, c.TotalRefs, c.Instrs, c.Reads, c.Writes, c.CtxSwitches)
+	}
+	return nil
+}
+
+// hitRatioRows runs one trace over the given size pairs for both the V-R
+// and R-R organizations and prints the paper's h1/h2 rows.
+func hitRatioRows(w io.Writer, tc tracegen.Config, pairs []sizePair) error {
+	type cell struct{ h1vr, h1rr, h2vr, h2rr float64 }
+	cells := make([]cell, len(pairs))
+	for i, p := range pairs {
+		vr, _, err := runWorkload(tc, machineConfig(tc, p, system.VR))
+		if err != nil {
+			return err
+		}
+		rr, _, err := runWorkload(tc, machineConfig(tc, p, system.RRInclusion))
+		if err != nil {
+			return err
+		}
+		av, ar := vr.Aggregate(), rr.Aggregate()
+		cells[i] = cell{av.H1, ar.H1, av.H2, ar.H2}
+	}
+	fmt.Fprintf(w, "%-6s", "sizes")
+	for _, p := range pairs {
+		fmt.Fprintf(w, " %-9s", p.label)
+	}
+	fmt.Fprintln(w)
+	row := func(name string, get func(cell) float64) {
+		fmt.Fprintf(w, "%-6s", name)
+		for _, c := range cells {
+			fmt.Fprintf(w, " %-9.3f", get(c))
+		}
+		fmt.Fprintln(w)
+	}
+	row("h1VR", func(c cell) float64 { return c.h1vr })
+	row("h1RR", func(c cell) float64 { return c.h1rr })
+	row("h2VR", func(c cell) float64 { return c.h2vr })
+	row("h2RR", func(c cell) float64 { return c.h2rr })
+	return nil
+}
+
+// Table6 reproduces the hit-ratio comparison for the main cache sizes.
+func Table6(w io.Writer, scale float64) error {
+	for _, preset := range tracegen.Presets() {
+		tc := scaled(preset, scale)
+		fmt.Fprintf(w, "trace: %s\n", tc.Name)
+		if err := hitRatioRows(w, tc, mainSizePairs()); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Table7 reproduces the hit-ratio comparison for small first-level caches.
+func Table7(w io.Writer, scale float64) error {
+	for _, preset := range tracegen.Presets() {
+		tc := scaled(preset, scale)
+		fmt.Fprintf(w, "trace: %s\n", tc.Name)
+		if err := hitRatioRows(w, tc, smallSizePairs()); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// splitTable runs one trace with split and unified first levels over the
+// main size pairs and prints the paper's per-kind hit-ratio rows.
+func splitTable(w io.Writer, tc tracegen.Config) error {
+	pairs := mainSizePairs()
+	type agg = system.AggregateStats
+	splits := make([]agg, len(pairs))
+	unis := make([]agg, len(pairs))
+	for i, p := range pairs {
+		sc := machineConfig(tc, p, system.VR)
+		sc.Split = true
+		sys, _, err := runWorkload(tc, sc)
+		if err != nil {
+			return err
+		}
+		splits[i] = sys.Aggregate()
+		sc.Split = false
+		sys, _, err = runWorkload(tc, sc)
+		if err != nil {
+			return err
+		}
+		unis[i] = sys.Aggregate()
+	}
+	fmt.Fprintf(w, "%-24s", tc.Name)
+	for _, p := range pairs {
+		fmt.Fprintf(w, " %-9s", p.label)
+	}
+	fmt.Fprintln(w)
+	row := func(name string, from []agg, get func(agg) float64) {
+		fmt.Fprintf(w, "%-24s", name)
+		for _, a := range from {
+			fmt.Fprintf(w, " %-9.3f", get(a))
+		}
+		fmt.Fprintln(w)
+	}
+	row("data read    split", splits, func(a agg) float64 { return a.L1.DataRead })
+	row("             unified", unis, func(a agg) float64 { return a.L1.DataRead })
+	row("data write   split", splits, func(a agg) float64 { return a.L1.DataWrite })
+	row("             unified", unis, func(a agg) float64 { return a.L1.DataWrite })
+	row("instruction  split", splits, func(a agg) float64 { return a.L1.Instr })
+	row("             unified", unis, func(a agg) float64 { return a.L1.Instr })
+	row("overall      split", splits, func(a agg) float64 { return a.L1.Overall })
+	row("             unified", unis, func(a agg) float64 { return a.L1.Overall })
+	return nil
+}
+
+// Table8 compares split and unified first levels on thor.
+func Table8(w io.Writer, scale float64) error {
+	return splitTable(w, scaled(tracegen.ThorLike(), scale))
+}
+
+// Table9 compares split and unified first levels on pops.
+func Table9(w io.Writer, scale float64) error {
+	return splitTable(w, scaled(tracegen.PopsLike(), scale))
+}
+
+// Table10 compares split and unified first levels on abaqus.
+func Table10(w io.Writer, scale float64) error {
+	return splitTable(w, scaled(tracegen.AbaqusLike(), scale))
+}

@@ -1,0 +1,100 @@
+package memory
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/addr"
+)
+
+func TestReadUnwritten(t *testing.T) {
+	m := MustNew(16)
+	if got := m.Read(0x1234); got != 0 {
+		t.Errorf("unwritten block token = %d, want 0", got)
+	}
+}
+
+func TestWriteRead(t *testing.T) {
+	m := MustNew(16)
+	m.Write(0x100, 42)
+	if got := m.Read(0x100); got != 42 {
+		t.Errorf("Read = %d, want 42", got)
+	}
+	// Same block, different byte.
+	if got := m.Read(0x10F); got != 42 {
+		t.Errorf("same-block Read = %d, want 42", got)
+	}
+	// Next block untouched.
+	if got := m.Read(0x110); got != 0 {
+		t.Errorf("adjacent block token = %d, want 0", got)
+	}
+}
+
+func TestPeekDoesNotCount(t *testing.T) {
+	m := MustNew(16)
+	m.Write(0x100, 7)
+	before := m.Stats()
+	if m.Peek(0x100) != 7 {
+		t.Error("Peek wrong")
+	}
+	if m.Stats() != before {
+		t.Error("Peek changed stats")
+	}
+}
+
+func TestStats(t *testing.T) {
+	m := MustNew(16)
+	m.Write(0x0, 1)
+	m.Write(0x10, 2)
+	m.Read(0x0)
+	s := m.Stats()
+	if s.BlockWrites != 2 || s.BlockReads != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if m.BlocksWritten() != 2 {
+		t.Errorf("BlocksWritten = %d, want 2", m.BlocksWritten())
+	}
+}
+
+func TestGranularity(t *testing.T) {
+	m := MustNew(64)
+	if m.Granularity() != 64 {
+		t.Errorf("Granularity = %d", m.Granularity())
+	}
+}
+
+func TestNewBadBlock(t *testing.T) {
+	if _, err := New(13); err == nil {
+		t.Error("block size 13 accepted")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew did not panic")
+		}
+	}()
+	MustNew(0)
+}
+
+func TestLastWriteWinsProperty(t *testing.T) {
+	f := func(writes []uint16) bool {
+		m := MustNew(16)
+		oracle := map[uint64]uint64{}
+		for i, w := range writes {
+			pa := addr.PAddr(w)
+			m.Write(pa, uint64(i+1))
+			oracle[uint64(pa)>>4] = uint64(i + 1)
+		}
+		for blk, want := range oracle {
+			if m.Peek(addr.PAddr(blk<<4)) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,128 @@
+// Package report renders simulation results in a machine-readable form so
+// downstream tooling (plotting scripts, regression tracking) can consume
+// runs of cmd/vrsim without scraping its text output.
+package report
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/bus"
+	"repro/internal/core"
+	"repro/internal/system"
+)
+
+// Machine describes the configuration a result was measured on.
+type Machine struct {
+	Organization string `json:"organization"`
+	CPUs         int    `json:"cpus"`
+	L1           string `json:"l1"`
+	L2           string `json:"l2"`
+	Split        bool   `json:"split,omitempty"`
+	Protocol     string `json:"protocol"`
+	WriteThrough bool   `json:"writeThrough,omitempty"`
+	PIDTagged    bool   `json:"pidTagged,omitempty"`
+}
+
+// HitRatios is one level's hit ratios by reference kind.
+type HitRatios struct {
+	Overall   float64 `json:"overall"`
+	DataRead  float64 `json:"dataRead"`
+	DataWrite float64 `json:"dataWrite"`
+	Instr     float64 `json:"instr"`
+}
+
+// BusStats summarizes bus traffic.
+type BusStats struct {
+	ReadMiss    uint64 `json:"readMiss"`
+	ReadModWr   uint64 `json:"readModifiedWrite"`
+	Invalidate  uint64 `json:"invalidate"`
+	Update      uint64 `json:"update"`
+	CacheSupply uint64 `json:"cacheSupplied"`
+}
+
+// CPUStats is one processor's counter set.
+type CPUStats struct {
+	CPU               int    `json:"cpu"`
+	CtxSwitches       uint64 `json:"ctxSwitches"`
+	WriteBacks        uint64 `json:"writeBacks"`
+	SwappedWriteBacks uint64 `json:"swappedWriteBacks"`
+	Synonyms          uint64 `json:"synonyms"`
+	InclusionInvals   uint64 `json:"inclusionInvalidations"`
+	BufferStalls      uint64 `json:"bufferStalls"`
+	TLBMisses         uint64 `json:"tlbMisses"`
+	CoherenceToL1     uint64 `json:"coherenceMessagesToL1"`
+}
+
+// Results is a complete run summary.
+type Results struct {
+	Machine Machine    `json:"machine"`
+	Refs    uint64     `json:"references"`
+	L1      HitRatios  `json:"l1"`
+	L2      HitRatios  `json:"l2"`
+	Bus     BusStats   `json:"bus"`
+	PerCPU  []CPUStats `json:"perCPU"`
+}
+
+// FromSystem gathers a Results from a finished run.
+func FromSystem(sys *system.System, cfg system.Config) Results {
+	agg := sys.Aggregate()
+	bs := sys.Bus().Stats()
+	r := Results{
+		Machine: Machine{
+			Organization: cfg.Organization.String(),
+			CPUs:         sys.CPUs(),
+			L1:           cfg.L1.String(),
+			L2:           cfg.L2.String(),
+			Split:        cfg.Split,
+			Protocol:     cfg.Protocol.String(),
+			WriteThrough: cfg.L1WriteThrough,
+			PIDTagged:    cfg.PIDTagged,
+		},
+		Refs: sys.Refs(),
+		L1: HitRatios{
+			Overall: agg.L1.Overall, DataRead: agg.L1.DataRead,
+			DataWrite: agg.L1.DataWrite, Instr: agg.L1.Instr,
+		},
+		L2: HitRatios{
+			Overall: agg.L2.Overall, DataRead: agg.L2.DataRead,
+			DataWrite: agg.L2.DataWrite, Instr: agg.L2.Instr,
+		},
+		Bus: BusStats{
+			ReadMiss:    bs.Count(bus.Read),
+			ReadModWr:   bs.Count(bus.ReadMod),
+			Invalidate:  bs.Count(bus.Invalidate),
+			Update:      bs.Count(bus.Update),
+			CacheSupply: bs.Supplies,
+		},
+	}
+	for cpu := 0; cpu < sys.CPUs(); cpu++ {
+		st := sys.Stats(cpu)
+		r.PerCPU = append(r.PerCPU, CPUStats{
+			CPU:               cpu,
+			CtxSwitches:       st.CtxSwitches,
+			WriteBacks:        st.WriteBacks,
+			SwappedWriteBacks: st.SwappedWriteBacks,
+			Synonyms:          st.SynonymTotal() - st.Synonyms[core.SynNone],
+			InclusionInvals:   st.InclusionInvals,
+			BufferStalls:      st.BufferStalls,
+			TLBMisses:         st.TLB.Misses,
+			CoherenceToL1:     st.Coherence.Total(),
+		})
+	}
+	return r
+}
+
+// WriteJSON renders the results as indented JSON.
+func (r Results) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ParseJSON reads a Results back (round-trip support for tooling).
+func ParseJSON(r io.Reader) (Results, error) {
+	var out Results
+	err := json.NewDecoder(r).Decode(&out)
+	return out, err
+}

@@ -1,0 +1,114 @@
+package system
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/bus"
+)
+
+// DMA models an I/O device doing direct memory access — the paper's
+// problem #4 with virtually-addressed caches: devices use physical
+// addresses, so a virtually-addressed cache would need reverse translation
+// to stay coherent with them. In the V-R organization the device simply
+// participates in the physical bus protocol; the R-cache's existing
+// v-pointers reach any first-level copies, and no translation hardware is
+// involved anywhere.
+//
+// A device write behaves like a read-modified-write by an agent that
+// caches nothing: dirty copies anywhere are first flushed to memory, every
+// cached copy is invalidated, then memory is updated. A device read is a
+// plain read-miss: dirty copies are flushed and memory supplies current
+// data.
+type DMA struct {
+	sys *System
+	id  int
+	st  DMAStats
+}
+
+// DMAStats counts device activity.
+type DMAStats struct {
+	Reads  uint64
+	Writes uint64
+}
+
+// NewDMA attaches a DMA agent to the machine's bus.
+func (s *System) NewDMA() *DMA {
+	d := &DMA{sys: s}
+	d.id = s.bus.Attach(d)
+	return d
+}
+
+// SnoopBus implements bus.Snooper; a device caches nothing, so it never
+// responds.
+func (d *DMA) SnoopBus(bus.Txn) bus.SnoopResult { return bus.SnoopResult{} }
+
+// Stats returns a copy of the device counters.
+func (d *DMA) Stats() DMAStats { return d.st }
+
+// WriteBlock performs a device write of one minimum-granularity block at
+// physical address pa, returning the token it stamped. Cached copies are
+// flushed and invalidated through the ordinary physical protocol.
+func (d *DMA) WriteBlock(pa addr.PAddr) uint64 {
+	base := pa &^ addr.PAddr(d.sys.mem.Granularity()-1)
+	d.sys.bus.Issue(bus.Txn{
+		Kind: bus.ReadMod,
+		From: d.id,
+		Addr: base,
+		Size: d.sys.mem.Granularity(),
+	})
+	token := d.sys.tokens.Next()
+	d.sys.mem.Write(base, token)
+	if d.sys.oracle != nil {
+		d.sys.oracle[base] = token
+	}
+	d.st.Writes++
+	return token
+}
+
+// ReadBlock performs a device read of one block at physical address pa:
+// any dirty cached copy is flushed first, then memory supplies the data.
+func (d *DMA) ReadBlock(pa addr.PAddr) (uint64, error) {
+	base := pa &^ addr.PAddr(d.sys.mem.Granularity()-1)
+	d.sys.bus.Issue(bus.Txn{
+		Kind: bus.Read,
+		From: d.id,
+		Addr: base,
+		Size: d.sys.mem.Granularity(),
+	})
+	token := d.sys.mem.Read(base)
+	d.st.Reads++
+	if d.sys.oracle != nil {
+		if want := d.sys.oracle[base]; token != want {
+			return token, fmt.Errorf("system: DMA oracle violation at %#x: read %d, want %d",
+				uint64(base), token, want)
+		}
+	}
+	return token, nil
+}
+
+// TransferIn models a device-to-memory transfer (e.g. disk input) covering
+// [pa, pa+n) and returns the number of blocks written.
+func (d *DMA) TransferIn(pa addr.PAddr, n uint64) int {
+	g := d.sys.mem.Granularity()
+	count := 0
+	for off := uint64(0); off < n; off += g {
+		d.WriteBlock(pa + addr.PAddr(off))
+		count++
+	}
+	return count
+}
+
+// TransferOut models a memory-to-device transfer (e.g. disk output),
+// returning the blocks read.
+func (d *DMA) TransferOut(pa addr.PAddr, n uint64) (int, error) {
+	g := d.sys.mem.Granularity()
+	count := 0
+	for off := uint64(0); off < n; off += g {
+		if _, err := d.ReadBlock(pa + addr.PAddr(off)); err != nil {
+			return count, err
+		}
+		count++
+	}
+	return count, nil
+}

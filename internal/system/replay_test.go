@@ -1,0 +1,81 @@
+package system
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/trace"
+	"repro/internal/tracegen"
+)
+
+// TestReplayEquivalence: running a generated workload directly and
+// replaying the same workload from a serialized trace must produce
+// identical statistics — the foundation of the save/replay workflow.
+func TestReplayEquivalence(t *testing.T) {
+	wl := tracegen.PopsLike().Scaled(0.002)
+	build := func() *System {
+		s := MustNew(Config{
+			CPUs:         wl.CPUs,
+			Organization: VR,
+			PageSize:     wl.PageSize,
+			L1:           cache.Geometry{Size: 4 << 10, Block: 16, Assoc: 1},
+			L2:           cache.Geometry{Size: 64 << 10, Block: 32, Assoc: 1},
+		})
+		if err := wl.SetupSharedMappings(s.MMU()); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	// Direct run.
+	direct := build()
+	gen, err := tracegen.New(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := direct.Run(gen); err != nil {
+		t.Fatal(err)
+	}
+
+	// Serialize the identical trace, then replay.
+	gen2, err := tracegen.New(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := trace.NewGzipWriter(&buf)
+	for {
+		ref, err := gen2.Next()
+		if err != nil {
+			break
+		}
+		if err := w.Write(ref); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	replayed := build()
+	r, err := trace.OpenBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := replayed.Run(r); err != nil {
+		t.Fatal(err)
+	}
+
+	if direct.Aggregate() != replayed.Aggregate() {
+		t.Errorf("aggregates diverged:\n direct  %+v\n replay  %+v",
+			direct.Aggregate(), replayed.Aggregate())
+	}
+	if direct.Refs() != replayed.Refs() {
+		t.Errorf("refs diverged: %d vs %d", direct.Refs(), replayed.Refs())
+	}
+	for cpu := 0; cpu < direct.CPUs(); cpu++ {
+		if direct.Stats(cpu).Coherence.Total() != replayed.Stats(cpu).Coherence.Total() {
+			t.Errorf("cpu %d coherence counts diverged", cpu)
+		}
+	}
+}

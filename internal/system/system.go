@@ -1,0 +1,310 @@
+// Package system assembles a shared-bus multiprocessor (Figure 1 of the
+// paper): N per-processor two-level hierarchies snooping one bus over one
+// memory, all sharing an MMU. It drives traces through the machine,
+// optionally checking a sequential-consistency oracle and the hierarchies'
+// structural invariants after every reference.
+package system
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/addr"
+	"repro/internal/bus"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/memory"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+// Organization selects the cache organization under evaluation.
+type Organization int
+
+// Organizations the paper compares.
+const (
+	VR            Organization = iota // virtual L1 / real L2 with inclusion
+	RRInclusion                       // real L1 / real L2 with inclusion
+	RRNoInclusion                     // real L1 / real L2, independent levels
+)
+
+// String returns the organization's table label.
+func (o Organization) String() string {
+	switch o {
+	case VR:
+		return "VR"
+	case RRInclusion:
+		return "RR(incl)"
+	case RRNoInclusion:
+		return "RR(no incl)"
+	default:
+		return fmt.Sprintf("Organization(%d)", int(o))
+	}
+}
+
+// Config describes a machine.
+type Config struct {
+	CPUs         int
+	Organization Organization
+	PageSize     uint64 // default 4096
+
+	L1    cache.Geometry
+	Split bool
+	L2    cache.Geometry
+
+	TLBEntries      int
+	TLBAssoc        int
+	WriteBufDepth   int
+	WriteBufLatency uint64
+	EagerCtxFlush   bool
+
+	// PIDTagged enables the Section 2 PID-tag alternative to flushing the
+	// V-cache on context switches (V-R only).
+	PIDTagged bool
+	// Protocol selects the coherence protocol (default write-invalidate).
+	Protocol core.Protocol
+	// NaiveL2Replacement disables the relaxed-inclusion victim preference.
+	NaiveL2Replacement bool
+	// L1WriteThrough selects the Section 2 write-through, no-write-allocate
+	// first-level policy instead of write-back.
+	L1WriteThrough bool
+	// Tracer, when set, observes every hierarchy's Table 4 interface
+	// signals (Signal.CPU attributes them).
+	Tracer core.Tracer
+
+	// CheckOracle verifies on every read that the newest write to the
+	// physical block is observed. CheckInvariants additionally validates
+	// every hierarchy's structural invariants after every reference (slow;
+	// for tests).
+	CheckOracle     bool
+	CheckInvariants bool
+}
+
+func (c *Config) applyDefaults() {
+	if c.PageSize == 0 {
+		c.PageSize = 4096
+	}
+	if c.CPUs == 0 {
+		c.CPUs = 1
+	}
+}
+
+// System is an assembled machine.
+type System struct {
+	cfg    Config
+	mmu    *vm.MMU
+	bus    *bus.Bus
+	mem    *memory.Memory
+	tokens *core.TokenSource
+	cpus   []core.Hierarchy
+	oracle map[addr.PAddr]uint64
+	refs   uint64
+}
+
+// New builds a machine from cfg.
+func New(cfg Config) (*System, error) {
+	cfg.applyDefaults()
+	if cfg.CPUs < 1 || cfg.CPUs > 255 {
+		return nil, fmt.Errorf("system: %d CPUs out of range", cfg.CPUs)
+	}
+	// Validate geometries up front: the memory and per-CPU constructors
+	// below assume a legal L1 block size.
+	if err := cfg.L1.Validate(); err != nil {
+		return nil, fmt.Errorf("system: L1: %w", err)
+	}
+	if err := cfg.L2.Validate(); err != nil {
+		return nil, fmt.Errorf("system: L2: %w", err)
+	}
+	mmu, err := vm.New(cfg.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{
+		cfg:    cfg,
+		mmu:    mmu,
+		bus:    bus.New(),
+		mem:    memory.MustNew(cfg.L1.Block),
+		tokens: &core.TokenSource{},
+	}
+	if cfg.CheckOracle {
+		s.oracle = make(map[addr.PAddr]uint64)
+	}
+	for i := 0; i < cfg.CPUs; i++ {
+		opts := core.Options{
+			MMU:             s.mmu,
+			Bus:             s.bus,
+			Mem:             s.mem,
+			Tokens:          s.tokens,
+			L1:              cfg.L1,
+			Split:           cfg.Split,
+			L2:              cfg.L2,
+			TLBEntries:      cfg.TLBEntries,
+			TLBAssoc:        cfg.TLBAssoc,
+			WriteBufDepth:   cfg.WriteBufDepth,
+			WriteBufLatency: cfg.WriteBufLatency,
+			EagerCtxFlush:   cfg.EagerCtxFlush,
+			PIDTagged:       cfg.PIDTagged,
+			Protocol:        cfg.Protocol,
+
+			NaiveL2Replacement: cfg.NaiveL2Replacement,
+			L1WriteThrough:     cfg.L1WriteThrough,
+			Tracer:             cfg.Tracer,
+		}
+		var h core.Hierarchy
+		switch cfg.Organization {
+		case VR:
+			h, err = core.NewVR(opts)
+		case RRInclusion:
+			h, err = core.NewRR(opts)
+		case RRNoInclusion:
+			h, err = core.NewRRNoInclusion(opts)
+		default:
+			err = fmt.Errorf("system: unknown organization %d", cfg.Organization)
+		}
+		if err != nil {
+			return nil, err
+		}
+		s.cpus = append(s.cpus, h)
+	}
+	return s, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(cfg Config) *System {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// MMU exposes the machine's MMU so workloads can set up shared mappings.
+func (s *System) MMU() *vm.MMU { return s.mmu }
+
+// Memory exposes the machine's memory.
+func (s *System) Memory() *memory.Memory { return s.mem }
+
+// Bus exposes the machine's bus.
+func (s *System) Bus() *bus.Bus { return s.bus }
+
+// CPUs returns the number of processors.
+func (s *System) CPUs() int { return len(s.cpus) }
+
+// CPU returns processor i's hierarchy.
+func (s *System) CPU(i int) core.Hierarchy { return s.cpus[i] }
+
+// Stats returns processor i's counters.
+func (s *System) Stats(i int) *core.Stats { return s.cpus[i].Stats() }
+
+// Refs returns the number of memory references applied so far.
+func (s *System) Refs() uint64 { return s.refs }
+
+// Apply runs one trace record through the machine.
+func (s *System) Apply(ref trace.Ref) (core.AccessResult, error) {
+	if int(ref.CPU) >= len(s.cpus) {
+		return core.AccessResult{}, fmt.Errorf("system: record for CPU %d on a %d-CPU machine",
+			ref.CPU, len(s.cpus))
+	}
+	res := s.cpus[ref.CPU].Access(ref)
+	if !res.CtxSwitch {
+		s.refs++
+	}
+	if s.oracle != nil && !res.CtxSwitch {
+		if ref.Kind == trace.Write {
+			s.oracle[res.PA] = res.Token
+		} else if want := s.oracle[res.PA]; res.Token != want {
+			return res, fmt.Errorf("system: oracle violation: cpu %d %v %#x (pa %#x) read token %d, want %d",
+				ref.CPU, ref.Kind, uint64(ref.Addr), uint64(res.PA), res.Token, want)
+		}
+	}
+	if s.cfg.CheckInvariants {
+		for i, h := range s.cpus {
+			if err := h.Check(); err != nil {
+				return res, fmt.Errorf("system: cpu %d invariants after %v: %w", i, ref, err)
+			}
+		}
+	}
+	return res, nil
+}
+
+// Run drives every record from r through the machine and drains the write
+// buffers at the end.
+func (s *System) Run(r trace.Reader) error {
+	for {
+		ref, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			s.Drain()
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if _, err := s.Apply(ref); err != nil {
+			return err
+		}
+	}
+}
+
+// Drain empties every write buffer into the second level.
+func (s *System) Drain() {
+	for _, h := range s.cpus {
+		h.Drain()
+	}
+}
+
+// ResetStats zeroes every statistic — per-CPU, bus and memory — without
+// touching cache contents, so measurements can exclude warm-up. The
+// reference count restarts too.
+func (s *System) ResetStats() {
+	for _, h := range s.cpus {
+		h.Stats().Reset()
+	}
+	s.bus.ResetStats()
+	s.mem.ResetStats()
+	s.refs = 0
+}
+
+// AggregateStats sums hit-ratio statistics across CPUs, the form the
+// paper's Tables 6-10 report.
+type AggregateStats struct {
+	L1, L2 struct {
+		Overall   float64
+		DataRead  float64
+		DataWrite float64
+		Instr     float64
+	}
+	H1, H2 float64 // aliases of the overall ratios, the paper's h1/h2
+}
+
+// Aggregate computes machine-wide hit ratios.
+func (s *System) Aggregate() AggregateStats {
+	var l1, l2 stats.LevelStats
+	for _, h := range s.cpus {
+		st := h.Stats()
+		l1.Add(&st.L1)
+		l2.Add(&st.L2)
+	}
+	var a AggregateStats
+	a.L1.Overall = l1.Overall().Value()
+	a.L1.DataRead = l1.Kind(stats.KindRead).Value()
+	a.L1.DataWrite = l1.Kind(stats.KindWrite).Value()
+	a.L1.Instr = l1.Kind(stats.KindIFetch).Value()
+	a.L2.Overall = l2.Overall().Value()
+	a.L2.DataRead = l2.Kind(stats.KindRead).Value()
+	a.L2.DataWrite = l2.Kind(stats.KindWrite).Value()
+	a.L2.Instr = l2.Kind(stats.KindIFetch).Value()
+	a.H1, a.H2 = a.L1.Overall, a.L2.Overall
+	return a
+}
+
+// CoherenceMessages returns, per CPU, the number of coherence messages that
+// reached the first-level cache — the quantity of Tables 11-13.
+func (s *System) CoherenceMessages() []uint64 {
+	out := make([]uint64, len(s.cpus))
+	for i, h := range s.cpus {
+		out[i] = h.Stats().Coherence.Total()
+	}
+	return out
+}

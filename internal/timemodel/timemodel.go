@@ -1,0 +1,141 @@
+// Package timemodel implements the paper's generic access-time equation
+// (Section 4) and the analyses built on it: the average-access-time curves
+// of Figures 4-6 (V-R vs R-R under varying address-translation slow-down),
+// the crossover solver, and the Section 2 lower bound on second-level
+// associativity required for strict inclusion.
+package timemodel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/addr"
+	"repro/internal/cache"
+)
+
+// Params are the latency inputs of the access-time equation, in arbitrary
+// units (the paper fixes t2 = 4*t1 and plots relative performance).
+type Params struct {
+	T1 float64 // first-level access time
+	T2 float64 // second-level access time
+	TM float64 // memory access time including bus overhead
+	H1 float64 // first-level hit ratio
+	H2 float64 // second-level local hit ratio (of first-level misses)
+}
+
+// DefaultParams returns the paper's scaling: t2 = 4·t1, with a memory time
+// of 20·t1 for the (organization-independent) third term.
+func DefaultParams(h1, h2 float64) Params {
+	return Params{T1: 1, T2: 4, TM: 20, H1: h1, H2: h2}
+}
+
+// Validate rejects out-of-range hit ratios and non-positive latencies.
+func (p Params) Validate() error {
+	if p.H1 < 0 || p.H1 > 1 || p.H2 < 0 || p.H2 > 1 {
+		return fmt.Errorf("timemodel: hit ratios must be in [0,1]: h1=%v h2=%v", p.H1, p.H2)
+	}
+	if p.T1 <= 0 || p.T2 <= 0 || p.TM <= 0 {
+		return fmt.Errorf("timemodel: latencies must be positive")
+	}
+	return nil
+}
+
+// AccessTime evaluates the paper's equation:
+//
+//	Tacc = h1·t1 + (1−h1)·h2·t2 + (1−h1−(1−h1)·h2)·tm
+func AccessTime(p Params) float64 {
+	miss1 := 1 - p.H1
+	return p.H1*p.T1 + miss1*p.H2*p.T2 + (miss1-miss1*p.H2)*p.TM
+}
+
+// RRAccessTime evaluates the equation for an R-R hierarchy whose
+// first-level access is slowed by the given fraction (0.06 = 6%) because a
+// TLB precedes or overlaps the first-level lookup. Only the first-level
+// term slows down; the second-level and memory terms are unchanged, per the
+// paper's analysis.
+func RRAccessTime(p Params, slowdown float64) float64 {
+	miss1 := 1 - p.H1
+	return p.H1*p.T1*(1+slowdown) + miss1*p.H2*p.T2 + (miss1-miss1*p.H2)*p.TM
+}
+
+// CurvePoint is one point of a Figure 4-6 series.
+type CurvePoint struct {
+	Slowdown float64 // R-cache slow-down fraction
+	VR       float64 // V-R average access time (constant in the slow-down)
+	RR       float64 // R-R average access time at this slow-down
+}
+
+// Curve computes the Figure 4-6 series: the V-R organization uses vr's hit
+// ratios (unaffected by slow-down), the R-R organization uses rr's with its
+// first-level access slowed from 0 to maxSlowdown in the given number of
+// steps (inclusive of both endpoints).
+func Curve(vr, rr Params, maxSlowdown float64, steps int) []CurvePoint {
+	if steps < 1 {
+		steps = 1
+	}
+	vrT := AccessTime(vr)
+	out := make([]CurvePoint, 0, steps+1)
+	for i := 0; i <= steps; i++ {
+		s := maxSlowdown * float64(i) / float64(steps)
+		out = append(out, CurvePoint{
+			Slowdown: s,
+			VR:       vrT,
+			RR:       RRAccessTime(rr, s),
+		})
+	}
+	return out
+}
+
+// Crossover returns the R-R slow-down fraction at which the two
+// organizations' access times are equal: below it R-R wins, above it V-R
+// wins. A negative result means V-R is faster even with no translation
+// penalty at all; +Inf means R-R's hit-ratio advantage can never be
+// overcome within this model (h1·t1 term is zero).
+func Crossover(vr, rr Params) float64 {
+	// Solve RRAccessTime(rr, s) = AccessTime(vr) for s.
+	denom := rr.H1 * rr.T1
+	if denom == 0 {
+		return math.Inf(1)
+	}
+	return (AccessTime(vr) - AccessTime(rr)) / denom
+}
+
+// SpeedupAt returns the ratio Tacc(RR at slowdown) / Tacc(VR); values above
+// 1 mean the V-R organization is faster.
+func SpeedupAt(vr, rr Params, slowdown float64) float64 {
+	return RRAccessTime(rr, slowdown) / AccessTime(vr)
+}
+
+// InclusionAssocLowerBound computes the Section 2 bound on the second-level
+// set-associativity needed to maintain inclusion under the original
+// (strict) replacement rule:
+//
+//	A2 >= size(1)/pagesize × B2/B1
+//
+// It applies when S2 > S1, B2 >= B1, size(2) > size(1) and B1·S1 >=
+// pagesize; outside those conditions it returns an error.
+func InclusionAssocLowerBound(l1, l2 cache.Geometry, pageSize uint64) (int, error) {
+	if err := l1.Validate(); err != nil {
+		return 0, fmt.Errorf("timemodel: L1: %w", err)
+	}
+	if err := l2.Validate(); err != nil {
+		return 0, fmt.Errorf("timemodel: L2: %w", err)
+	}
+	if !addr.IsPow2(pageSize) {
+		return 0, fmt.Errorf("timemodel: page size %d not a power of two", pageSize)
+	}
+	if l2.Block < l1.Block {
+		return 0, fmt.Errorf("timemodel: B2 < B1")
+	}
+	if l2.Size <= l1.Size {
+		return 0, fmt.Errorf("timemodel: size(2) <= size(1)")
+	}
+	if l1.Block*uint64(l1.Sets()) < pageSize {
+		return 0, fmt.Errorf("timemodel: B1*S1 < pagesize; the bound of Baer & Wang [5] applies instead")
+	}
+	bound := l1.Size / pageSize * (l2.Block / l1.Block)
+	if bound < 1 {
+		bound = 1
+	}
+	return int(bound), nil
+}

@@ -1,0 +1,208 @@
+package timemodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cache"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestAccessTimePerfectL1(t *testing.T) {
+	p := Params{T1: 1, T2: 4, TM: 20, H1: 1, H2: 0}
+	if got := AccessTime(p); !almost(got, 1) {
+		t.Errorf("Tacc = %v, want 1", got)
+	}
+}
+
+func TestAccessTimeAllMemory(t *testing.T) {
+	p := Params{T1: 1, T2: 4, TM: 20, H1: 0, H2: 0}
+	if got := AccessTime(p); !almost(got, 20) {
+		t.Errorf("Tacc = %v, want 20", got)
+	}
+}
+
+func TestAccessTimeMixed(t *testing.T) {
+	// h1=.9, h2=.5: .9*1 + .1*.5*4 + .05*20 = .9 + .2 + 1 = 2.1
+	p := Params{T1: 1, T2: 4, TM: 20, H1: 0.9, H2: 0.5}
+	if got := AccessTime(p); !almost(got, 2.1) {
+		t.Errorf("Tacc = %v, want 2.1", got)
+	}
+}
+
+func TestRRAccessTimeSlowdownOnlyFirstTerm(t *testing.T) {
+	p := Params{T1: 1, T2: 4, TM: 20, H1: 0.9, H2: 0.5}
+	base := RRAccessTime(p, 0)
+	if !almost(base, AccessTime(p)) {
+		t.Fatal("zero slowdown should equal AccessTime")
+	}
+	slowed := RRAccessTime(p, 0.10)
+	if !almost(slowed-base, 0.9*1*0.10) {
+		t.Errorf("slowdown delta = %v, want %v", slowed-base, 0.09)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := DefaultParams(0.9, 0.5)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Params{
+		{T1: 1, T2: 4, TM: 20, H1: 1.5, H2: 0},
+		{T1: 1, T2: 4, TM: 20, H1: 0.5, H2: -0.1},
+		{T1: 0, T2: 4, TM: 20, H1: 0.5, H2: 0.5},
+		{T1: 1, T2: 4, TM: 0, H1: 0.5, H2: 0.5},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestCurveShape(t *testing.T) {
+	vr := DefaultParams(0.88, 0.58)
+	rr := DefaultParams(0.90, 0.50)
+	pts := Curve(vr, rr, 0.10, 10)
+	if len(pts) != 11 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].Slowdown != 0 || !almost(pts[10].Slowdown, 0.10) {
+		t.Error("endpoints wrong")
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].VR != pts[0].VR {
+			t.Error("VR curve should be flat")
+		}
+		if pts[i].RR <= pts[i-1].RR {
+			t.Error("RR curve should rise with slowdown")
+		}
+	}
+}
+
+func TestCurveMinimumSteps(t *testing.T) {
+	pts := Curve(DefaultParams(0.9, 0.5), DefaultParams(0.9, 0.5), 0.1, 0)
+	if len(pts) != 2 {
+		t.Errorf("steps clamp failed: %d points", len(pts))
+	}
+}
+
+func TestCrossover(t *testing.T) {
+	// Identical hit ratios: crossover at zero slowdown.
+	p := DefaultParams(0.9, 0.5)
+	if got := Crossover(p, p); !almost(got, 0) {
+		t.Errorf("equal params crossover = %v, want 0", got)
+	}
+	// RR has better h1 (the frequent-context-switch case): crossover is a
+	// positive slowdown, and access times really are equal there.
+	vr := DefaultParams(0.888, 0.585)
+	rr := DefaultParams(0.908, 0.498)
+	s := Crossover(vr, rr)
+	if s <= 0 {
+		t.Fatalf("crossover = %v, want positive", s)
+	}
+	if !almost(RRAccessTime(rr, s), AccessTime(vr)) {
+		t.Error("access times differ at the crossover point")
+	}
+	// VR better everywhere: negative crossover.
+	if got := Crossover(rr, vr); got >= 0 {
+		t.Errorf("reverse crossover = %v, want negative", got)
+	}
+}
+
+func TestCrossoverDegenerate(t *testing.T) {
+	rr := Params{T1: 1, T2: 4, TM: 20, H1: 0, H2: 0.5}
+	if got := Crossover(DefaultParams(0.9, 0.5), rr); !math.IsInf(got, 1) {
+		t.Errorf("degenerate crossover = %v, want +Inf", got)
+	}
+}
+
+func TestSpeedupAt(t *testing.T) {
+	p := DefaultParams(0.9, 0.5)
+	if got := SpeedupAt(p, p, 0); !almost(got, 1) {
+		t.Errorf("speedup = %v, want 1", got)
+	}
+	if got := SpeedupAt(p, p, 0.1); got <= 1 {
+		t.Errorf("speedup with slowdown = %v, want > 1", got)
+	}
+}
+
+func TestAccessTimeMonotonicInH1(t *testing.T) {
+	f := func(h1a, h1b, h2 uint8) bool {
+		a := float64(h1a%101) / 100
+		b := float64(h1b%101) / 100
+		h := float64(h2%101) / 100
+		pa := Params{T1: 1, T2: 4, TM: 20, H1: a, H2: h}
+		pb := Params{T1: 1, T2: 4, TM: 20, H1: b, H2: h}
+		// Higher h1 never makes access slower (t1 < t2 < tm).
+		if a >= b {
+			return AccessTime(pa) <= AccessTime(pb)+1e-12
+		}
+		return AccessTime(pb) <= AccessTime(pa)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInclusionAssocLowerBoundPaperExample(t *testing.T) {
+	// The paper: 16K V-cache, 4K pages, B2 = 4·B1 -> 16-way R-cache needed.
+	l1 := cache.Geometry{Size: 16 << 10, Block: 16, Assoc: 1}
+	l2 := cache.Geometry{Size: 256 << 10, Block: 64, Assoc: 16}
+	got, err := InclusionAssocLowerBound(l1, l2, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 16 {
+		t.Errorf("bound = %d, want 16", got)
+	}
+}
+
+func TestInclusionAssocLowerBoundEqualBlocks(t *testing.T) {
+	l1 := cache.Geometry{Size: 16 << 10, Block: 16, Assoc: 2}
+	l2 := cache.Geometry{Size: 256 << 10, Block: 16, Assoc: 4}
+	got, err := InclusionAssocLowerBound(l1, l2, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 4 {
+		t.Errorf("bound = %d, want 4", got)
+	}
+}
+
+func TestInclusionAssocLowerBoundErrors(t *testing.T) {
+	l1 := cache.Geometry{Size: 16 << 10, Block: 16, Assoc: 1}
+	l2 := cache.Geometry{Size: 256 << 10, Block: 64, Assoc: 16}
+	if _, err := InclusionAssocLowerBound(l1, l2, 1000); err == nil {
+		t.Error("bad page size accepted")
+	}
+	if _, err := InclusionAssocLowerBound(cache.Geometry{Size: 5}, l2, 4096); err == nil {
+		t.Error("bad L1 accepted")
+	}
+	if _, err := InclusionAssocLowerBound(l1, cache.Geometry{Size: 5}, 4096); err == nil {
+		t.Error("bad L2 accepted")
+	}
+	// B2 < B1.
+	small := cache.Geometry{Size: 256 << 10, Block: 8, Assoc: 16}
+	if _, err := InclusionAssocLowerBound(l1, small, 4096); err == nil {
+		t.Error("B2 < B1 accepted")
+	}
+	// size(2) <= size(1).
+	if _, err := InclusionAssocLowerBound(l1, cache.Geometry{Size: 8 << 10, Block: 64, Assoc: 16}, 4096); err == nil {
+		t.Error("L2 smaller than L1 accepted")
+	}
+	// B1*S1 < pagesize: a 2K fully-associative L1.
+	tiny := cache.Geometry{Size: 2 << 10, Block: 16, Assoc: 128}
+	if _, err := InclusionAssocLowerBound(tiny, l2, 4096); err == nil {
+		t.Error("B1*S1 < pagesize accepted")
+	}
+}
+
+func TestDefaultParams(t *testing.T) {
+	p := DefaultParams(0.9, 0.5)
+	if p.T1 != 1 || p.T2 != 4 || p.TM != 20 || p.H1 != 0.9 || p.H2 != 0.5 {
+		t.Errorf("defaults = %+v", p)
+	}
+}

@@ -1,0 +1,123 @@
+// Package tlb implements the translation lookaside buffer that the paper
+// places at the second level of the V-R hierarchy (or in front of the L1 in
+// the R-R baseline). It caches (pid, virtual page) -> physical frame
+// mappings with LRU replacement and counts hits and misses.
+//
+// The TLB is a performance structure only: on a miss the MMU's page tables
+// are always consulted, so translation never fails. Misses are counted so
+// the access-time model can charge for them.
+package tlb
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/cache"
+	"repro/internal/vm"
+)
+
+// entry is the TLB line payload: the cached frame and the owning process
+// (kept for per-PID flushes; the PID is also folded into the tag so that
+// different processes' translations of the same page number can coexist).
+type entry struct {
+	pid   addr.PID
+	frame uint64
+}
+
+// Stats counts TLB activity.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	Flushes    uint64 // full invalidations
+	PIDFlushes uint64 // per-process invalidations
+}
+
+// Lookups returns hits + misses.
+func (s Stats) Lookups() uint64 { return s.Hits + s.Misses }
+
+// HitRatio returns hits / lookups, or 0 when idle.
+func (s Stats) HitRatio() float64 {
+	if s.Lookups() == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Lookups())
+}
+
+// TLB is a set-associative translation buffer backed by an MMU.
+type TLB struct {
+	mmu   *vm.MMU
+	tags  *cache.Cache[entry]
+	geom  cache.Geometry
+	stats Stats
+}
+
+// New builds a TLB with the given number of entries and associativity,
+// backed by mmu for fills. Entries must be a power of two and a multiple of
+// assoc.
+func New(mmu *vm.MMU, entries, assoc int) (*TLB, error) {
+	if entries < 1 {
+		return nil, fmt.Errorf("tlb: entries %d < 1", entries)
+	}
+	// Reuse cache geometry with a 1-byte "block": Size=entries, Block=1.
+	g := cache.Geometry{Size: uint64(entries), Block: 1, Assoc: assoc}
+	tags, err := cache.New[entry](g, cache.LRU, 0)
+	if err != nil {
+		return nil, fmt.Errorf("tlb: %w", err)
+	}
+	return &TLB{mmu: mmu, tags: tags, geom: g}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(mmu *vm.MMU, entries, assoc int) *TLB {
+	t, err := New(mmu, entries, assoc)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Entries returns the TLB's capacity.
+func (t *TLB) Entries() int { return int(t.geom.Size) }
+
+// Stats returns a copy of the TLB's counters.
+func (t *TLB) Stats() Stats { return t.stats }
+
+// Translate returns the physical address for (pid, va), filling from the
+// MMU on a miss (and demand-allocating the page if it was never touched).
+// hit reports whether the translation was already cached.
+func (t *TLB) Translate(pid addr.PID, va addr.VAddr) (pa addr.PAddr, hit bool) {
+	pg := t.mmu.PageGeom()
+	vpage := pg.VPage(va)
+	set, locTag := t.geom.Locate(vpage)
+	tag := locTag<<16 | uint64(pid)
+	if w, ok := t.tags.Probe(set, tag); ok {
+		e := t.tags.Line(set, w)
+		t.tags.Touch(set, w)
+		t.stats.Hits++
+		return pg.Translate(va, e.frame), true
+	}
+	t.stats.Misses++
+	pa = t.mmu.Translate(pid, va)
+	w, _ := t.tags.Victim(set, nil)
+	*t.tags.Install(set, w, tag) = entry{pid: pid, frame: pg.PFrame(pa)}
+	return pa, false
+}
+
+// Flush invalidates every entry (e.g. on a simulated TLB shootdown).
+func (t *TLB) Flush() {
+	t.tags.InvalidateAll()
+	t.stats.Flushes++
+}
+
+// FlushPID invalidates all entries belonging to pid.
+func (t *TLB) FlushPID(pid addr.PID) {
+	t.tags.ForEachValid(func(set, w int) {
+		if t.tags.Line(set, w).pid == pid {
+			t.tags.Invalidate(set, w)
+		}
+	})
+	t.stats.PIDFlushes++
+}
+
+// Resident returns the number of valid entries, for tests.
+func (t *TLB) Resident() int { return t.tags.CountValid() }

@@ -1,0 +1,176 @@
+package tlb
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/vm"
+)
+
+func newTLB(t *testing.T, entries, assoc int) (*TLB, *vm.MMU) {
+	t.Helper()
+	m := vm.MustNew(4096)
+	tb, err := New(m, entries, assoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb, m
+}
+
+func TestMissThenHit(t *testing.T) {
+	tb, m := newTLB(t, 64, 2)
+	pa1, hit := tb.Translate(1, 0x1234)
+	if hit {
+		t.Error("first translation should miss")
+	}
+	pa2, hit := tb.Translate(1, 0x1238)
+	if !hit {
+		t.Error("second translation of same page should hit")
+	}
+	g := m.PageGeom()
+	if g.PFrame(pa1) != g.PFrame(pa2) {
+		t.Error("same page translated to different frames")
+	}
+	s := tb.Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestTranslateMatchesMMU(t *testing.T) {
+	tb, m := newTLB(t, 64, 2)
+	want := m.Translate(3, 0x9ABC)
+	got, _ := tb.Translate(3, 0x9ABC)
+	if got != want {
+		t.Errorf("TLB translation %#x != MMU %#x", uint64(got), uint64(want))
+	}
+}
+
+func TestPIDsDoNotAlias(t *testing.T) {
+	tb, m := newTLB(t, 64, 2)
+	pa1, _ := tb.Translate(1, 0x5000)
+	pa2, _ := tb.Translate(2, 0x5000)
+	if pa1 == pa2 {
+		t.Fatal("different processes aliased through the TLB")
+	}
+	// Both should now hit and keep returning distinct frames.
+	pb1, hit1 := tb.Translate(1, 0x5000)
+	pb2, hit2 := tb.Translate(2, 0x5000)
+	if !hit1 || !hit2 {
+		t.Error("expected both PIDs resident")
+	}
+	if pb1 != pa1 || pb2 != pa2 {
+		t.Error("cached translations drifted")
+	}
+	_ = m
+}
+
+func TestCapacityEviction(t *testing.T) {
+	tb, _ := newTLB(t, 4, 1)
+	// 4 direct-mapped entries: pages 0..3 fill it; page 4 conflicts with 0.
+	for p := uint64(0); p < 5; p++ {
+		tb.Translate(1, addr.VAddr(p*4096))
+	}
+	if _, hit := tb.Translate(1, 4*4096); !hit {
+		t.Error("resident entry missed")
+	}
+	if _, hit := tb.Translate(1, 0); hit {
+		t.Error("evicted entry still hit")
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	tb, _ := newTLB(t, 2, 2) // one set, two ways
+	tb.Translate(1, 0x0000)  // page 0
+	tb.Translate(1, 0x1000)  // page 1
+	tb.Translate(1, 0x0000)  // touch page 0
+	tb.Translate(1, 0x2000)  // page 2 evicts LRU (page 1)
+	if _, hit := tb.Translate(1, 0x0000); !hit {
+		t.Error("recently used page evicted")
+	}
+	if _, hit := tb.Translate(1, 0x1000); hit {
+		t.Error("LRU page not evicted")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	tb, _ := newTLB(t, 16, 2)
+	tb.Translate(1, 0x1000)
+	tb.Translate(2, 0x2000)
+	if tb.Resident() != 2 {
+		t.Fatalf("Resident = %d, want 2", tb.Resident())
+	}
+	tb.Flush()
+	if tb.Resident() != 0 {
+		t.Error("Flush left entries")
+	}
+	if tb.Stats().Flushes != 1 {
+		t.Error("flush not counted")
+	}
+	if _, hit := tb.Translate(1, 0x1000); hit {
+		t.Error("hit after flush")
+	}
+}
+
+func TestFlushPID(t *testing.T) {
+	tb, _ := newTLB(t, 16, 2)
+	tb.Translate(1, 0x1000)
+	tb.Translate(1, 0x2000)
+	tb.Translate(2, 0x3000)
+	tb.FlushPID(1)
+	if _, hit := tb.Translate(1, 0x1000); hit {
+		t.Error("pid 1 entry survived FlushPID(1)")
+	}
+	if _, hit := tb.Translate(2, 0x3000); !hit {
+		t.Error("pid 2 entry lost by FlushPID(1)")
+	}
+	if tb.Stats().PIDFlushes != 1 {
+		t.Error("pid flush not counted")
+	}
+}
+
+func TestStatsRatio(t *testing.T) {
+	tb, _ := newTLB(t, 16, 2)
+	if tb.Stats().HitRatio() != 0 {
+		t.Error("idle ratio should be 0")
+	}
+	tb.Translate(1, 0x1000)
+	tb.Translate(1, 0x1000)
+	tb.Translate(1, 0x1000)
+	tb.Translate(1, 0x1000)
+	if got := tb.Stats().HitRatio(); got != 0.75 {
+		t.Errorf("HitRatio = %v, want 0.75", got)
+	}
+	if tb.Stats().Lookups() != 4 {
+		t.Errorf("Lookups = %d", tb.Stats().Lookups())
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	m := vm.MustNew(4096)
+	if _, err := New(m, 0, 1); err == nil {
+		t.Error("0 entries accepted")
+	}
+	if _, err := New(m, 7, 1); err == nil {
+		t.Error("non-power-of-two entries accepted")
+	}
+	if _, err := New(m, 8, 16); err == nil {
+		t.Error("assoc > entries accepted")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew did not panic")
+		}
+	}()
+	MustNew(vm.MustNew(4096), 0, 1)
+}
+
+func TestEntries(t *testing.T) {
+	tb, _ := newTLB(t, 128, 4)
+	if tb.Entries() != 128 {
+		t.Errorf("Entries = %d", tb.Entries())
+	}
+}

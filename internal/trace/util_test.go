@@ -1,0 +1,164 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestMergeRoundRobin(t *testing.T) {
+	a := NewSliceReader([]Ref{
+		{CPU: 0, Kind: Read, PID: 1, Addr: 0x0},
+		{CPU: 0, Kind: Read, PID: 1, Addr: 0x1},
+	})
+	b := NewSliceReader([]Ref{
+		{CPU: 1, Kind: Write, PID: 2, Addr: 0x2},
+		{CPU: 1, Kind: Write, PID: 2, Addr: 0x3},
+	})
+	got, err := ReadAll(NewMerge(a, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Ref{
+		{CPU: 0, Kind: Read, PID: 1, Addr: 0x0},
+		{CPU: 1, Kind: Write, PID: 2, Addr: 0x2},
+		{CPU: 0, Kind: Read, PID: 1, Addr: 0x1},
+		{CPU: 1, Kind: Write, PID: 2, Addr: 0x3},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("merge order:\n got %v\nwant %v", got, want)
+	}
+}
+
+func TestMergeUnequalLengths(t *testing.T) {
+	a := NewSliceReader([]Ref{{CPU: 0, Addr: 1}})
+	b := NewSliceReader([]Ref{{CPU: 1, Addr: 2}, {CPU: 1, Addr: 3}, {CPU: 1, Addr: 4}})
+	got, err := ReadAll(NewMerge(a, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("merged %d records, want 4", len(got))
+	}
+	// The longer stream keeps flowing after the shorter ends.
+	if got[3].Addr != 4 {
+		t.Errorf("tail record = %v", got[3])
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	if _, err := NewMerge().Next(); !errors.Is(err, io.EOF) {
+		t.Error("empty merge should be EOF")
+	}
+	m := NewMerge(NewSliceReader(nil), NewSliceReader(nil))
+	if _, err := m.Next(); !errors.Is(err, io.EOF) {
+		t.Error("merge of empty streams should be EOF")
+	}
+}
+
+func TestFilterCPU(t *testing.T) {
+	refs := []Ref{
+		{CPU: 0, Addr: 1},
+		{CPU: 1, Addr: 2},
+		{CPU: 0, Kind: CtxSwitch, PID: 3},
+		{CPU: 2, Addr: 4},
+		{CPU: 0, Addr: 5},
+	}
+	got, err := ReadAll(NewFilterCPU(NewSliceReader(refs), 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("filtered %d records, want 3", len(got))
+	}
+	for _, r := range got {
+		if r.CPU != 0 {
+			t.Errorf("leaked record %v", r)
+		}
+	}
+}
+
+func TestCounting(t *testing.T) {
+	refs := []Ref{
+		{CPU: 0, Kind: Read, PID: 1, Addr: 1},
+		{CPU: 0, Kind: Write, PID: 1, Addr: 2},
+		{CPU: 1, Kind: CtxSwitch, PID: 2},
+	}
+	c := NewCounting(NewSliceReader(refs))
+	if _, err := ReadAll(c); err != nil {
+		t.Fatal(err)
+	}
+	ch := c.Characteristics()
+	if ch.TotalRefs != 2 || ch.Writes != 1 || ch.CtxSwitches != 1 {
+		t.Errorf("characteristics = %+v", ch)
+	}
+}
+
+func TestGzipRoundTrip(t *testing.T) {
+	refs := sampleRefs()
+	var buf bytes.Buffer
+	w := NewGzipWriter(&buf)
+	for _, r := range refs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The stream really is gzip.
+	if buf.Bytes()[0] != 0x1f || buf.Bytes()[1] != 0x8b {
+		t.Fatal("output is not gzip")
+	}
+	r, err := OpenBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, refs) {
+		t.Fatalf("gzip round trip mismatch")
+	}
+}
+
+func TestOpenBinaryPlain(t *testing.T) {
+	refs := sampleRefs()
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	for _, r := range refs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, refs) {
+		t.Fatal("plain round trip mismatch")
+	}
+}
+
+func TestOpenBinaryTooShort(t *testing.T) {
+	if _, err := OpenBinary(strings.NewReader("x")); err == nil {
+		t.Error("1-byte stream accepted")
+	}
+}
+
+func TestOpenBinaryBadGzip(t *testing.T) {
+	if _, err := OpenBinary(bytes.NewReader([]byte{0x1f, 0x8b, 0xff, 0xff})); err == nil {
+		t.Error("corrupt gzip accepted")
+	}
+}

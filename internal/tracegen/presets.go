@@ -1,0 +1,128 @@
+package tracegen
+
+import "fmt"
+
+// The presets below model the three ATUM multiprocessor traces of the
+// paper's Table 5. Reference counts, CPU counts, reference mixes and
+// context-switch frequencies match the published characteristics; call
+// rates are solved so that roughly 30% of writes come from procedure-call
+// bursts (the paper's measurement for pops); locality parameters are
+// calibrated so that first-level hit ratios land near the published Table 6
+// range and scale with cache size.
+
+// PopsLike models pops: 4 CPUs, ~3.29M references, 52% instruction
+// fetches, and very rare context switches (7 in the whole trace).
+func PopsLike() Config {
+	return Config{
+		Name:              "pops",
+		CPUs:              4,
+		TotalRefs:         3_286_000,
+		Seed:              1001,
+		InstrFrac:         0.537,
+		ReadFrac:          0.401,
+		WriteFrac:         0.062,
+		ProcsPerCPU:       2,
+		CtxSwitchInterval: 470_000,
+		CallProb:          0.0062,
+		CodeAlpha:         1.05,
+		DataAlpha:         0.68,
+		SeqRunProb:        0.92,
+		SharedPages:       64,
+		SharedFrac:        0.10,
+		SharedWriteFrac:   0.25,
+		SharedHotBlocks:   8,
+	}
+}
+
+// ThorLike models thor: 4 CPUs, ~3.28M references, more writes than pops,
+// 21 context switches.
+func ThorLike() Config {
+	return Config{
+		Name:              "thor",
+		CPUs:              4,
+		TotalRefs:         3_283_000,
+		Seed:              2002,
+		InstrFrac:         0.479,
+		ReadFrac:          0.438,
+		WriteFrac:         0.083,
+		ProcsPerCPU:       2,
+		CtxSwitchInterval: 156_000,
+		CallProb:          0.0093,
+		CodeAlpha:         1.05,
+		DataAlpha:         0.68,
+		SeqRunProb:        0.92,
+		SharedPages:       64,
+		SharedFrac:        0.10,
+		SharedWriteFrac:   0.25,
+		SharedHotBlocks:   8,
+	}
+}
+
+// AbaqusLike models abaqus: 2 CPUs, ~1.2M references, read-heavy, and
+// frequent context switches (292 in the trace) — the workload where the
+// V-cache flush penalty shows.
+func AbaqusLike() Config {
+	return Config{
+		Name:               "abaqus",
+		CPUs:               2,
+		TotalRefs:          1_196_000,
+		Seed:               3003,
+		InstrFrac:          0.439,
+		ReadFrac:           0.512,
+		WriteFrac:          0.049,
+		ProcsPerCPU:        3,
+		CtxSwitchInterval:  4_100,
+		CallProb:           0.0060,
+		CodeAlpha:          0.60,
+		DataAlpha:          0.42,
+		SeqRunProb:         0.90,
+		CodeWorkingSet:     384,
+		DataWorkingSet:     320,
+		PrivateRegionPages: 2048,
+		SharedPages:        64,
+		SharedFrac:         0.08,
+		SharedWriteFrac:    0.30,
+		SharedHotBlocks:    32,
+	}
+}
+
+// Presets returns the three paper workloads in table order.
+func Presets() []Config {
+	return []Config{ThorLike(), PopsLike(), AbaqusLike()}
+}
+
+// PresetByName returns the preset with the given name.
+func PresetByName(name string) (Config, error) {
+	for _, c := range Presets() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Config{}, fmt.Errorf("tracegen: unknown preset %q (have thor, pops, abaqus)", name)
+}
+
+// Scaled returns a copy of c with the reference count and context-switch
+// interval multiplied by f, preserving the switch count and mix — for quick
+// runs and tests.
+func (c Config) Scaled(f float64) Config {
+	out := c
+	out.TotalRefs = int(float64(c.TotalRefs) * f)
+	if c.CtxSwitchInterval > 0 {
+		out.CtxSwitchInterval = int(float64(c.CtxSwitchInterval) * f)
+		if out.CtxSwitchInterval < 1 {
+			out.CtxSwitchInterval = 1
+		}
+	}
+	return out
+}
+
+// ScaledRefsOnly shrinks only the reference count, preserving the
+// context-switch quantum. Per-quantum behaviour (the V-cache flush cost)
+// then matches the full-scale trace at the cost of proportionally fewer
+// switches — the right trade for quick looks at switch-sensitive numbers,
+// where plain Scaled would overstate the flush penalty.
+func (c Config) ScaledRefsOnly(f float64) Config {
+	out := c
+	out.TotalRefs = int(float64(c.TotalRefs) * f)
+	return out
+}

@@ -1,0 +1,290 @@
+// Package vcache implements the paper's first-level virtually-addressed
+// cache. Each line carries, beyond the virtual tag, the control state of
+// Figure 3: a dirty bit, a valid bit, a swapped-valid bit, and an r-pointer
+// linking the line to its parent subentry in the R-cache so write-backs and
+// state checks need no address translation.
+//
+// Context switches do not write anything back: SwapOut marks every live
+// line swapped-valid, making it invisible to lookups while keeping its data
+// and its linkage. A dirty swapped line is written back only when its slot
+// is re-used — the paper's incremental write-back scheme.
+//
+// The V-cache is a passive structure; the hierarchy controller in
+// internal/core orchestrates the V<->R protocol of Table 4 around it.
+package vcache
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/cache"
+)
+
+// RPtr locates a line's parent subentry in the R-cache: the implementation
+// analogue of the paper's r-pointer (low-order physical page-number bits).
+type RPtr struct {
+	Set, Way, Sub int
+}
+
+// String renders the pointer for diagnostics.
+func (p RPtr) String() string { return fmt.Sprintf("R[%d.%d.%d]", p.Set, p.Way, p.Sub) }
+
+// Line is the V-cache line payload (the tag and valid bit live in the
+// underlying tag store).
+type Line struct {
+	Dirty bool       // modified relative to the R-cache copy
+	SV    bool       // swapped-valid: owned by a switched-out process
+	RPtr  RPtr       // parent subentry in the R-cache
+	PID   addr.PID   // process that installed the line (diagnostics)
+	VBase addr.VAddr // block-aligned virtual address (diagnostics)
+	Token uint64     // data oracle token
+}
+
+// LookupState classifies a lookup.
+type LookupState int
+
+// Lookup outcomes.
+const (
+	// Miss: no line with the reference's tag is present.
+	Miss LookupState = iota
+	// MissPresent: a line with the tag exists but is swapped-valid, so the
+	// lookup misses; the line must be the replacement victim.
+	MissPresent
+	// Hit: a live line holds the block.
+	Hit
+)
+
+// VCache is one virtually-indexed, virtually-tagged cache (the unified
+// V-cache, or one half of a split I/D pair).
+//
+// With PID tagging enabled, the process identifier is part of every tag —
+// the alternative context-switch scheme the paper's Section 2 discusses:
+// no flush is needed on a switch, at the cost of wider tags and the purge
+// complexity the paper objects to.
+type VCache struct {
+	tags    *cache.Cache[Line]
+	geom    cache.Geometry
+	pidTags bool
+}
+
+// New builds a V-cache with the given geometry.
+func New(g cache.Geometry) (*VCache, error) {
+	tags, err := cache.New[Line](g, cache.LRU, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &VCache{tags: tags, geom: g}, nil
+}
+
+// NewPIDTagged builds a V-cache whose tags include the process identifier.
+func NewPIDTagged(g cache.Geometry) (*VCache, error) {
+	v, err := New(g)
+	if err != nil {
+		return nil, err
+	}
+	v.pidTags = true
+	return v, nil
+}
+
+// PIDTagged reports whether tags include the process identifier.
+func (v *VCache) PIDTagged() bool { return v.pidTags }
+
+// tagFor derives the stored tag for (pid, va).
+func (v *VCache) tagFor(pid addr.PID, va addr.VAddr) uint64 {
+	_, tag := v.geom.Locate(uint64(va))
+	if v.pidTags {
+		tag = tag<<16 | uint64(pid)
+	}
+	return tag
+}
+
+// MustNew is New but panics on error.
+func MustNew(g cache.Geometry) *VCache {
+	v, err := New(g)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Geometry returns the cache's shape.
+func (v *VCache) Geometry() cache.Geometry { return v.geom }
+
+// Locate maps a virtual address to its (set, tag).
+func (v *VCache) Locate(va addr.VAddr) (set int, tag uint64) {
+	return v.geom.Locate(uint64(va))
+}
+
+// Lookup probes for (pid, va). On Hit or MissPresent, set/way identify the
+// line; on Miss, way is -1. Without PID tagging the pid does not take part
+// in the match.
+func (v *VCache) Lookup(pid addr.PID, va addr.VAddr) (set, way int, state LookupState) {
+	set, _ = v.Locate(va)
+	tag := v.tagFor(pid, va)
+	w, ok := v.tags.Probe(set, tag)
+	if !ok {
+		return set, -1, Miss
+	}
+	if v.tags.Line(set, w).SV {
+		return set, w, MissPresent
+	}
+	return set, w, Hit
+}
+
+// Touch marks (set, way) most recently used.
+func (v *VCache) Touch(set, way int) { v.tags.Touch(set, way) }
+
+// Line returns the payload at (set, way).
+func (v *VCache) Line(set, way int) *Line { return v.tags.Line(set, way) }
+
+// Present reports whether (set, way) holds a block (live or swapped).
+func (v *VCache) Present(set, way int) bool { return v.tags.ValidAt(set, way) }
+
+// Live reports whether (set, way) holds a block visible to lookups.
+func (v *VCache) Live(set, way int) bool {
+	return v.tags.ValidAt(set, way) && !v.tags.Line(set, way).SV
+}
+
+// Victim describes the line a replacement will evict.
+type Victim struct {
+	Set, Way int
+	Present  bool // a block occupies the slot (live or swapped)
+	Dirty    bool
+	SV       bool
+	RPtr     RPtr
+	Token    uint64
+	PID      addr.PID
+	VBase    addr.VAddr
+}
+
+// PickVictim chooses the replacement slot for a fill of va. Swapped-valid
+// lines are preferred over live ones (they are logically invalid), and a
+// swapped line whose tag equals va's must be the victim to keep tags unique
+// within the set.
+func (v *VCache) PickVictim(pid addr.PID, va addr.VAddr) Victim {
+	set, _ := v.Locate(va)
+	tag := v.tagFor(pid, va)
+	way := -1
+	if w, ok := v.tags.Probe(set, tag); ok {
+		// Same tag, necessarily swapped-valid (a live line would have hit).
+		way = w
+	} else {
+		way, _ = v.tags.Victim(set, func(w int) bool { return v.tags.Line(set, w).SV })
+	}
+	vic := Victim{Set: set, Way: way, Present: v.tags.ValidAt(set, way)}
+	if vic.Present {
+		l := v.tags.Line(set, way)
+		vic.Dirty, vic.SV, vic.RPtr, vic.Token = l.Dirty, l.SV, l.RPtr, l.Token
+		vic.PID, vic.VBase = l.PID, l.VBase
+	}
+	return vic
+}
+
+// Install fills (set, way) with a block for va, replacing any victim. The
+// caller has already disposed of the victim (write-back or inclusion-bit
+// clear). Dirty and token carry over when the data arrives via a synonym
+// move.
+func (v *VCache) Install(set, way int, va addr.VAddr, pid addr.PID, rptr RPtr, dirty bool, token uint64) {
+	tag := v.tagFor(pid, va)
+	*v.tags.Install(set, way, tag) = Line{
+		Dirty: dirty,
+		RPtr:  rptr,
+		PID:   pid,
+		VBase: addr.VAddr(uint64(va) &^ (v.geom.Block - 1)),
+		Token: token,
+	}
+}
+
+// Retag re-addresses a live or swapped line in place under a new virtual
+// address mapping to the same set — the paper's sameset synonym handling.
+// Dirty state, token and r-pointer are preserved; the swapped-valid bit is
+// cleared because the new owner is the running process.
+func (v *VCache) Retag(set, way int, va addr.VAddr, pid addr.PID) {
+	nset, _ := v.Locate(va)
+	if nset != set {
+		panic(fmt.Sprintf("vcache: Retag across sets %d -> %d", set, nset))
+	}
+	v.tags.Retag(set, way, v.tagFor(pid, va))
+	l := v.tags.Line(set, way)
+	l.SV = false
+	l.PID = pid
+	l.VBase = addr.VAddr(uint64(va) &^ (v.geom.Block - 1))
+	v.tags.Touch(set, way)
+}
+
+// WriteTouch records a processor write into a live line.
+func (v *VCache) WriteTouch(set, way int, token uint64) {
+	l := v.tags.Line(set, way)
+	l.Dirty = true
+	l.Token = token
+	v.tags.Touch(set, way)
+}
+
+// CleanLine clears the dirty bit (bus-induced flush keeps the copy, now
+// clean and shared).
+func (v *VCache) CleanLine(set, way int) { v.tags.Line(set, way).Dirty = false }
+
+// Invalidate removes the block at (set, way) entirely (valid and
+// swapped-valid both cleared).
+func (v *VCache) Invalidate(set, way int) {
+	l := v.tags.Line(set, way)
+	l.SV = false
+	l.Dirty = false
+	v.tags.Invalidate(set, way)
+}
+
+// SwapOut implements the context-switch rule: every live line becomes
+// swapped-valid; nothing is written back. It returns the number of lines
+// swapped.
+func (v *VCache) SwapOut() int {
+	n := 0
+	v.tags.ForEachValid(func(set, way int) {
+		l := v.tags.Line(set, way)
+		if !l.SV {
+			l.SV = true
+			n++
+		}
+	})
+	return n
+}
+
+// DirtyLines returns the coordinates of every present dirty line (live or
+// swapped) — the eager-flush ablation writes these back at switch time.
+func (v *VCache) DirtyLines() []RPtrAt {
+	var out []RPtrAt
+	v.tags.ForEachValid(func(set, way int) {
+		l := v.tags.Line(set, way)
+		if l.Dirty {
+			out = append(out, RPtrAt{Set: set, Way: way, RPtr: l.RPtr, Token: l.Token})
+		}
+	})
+	return out
+}
+
+// RPtrAt pairs a line's location with its r-pointer and token.
+type RPtrAt struct {
+	Set, Way int
+	RPtr     RPtr
+	Token    uint64
+}
+
+// CountLive returns the number of live (non-swapped) lines.
+func (v *VCache) CountLive() int {
+	n := 0
+	v.tags.ForEachValid(func(set, way int) {
+		if !v.tags.Line(set, way).SV {
+			n++
+		}
+	})
+	return n
+}
+
+// CountPresent returns the number of present lines (live + swapped).
+func (v *VCache) CountPresent() int { return v.tags.CountValid() }
+
+// ForEachPresent visits every present line.
+func (v *VCache) ForEachPresent(fn func(set, way int, l *Line)) {
+	v.tags.ForEachValid(func(set, way int) {
+		fn(set, way, v.tags.Line(set, way))
+	})
+}

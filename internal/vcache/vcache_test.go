@@ -1,0 +1,252 @@
+package vcache
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+)
+
+func small() *VCache {
+	// 4 sets x 2 ways x 16B = 128B.
+	return MustNew(cache.Geometry{Size: 128, Block: 16, Assoc: 2})
+}
+
+func TestLookupMissThenHit(t *testing.T) {
+	v := small()
+	set, way, st := v.Lookup(1, 0x1000)
+	if st != Miss || way != -1 {
+		t.Fatalf("cold lookup: set %d way %d state %d", set, way, st)
+	}
+	vic := v.PickVictim(1, 0x1000)
+	if vic.Present {
+		t.Fatal("victim in empty cache should be absent")
+	}
+	v.Install(vic.Set, vic.Way, 0x1000, 1, RPtr{1, 0, 0}, false, 7)
+	s2, w2, st2 := v.Lookup(1, 0x1004) // same block
+	if st2 != Hit || s2 != vic.Set || w2 != vic.Way {
+		t.Fatalf("lookup after install: state %d", st2)
+	}
+	l := v.Line(s2, w2)
+	if l.Token != 7 || l.Dirty || l.SV || l.PID != 1 {
+		t.Errorf("line state wrong: %+v", *l)
+	}
+	if l.VBase != 0x1000 {
+		t.Errorf("VBase = %#x", uint64(l.VBase))
+	}
+}
+
+func TestDifferentBlocksDoNotHit(t *testing.T) {
+	v := small()
+	vic := v.PickVictim(1, 0x1000)
+	v.Install(vic.Set, vic.Way, 0x1000, 1, RPtr{}, false, 1)
+	if _, _, st := v.Lookup(1, 0x1010); st == Hit {
+		t.Error("adjacent block hit")
+	}
+}
+
+func TestWriteTouch(t *testing.T) {
+	v := small()
+	vic := v.PickVictim(1, 0x2000)
+	v.Install(vic.Set, vic.Way, 0x2000, 1, RPtr{}, false, 1)
+	v.WriteTouch(vic.Set, vic.Way, 42)
+	l := v.Line(vic.Set, vic.Way)
+	if !l.Dirty || l.Token != 42 {
+		t.Errorf("after WriteTouch: %+v", *l)
+	}
+	v.CleanLine(vic.Set, vic.Way)
+	if l.Dirty {
+		t.Error("CleanLine did not clear dirty")
+	}
+}
+
+func TestSwapOutHidesLines(t *testing.T) {
+	v := small()
+	vic := v.PickVictim(1, 0x3000)
+	v.Install(vic.Set, vic.Way, 0x3000, 1, RPtr{}, true, 5)
+	if n := v.SwapOut(); n != 1 {
+		t.Fatalf("SwapOut = %d, want 1", n)
+	}
+	set, way, st := v.Lookup(1, 0x3000)
+	if st != MissPresent {
+		t.Fatalf("lookup of swapped line: state %d, want MissPresent", st)
+	}
+	if !v.Present(set, way) || v.Live(set, way) {
+		t.Error("present/live flags wrong for swapped line")
+	}
+	l := v.Line(set, way)
+	if !l.SV || !l.Dirty || l.Token != 5 {
+		t.Errorf("swapped line lost state: %+v", *l)
+	}
+	// Second SwapOut is a no-op on already-swapped lines.
+	if n := v.SwapOut(); n != 0 {
+		t.Errorf("second SwapOut = %d, want 0", n)
+	}
+}
+
+func TestPickVictimPrefersSameTagSwapped(t *testing.T) {
+	v := small()
+	// Fill both ways of one set: blocks 0x000 and 0x040 share set 0 (4 sets x 16B).
+	a := v.PickVictim(1, 0x000)
+	v.Install(a.Set, a.Way, 0x000, 1, RPtr{}, true, 1)
+	b := v.PickVictim(1, 0x040)
+	v.Install(b.Set, b.Way, 0x040, 1, RPtr{}, false, 2)
+	if a.Set != b.Set {
+		t.Fatal("test expects same set")
+	}
+	v.SwapOut()
+	// A fill of 0x000 must reuse the line already tagged 0x000.
+	vic := v.PickVictim(1, 0x000)
+	if vic.Way != a.Way {
+		t.Errorf("victim way %d, want the same-tag way %d", vic.Way, a.Way)
+	}
+	if !vic.Present || !vic.SV || !vic.Dirty || vic.Token != 1 {
+		t.Errorf("victim info lost: %+v", vic)
+	}
+}
+
+func TestPickVictimPrefersSwappedOverLive(t *testing.T) {
+	v := small()
+	a := v.PickVictim(1, 0x000)
+	v.Install(a.Set, a.Way, 0x000, 1, RPtr{}, false, 1)
+	v.SwapOut() // 0x000 now swapped
+	b := v.PickVictim(1, 0x040)
+	v.Install(b.Set, b.Way, 0x040, 2, RPtr{}, false, 2) // live, same set
+	vic := v.PickVictim(1, 0x080)                       // third block in set 0
+	if vic.Way != a.Way {
+		t.Errorf("victim = way %d, want swapped way %d", vic.Way, a.Way)
+	}
+}
+
+func TestPickVictimEmptyWayFirst(t *testing.T) {
+	v := small()
+	a := v.PickVictim(1, 0x000)
+	v.Install(a.Set, a.Way, 0x000, 1, RPtr{}, false, 1)
+	vic := v.PickVictim(1, 0x040)
+	if vic.Present {
+		t.Error("victim should be the empty way")
+	}
+}
+
+func TestRetagSameSet(t *testing.T) {
+	v := small()
+	a := v.PickVictim(1, 0x000)
+	v.Install(a.Set, a.Way, 0x000, 1, RPtr{2, 1, 0}, true, 9)
+	v.SwapOut()
+	// New virtual address 0x100 maps to set 0 too (0x100/16 = 16, 16%4 = 0).
+	set, _, st := v.Lookup(1, 0x100)
+	if st != Miss || set != a.Set {
+		t.Fatalf("precondition: set %d st %d", set, st)
+	}
+	v.Retag(a.Set, a.Way, 0x100, 2)
+	_, way, st := v.Lookup(1, 0x100)
+	if st != Hit || way != a.Way {
+		t.Fatalf("lookup after retag: st %d", st)
+	}
+	l := v.Line(a.Set, way)
+	if l.SV || !l.Dirty || l.Token != 9 || l.PID != 2 || l.VBase != 0x100 {
+		t.Errorf("retag mangled line: %+v", *l)
+	}
+	if l.RPtr != (RPtr{2, 1, 0}) {
+		t.Errorf("retag lost r-pointer: %v", l.RPtr)
+	}
+	if _, _, st := v.Lookup(1, 0x000); st != Miss {
+		t.Error("old address still present after retag")
+	}
+}
+
+func TestRetagAcrossSetsPanics(t *testing.T) {
+	v := small()
+	a := v.PickVictim(1, 0x000)
+	v.Install(a.Set, a.Way, 0x000, 1, RPtr{}, false, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-set Retag did not panic")
+		}
+	}()
+	v.Retag(a.Set, a.Way, 0x010, 1) // block 1 -> set 1
+}
+
+func TestInvalidateClearsEverything(t *testing.T) {
+	v := small()
+	a := v.PickVictim(1, 0x000)
+	v.Install(a.Set, a.Way, 0x000, 1, RPtr{}, true, 3)
+	v.SwapOut()
+	v.Invalidate(a.Set, a.Way)
+	if v.Present(a.Set, a.Way) {
+		t.Error("line present after invalidate")
+	}
+	vic := v.PickVictim(1, 0x000)
+	if vic.Present {
+		t.Error("victim reports stale presence")
+	}
+}
+
+func TestDirtyLines(t *testing.T) {
+	v := small()
+	a := v.PickVictim(1, 0x000)
+	v.Install(a.Set, a.Way, 0x000, 1, RPtr{1, 0, 0}, true, 11)
+	b := v.PickVictim(1, 0x010)
+	v.Install(b.Set, b.Way, 0x010, 1, RPtr{2, 0, 1}, false, 12)
+	dl := v.DirtyLines()
+	if len(dl) != 1 || dl[0].Token != 11 || dl[0].RPtr != (RPtr{1, 0, 0}) {
+		t.Errorf("DirtyLines = %+v", dl)
+	}
+}
+
+func TestCounts(t *testing.T) {
+	v := small()
+	a := v.PickVictim(1, 0x000)
+	v.Install(a.Set, a.Way, 0x000, 1, RPtr{}, false, 0)
+	b := v.PickVictim(1, 0x010)
+	v.Install(b.Set, b.Way, 0x010, 1, RPtr{}, false, 0)
+	if v.CountPresent() != 2 || v.CountLive() != 2 {
+		t.Fatalf("counts: present %d live %d", v.CountPresent(), v.CountLive())
+	}
+	v.SwapOut()
+	if v.CountPresent() != 2 || v.CountLive() != 0 {
+		t.Errorf("after swap: present %d live %d", v.CountPresent(), v.CountLive())
+	}
+	n := 0
+	v.ForEachPresent(func(_, _ int, l *Line) {
+		if !l.SV {
+			t.Error("ForEachPresent visited a live line after SwapOut")
+		}
+		n++
+	})
+	if n != 2 {
+		t.Errorf("ForEachPresent visited %d", n)
+	}
+}
+
+func TestInstallOverwritesSwapped(t *testing.T) {
+	v := small()
+	a := v.PickVictim(1, 0x000)
+	v.Install(a.Set, a.Way, 0x000, 1, RPtr{}, true, 1)
+	b := v.PickVictim(1, 0x040)
+	v.Install(b.Set, b.Way, 0x040, 1, RPtr{}, false, 1)
+	v.SwapOut()
+	vic := v.PickVictim(1, 0x080)
+	if !vic.SV {
+		t.Fatalf("expected swapped victim, got %+v", vic)
+	}
+	v.Install(vic.Set, vic.Way, 0x080, 2, RPtr{}, false, 2)
+	l := v.Line(vic.Set, vic.Way)
+	if l.SV || l.Dirty || l.Token != 2 {
+		t.Errorf("install did not reset state: %+v", *l)
+	}
+	if _, _, st := v.Lookup(1, 0x080); st != Hit {
+		t.Error("new block not live")
+	}
+}
+
+func TestNewRejectsBadGeometry(t *testing.T) {
+	if _, err := New(cache.Geometry{Size: 100, Block: 16, Assoc: 1}); err == nil {
+		t.Error("bad geometry accepted")
+	}
+}
+
+func TestRPtrString(t *testing.T) {
+	if got := (RPtr{1, 2, 3}).String(); got != "R[1.2.3]" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,126 @@
+package writebuf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vcache"
+)
+
+// Property: the buffer never exceeds its depth, never loses an entry
+// (pushes = drains + forced + cancels + flushes + still-resident), and
+// drains strictly in FIFO order.
+func TestBufferAccountingProperty(t *testing.T) {
+	f := func(seed int64, nOps uint8, depthRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		depth := int(depthRaw%8) + 1
+		b := MustNew(depth, uint64(rng.Intn(6)))
+		live := map[vcache.RPtr]bool{}
+		var order []vcache.RPtr // FIFO of live entries
+		next := 0
+		removeFromOrder := func(rp vcache.RPtr) {
+			for i, o := range order {
+				if o == rp {
+					order = append(order[:i], order[i+1:]...)
+					return
+				}
+			}
+		}
+		for op := 0; op < int(nOps); op++ {
+			switch rng.Intn(4) {
+			case 0: // push a fresh r-pointer
+				rp := vcache.RPtr{Set: next, Way: 0, Sub: 0}
+				next++
+				ev, forced := b.Push(rp, uint64(next))
+				if forced {
+					if order[0] != ev.RPtr {
+						return false // forced drain must be the oldest
+					}
+					delete(live, ev.RPtr)
+					order = order[1:]
+				}
+				live[rp] = true
+				order = append(order, rp)
+			case 1: // tick-drain
+				for _, e := range b.Tick() {
+					if len(order) == 0 || order[0] != e.RPtr {
+						return false // drains must be FIFO
+					}
+					delete(live, e.RPtr)
+					order = order[1:]
+				}
+			case 2: // cancel a random live entry
+				if len(order) > 0 {
+					rp := order[rng.Intn(len(order))]
+					if _, ok := b.Cancel(rp); !ok {
+						return false
+					}
+					delete(live, rp)
+					removeFromOrder(rp)
+				}
+			case 3: // flush a random live entry
+				if len(order) > 0 {
+					rp := order[rng.Intn(len(order))]
+					if _, ok := b.Flush(rp); !ok {
+						return false
+					}
+					delete(live, rp)
+					removeFromOrder(rp)
+				}
+			}
+			if b.Len() != len(live) || b.Len() > depth {
+				return false
+			}
+			// Every tracked entry is findable.
+			for rp := range live {
+				if _, ok := b.Find(rp); !ok {
+					return false
+				}
+			}
+		}
+		s := b.Stats()
+		removed := s.Drains + s.Forced + s.Cancels + s.Flushes
+		return s.Pushes == removed+uint64(b.Len())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Update changes the token of exactly the targeted entry.
+func TestUpdateProperty(t *testing.T) {
+	f := func(tokens []uint8) bool {
+		if len(tokens) == 0 {
+			return true
+		}
+		if len(tokens) > 8 {
+			tokens = tokens[:8]
+		}
+		b := MustNew(len(tokens), 100)
+		for i := range tokens {
+			b.Push(vcache.RPtr{Set: i}, uint64(tokens[i]))
+		}
+		target := len(tokens) / 2
+		if !b.Update(vcache.RPtr{Set: target}, 999) {
+			return false
+		}
+		for i := range tokens {
+			e, ok := b.Find(vcache.RPtr{Set: i})
+			if !ok {
+				return false
+			}
+			want := uint64(tokens[i])
+			if i == target {
+				want = 999
+			}
+			if e.Token != want {
+				return false
+			}
+		}
+		return !b.Update(vcache.RPtr{Set: 1000}, 1) // missing entry: false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

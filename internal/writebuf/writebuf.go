@@ -1,0 +1,168 @@
+// Package writebuf models the write-back buffer between the V-cache and the
+// R-cache. Dirty victims are pushed here instead of stalling the processor;
+// each entry drains into the R-cache after a fixed number of references.
+// The R-cache tracks buffered blocks through its buffer bits, and the
+// coherence protocol can flush or cancel entries by their r-pointer
+// (the paper's flush(buffer) / invalidate(buffer) / write-back(r-pointer)
+// messages).
+//
+// The buffer is bounded: pushing into a full buffer reports a stall and the
+// oldest entry is drained immediately, which is how the paper's "several
+// write buffers may be needed" observation shows up in the statistics.
+package writebuf
+
+import (
+	"fmt"
+
+	"repro/internal/vcache"
+)
+
+// Entry is one buffered write-back: the R-cache subentry it belongs to and
+// the modified data's token.
+type Entry struct {
+	RPtr  vcache.RPtr
+	Token uint64
+	due   uint64 // drain deadline in buffer ticks
+}
+
+// Stats counts buffer activity.
+type Stats struct {
+	Pushes   uint64 // entries accepted
+	Drains   uint64 // entries drained by age
+	Forced   uint64 // entries drained early because the buffer was full
+	Cancels  uint64 // entries removed by synonym reattach or invalidation
+	Flushes  uint64 // entries removed by a coherence flush
+	Stalls   uint64 // pushes that found the buffer full
+	MaxDepth int    // high-water mark of occupancy
+}
+
+// Buffer is a FIFO write-back buffer with per-entry drain deadlines.
+type Buffer struct {
+	entries []Entry
+	depth   int
+	latency uint64
+	clock   uint64
+	stats   Stats
+}
+
+// New builds a buffer holding up to depth entries, each draining latency
+// ticks after it was pushed. Depth must be at least 1; latency of 0 drains
+// entries on the next tick.
+func New(depth int, latency uint64) (*Buffer, error) {
+	if depth < 1 {
+		return nil, fmt.Errorf("writebuf: depth %d < 1", depth)
+	}
+	return &Buffer{depth: depth, latency: latency}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(depth int, latency uint64) *Buffer {
+	b, err := New(depth, latency)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Len returns the current occupancy.
+func (b *Buffer) Len() int { return len(b.entries) }
+
+// Depth returns the buffer's capacity.
+func (b *Buffer) Depth() int { return b.depth }
+
+// Full reports whether a push would stall.
+func (b *Buffer) Full() bool { return len(b.entries) >= b.depth }
+
+// Stats returns a copy of the counters.
+func (b *Buffer) Stats() Stats { return b.stats }
+
+// Push adds a write-back. If the buffer is full the oldest entry is forced
+// out first and returned with forced=true (the caller must drain it into
+// the R-cache immediately); a stall is counted.
+func (b *Buffer) Push(rptr vcache.RPtr, token uint64) (evicted Entry, forced bool) {
+	if b.Full() {
+		b.stats.Stalls++
+		b.stats.Forced++
+		evicted, forced = b.entries[0], true
+		b.entries = b.entries[1:]
+	}
+	b.stats.Pushes++
+	b.entries = append(b.entries, Entry{RPtr: rptr, Token: token, due: b.clock + b.latency})
+	if len(b.entries) > b.stats.MaxDepth {
+		b.stats.MaxDepth = len(b.entries)
+	}
+	return evicted, forced
+}
+
+// Tick advances the buffer clock and returns the entries whose drain
+// deadline has passed, oldest first. The caller writes them back into the
+// R-cache.
+func (b *Buffer) Tick() []Entry {
+	b.clock++
+	n := 0
+	for n < len(b.entries) && b.entries[n].due < b.clock {
+		n++
+	}
+	if n == 0 {
+		return nil
+	}
+	due := make([]Entry, n)
+	copy(due, b.entries[:n])
+	b.entries = b.entries[n:]
+	b.stats.Drains += uint64(n)
+	return due
+}
+
+// DrainAll removes and returns every entry, oldest first (end-of-run or
+// eager context-switch flush).
+func (b *Buffer) DrainAll() []Entry {
+	out := b.entries
+	b.entries = nil
+	b.stats.Drains += uint64(len(out))
+	return out
+}
+
+// Find returns the entry for rptr, if buffered.
+func (b *Buffer) Find(rptr vcache.RPtr) (Entry, bool) {
+	for _, e := range b.entries {
+		if e.RPtr == rptr {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// Cancel removes the entry for rptr without writing it anywhere (synonym
+// reattach or bus invalidation of buffered data).
+func (b *Buffer) Cancel(rptr vcache.RPtr) (Entry, bool) {
+	return b.remove(rptr, &b.stats.Cancels)
+}
+
+// Flush removes and returns the entry for rptr so the caller can forward
+// its data on a bus-induced flush.
+func (b *Buffer) Flush(rptr vcache.RPtr) (Entry, bool) {
+	return b.remove(rptr, &b.stats.Flushes)
+}
+
+// Update replaces the token of a buffered entry in place (write-update
+// protocol refreshing buffered data).
+func (b *Buffer) Update(rptr vcache.RPtr, token uint64) bool {
+	for i := range b.entries {
+		if b.entries[i].RPtr == rptr {
+			b.entries[i].Token = token
+			return true
+		}
+	}
+	return false
+}
+
+func (b *Buffer) remove(rptr vcache.RPtr, counter *uint64) (Entry, bool) {
+	for i, e := range b.entries {
+		if e.RPtr == rptr {
+			b.entries = append(b.entries[:i], b.entries[i+1:]...)
+			*counter++
+			return e, true
+		}
+	}
+	return Entry{}, false
+}

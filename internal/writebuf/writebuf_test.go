@@ -1,0 +1,162 @@
+package writebuf
+
+import (
+	"testing"
+
+	"repro/internal/vcache"
+)
+
+func rp(set, way, sub int) vcache.RPtr { return vcache.RPtr{Set: set, Way: way, Sub: sub} }
+
+func TestPushAndTickDrain(t *testing.T) {
+	b := MustNew(4, 2)
+	b.Push(rp(1, 0, 0), 10)
+	if b.Len() != 1 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	if got := b.Tick(); got != nil { // clock 1: due at 2, not yet
+		t.Fatalf("drained too early: %v", got)
+	}
+	if got := b.Tick(); got != nil { // clock 2: due == 2, drains when clock > due
+		t.Fatalf("drained too early: %v", got)
+	}
+	got := b.Tick() // clock 3 > due 2
+	if len(got) != 1 || got[0].Token != 10 || got[0].RPtr != rp(1, 0, 0) {
+		t.Fatalf("drain = %v", got)
+	}
+	if b.Len() != 0 {
+		t.Error("entry not removed")
+	}
+}
+
+func TestZeroLatencyDrainsNextTick(t *testing.T) {
+	b := MustNew(2, 0)
+	b.Push(rp(0, 0, 0), 1)
+	if got := b.Tick(); len(got) != 1 {
+		t.Fatalf("zero-latency entry not drained: %v", got)
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	b := MustNew(4, 0)
+	b.Push(rp(0, 0, 0), 1)
+	b.Push(rp(0, 0, 1), 2)
+	b.Push(rp(0, 1, 0), 3)
+	got := b.Tick()
+	if len(got) != 3 || got[0].Token != 1 || got[1].Token != 2 || got[2].Token != 3 {
+		t.Fatalf("order = %v", got)
+	}
+}
+
+func TestFullForcesOldest(t *testing.T) {
+	b := MustNew(1, 100)
+	b.Push(rp(0, 0, 0), 1)
+	ev, forced := b.Push(rp(0, 0, 1), 2)
+	if !forced || ev.Token != 1 {
+		t.Fatalf("forced = %v entry %v", forced, ev)
+	}
+	if b.Len() != 1 {
+		t.Errorf("Len = %d", b.Len())
+	}
+	s := b.Stats()
+	if s.Stalls != 1 || s.Forced != 1 || s.Pushes != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestPushNotForcedWhenRoom(t *testing.T) {
+	b := MustNew(2, 100)
+	if _, forced := b.Push(rp(0, 0, 0), 1); forced {
+		t.Error("forced with room available")
+	}
+}
+
+func TestFindCancelFlush(t *testing.T) {
+	b := MustNew(4, 100)
+	b.Push(rp(1, 1, 1), 5)
+	b.Push(rp(2, 2, 0), 6)
+	if e, ok := b.Find(rp(1, 1, 1)); !ok || e.Token != 5 {
+		t.Fatal("Find missed")
+	}
+	if _, ok := b.Find(rp(9, 9, 9)); ok {
+		t.Fatal("Find hit a missing entry")
+	}
+	e, ok := b.Cancel(rp(1, 1, 1))
+	if !ok || e.Token != 5 || b.Len() != 1 {
+		t.Fatal("Cancel failed")
+	}
+	if _, ok := b.Cancel(rp(1, 1, 1)); ok {
+		t.Fatal("double Cancel succeeded")
+	}
+	e, ok = b.Flush(rp(2, 2, 0))
+	if !ok || e.Token != 6 || b.Len() != 0 {
+		t.Fatal("Flush failed")
+	}
+	s := b.Stats()
+	if s.Cancels != 1 || s.Flushes != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestDrainAll(t *testing.T) {
+	b := MustNew(4, 100)
+	b.Push(rp(0, 0, 0), 1)
+	b.Push(rp(0, 0, 1), 2)
+	got := b.DrainAll()
+	if len(got) != 2 || b.Len() != 0 {
+		t.Fatalf("DrainAll = %v", got)
+	}
+	if b.Stats().Drains != 2 {
+		t.Errorf("Drains = %d", b.Stats().Drains)
+	}
+}
+
+func TestMaxDepth(t *testing.T) {
+	b := MustNew(8, 100)
+	b.Push(rp(0, 0, 0), 1)
+	b.Push(rp(0, 0, 1), 2)
+	b.Push(rp(0, 1, 0), 3)
+	b.DrainAll()
+	b.Push(rp(0, 1, 1), 4)
+	if b.Stats().MaxDepth != 3 {
+		t.Errorf("MaxDepth = %d, want 3", b.Stats().MaxDepth)
+	}
+}
+
+func TestPartialDrainKeepsYoung(t *testing.T) {
+	b := MustNew(4, 1)
+	b.Push(rp(0, 0, 0), 1) // due at 1
+	b.Tick()               // clock 1
+	b.Push(rp(0, 0, 1), 2) // due at 2
+	got := b.Tick()        // clock 2: first entry due (1 < 2), second not
+	if len(got) != 1 || got[0].Token != 1 {
+		t.Fatalf("partial drain = %v", got)
+	}
+	if b.Len() != 1 {
+		t.Error("young entry lost")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 1); err == nil {
+		t.Error("depth 0 accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew(0) did not panic")
+		}
+	}()
+	MustNew(0, 1)
+}
+
+func TestDepthAndFull(t *testing.T) {
+	b := MustNew(2, 100)
+	if b.Depth() != 2 || b.Full() {
+		t.Fatal("fresh buffer state wrong")
+	}
+	b.Push(rp(0, 0, 0), 1)
+	b.Push(rp(0, 0, 1), 2)
+	if !b.Full() {
+		t.Error("buffer with depth entries should be full")
+	}
+}

@@ -1,0 +1,188 @@
+// Package vrsim is the public API of a trace-driven simulator for the
+// two-level virtual-real cache hierarchy of Wang, Baer and Levy (ISCA
+// 1989): a small, fast, virtually-addressed first-level cache backed by a
+// large physically-addressed second-level cache that enforces inclusion,
+// resolves virtual-address synonyms through reverse-translation pointers,
+// and shields the first level from irrelevant multiprocessor cache
+// coherence traffic.
+//
+// # Building a machine
+//
+// A System is a shared-bus multiprocessor of identical two-level
+// hierarchies:
+//
+//	sys, err := vrsim.New(vrsim.Config{
+//		CPUs:         4,
+//		Organization: vrsim.VR,
+//		L1:           vrsim.Geometry{Size: 16 << 10, Block: 16, Assoc: 1},
+//		L2:           vrsim.Geometry{Size: 256 << 10, Block: 32, Assoc: 1},
+//	})
+//
+// Three organizations are available: VR (the paper's proposal), and the
+// two physically-addressed baselines it is evaluated against, RRInclusion
+// and RRNoInclusion.
+//
+// # Driving it
+//
+// Any Reader of trace records drives the machine; the tracegen-backed
+// workloads reproduce the paper's three ATUM-like traces:
+//
+//	wl := vrsim.PopsWorkload()
+//	err := vrsim.RunWorkload(sys, wl)
+//	agg := sys.Aggregate() // h1, h2, per-kind hit ratios
+//
+// Per-CPU statistics (synonym resolutions, coherence messages reaching the
+// first level, write-backs, inclusion invalidations, ...) are available
+// through System.Stats.
+//
+// # Performance model
+//
+// The paper's access-time equation and its Figure 4-6 analyses live in the
+// timemodel helpers re-exported here (AccessTime, Curve, Crossover).
+package vrsim
+
+import (
+	"repro/internal/addr"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/system"
+	"repro/internal/timemodel"
+	"repro/internal/trace"
+	"repro/internal/tracegen"
+)
+
+// Geometry describes a cache's shape: total size, block size and
+// associativity, all powers of two.
+type Geometry = cache.Geometry
+
+// Organization selects the cache organization of every CPU in a System.
+type Organization = system.Organization
+
+// The organizations the paper compares.
+const (
+	// VR is the paper's proposal: virtually-addressed L1, physically
+	// addressed L2 with inclusion, synonym resolution and shielding.
+	VR = system.VR
+	// RRInclusion is the physically-addressed baseline with inclusion.
+	RRInclusion = system.RRInclusion
+	// RRNoInclusion is the physically-addressed baseline whose levels
+	// replace independently; every bus transaction probes the L1.
+	RRNoInclusion = system.RRNoInclusion
+)
+
+// Config describes a machine; see system.Config for field documentation.
+type Config = system.Config
+
+// System is an assembled shared-bus multiprocessor.
+type System = system.System
+
+// New builds a machine.
+func New(cfg Config) (*System, error) { return system.New(cfg) }
+
+// Stats is the per-CPU counter set exposed by System.Stats.
+type Stats = core.Stats
+
+// Protocol selects the bus coherence protocol.
+type Protocol = core.Protocol
+
+// Coherence protocols: the paper's write-invalidate protocol (default) and
+// a Firefly-style write-update alternative demonstrating the paper's
+// remark that the organization works for other protocols too.
+const (
+	WriteInvalidate = core.WriteInvalidate
+	WriteUpdate     = core.WriteUpdate
+)
+
+// AccessResult reports what one reference did (hit level, synonym
+// resolution, physical address, data token).
+type AccessResult = core.AccessResult
+
+// Ref is one trace record; Reader is a stream of them.
+type (
+	Ref    = trace.Ref
+	Reader = trace.Reader
+)
+
+// Address and process-identifier types used in trace records and results.
+type (
+	VAddr = addr.VAddr
+	PAddr = addr.PAddr
+	PID   = addr.PID
+)
+
+// DMA is an I/O device on the bus (see System.NewDMA): it reads and writes
+// memory by physical address through the ordinary coherence protocol,
+// demonstrating the paper's point that a physically-addressed second level
+// makes device traffic need no reverse translation.
+type DMA = system.DMA
+
+// Signal tracing: a Tracer attached through Config.Tracer observes every
+// V-cache/R-cache interface signal of the paper's Table 4 as the
+// controllers raise them.
+type (
+	Signal     = core.Signal
+	SignalKind = core.SignalKind
+	Tracer     = core.Tracer
+	TracerFunc = core.TracerFunc
+)
+
+// Trace record kinds.
+const (
+	IFetch    = trace.IFetch
+	Read      = trace.Read
+	Write     = trace.Write
+	CtxSwitch = trace.CtxSwitch
+)
+
+// WorkloadConfig describes a synthetic multiprocessor workload.
+type WorkloadConfig = tracegen.Config
+
+// Workload generates the trace of a WorkloadConfig.
+type Workload = tracegen.Generator
+
+// NewWorkload builds a workload generator.
+func NewWorkload(cfg WorkloadConfig) (*Workload, error) { return tracegen.New(cfg) }
+
+// The paper's three trace models (Table 5 characteristics).
+var (
+	PopsWorkload   = tracegen.PopsLike
+	ThorWorkload   = tracegen.ThorLike
+	AbaqusWorkload = tracegen.AbaqusLike
+)
+
+// RunWorkload wires a synthetic workload to a machine — mapping the shared
+// segment into every process's address space, generating the trace, and
+// running it to completion.
+func RunWorkload(sys *System, cfg WorkloadConfig) error {
+	if err := cfg.SetupSharedMappings(sys.MMU()); err != nil {
+		return err
+	}
+	gen, err := tracegen.New(cfg)
+	if err != nil {
+		return err
+	}
+	return sys.Run(gen)
+}
+
+// TimeParams are the inputs of the paper's access-time equation.
+type TimeParams = timemodel.Params
+
+// DefaultTimeParams returns the paper's latency scaling (t2 = 4·t1) around
+// measured hit ratios.
+func DefaultTimeParams(h1, h2 float64) TimeParams { return timemodel.DefaultParams(h1, h2) }
+
+// AccessTime evaluates Tacc = h1·t1 + (1−h1)·h2·t2 + (1−h1−(1−h1)·h2)·tm.
+func AccessTime(p TimeParams) float64 { return timemodel.AccessTime(p) }
+
+// Crossover returns the R-R translation slow-down at which the V-R
+// organization starts winning (Figure 6's headline analysis).
+func Crossover(vr, rr TimeParams) float64 { return timemodel.Crossover(vr, rr) }
+
+// CurvePoint is one point of a Figure 4-6 access-time series.
+type CurvePoint = timemodel.CurvePoint
+
+// Curve computes a Figure 4-6 series over R-R slow-downs in
+// [0, maxSlowdown].
+func Curve(vr, rr TimeParams, maxSlowdown float64, steps int) []CurvePoint {
+	return timemodel.Curve(vr, rr, maxSlowdown, steps)
+}

@@ -1,0 +1,111 @@
+package vrsim_test
+
+import (
+	"math"
+	"testing"
+
+	vrsim "repro"
+)
+
+func smallConfig(org vrsim.Organization) vrsim.Config {
+	return vrsim.Config{
+		CPUs:         2,
+		Organization: org,
+		L1:           vrsim.Geometry{Size: 1 << 10, Block: 16, Assoc: 1},
+		L2:           vrsim.Geometry{Size: 8 << 10, Block: 32, Assoc: 1},
+		CheckOracle:  true,
+	}
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	sys, err := vrsim.New(smallConfig(vrsim.VR))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := vrsim.PopsWorkload().Scaled(0.002)
+	wl.CPUs = 2 // match the machine
+	if err := vrsim.RunWorkload(sys, wl); err != nil {
+		t.Fatal(err)
+	}
+	agg := sys.Aggregate()
+	if agg.H1 <= 0.3 || agg.H1 >= 1 {
+		t.Errorf("implausible h1 = %v", agg.H1)
+	}
+	if sys.Refs() == 0 {
+		t.Error("no references ran")
+	}
+}
+
+func TestPublicAPIAllOrganizations(t *testing.T) {
+	for _, org := range []vrsim.Organization{vrsim.VR, vrsim.RRInclusion, vrsim.RRNoInclusion} {
+		sys, err := vrsim.New(smallConfig(org))
+		if err != nil {
+			t.Fatalf("%v: %v", org, err)
+		}
+		wl := vrsim.ThorWorkload().Scaled(0.001)
+		wl.CPUs = 2
+		if err := vrsim.RunWorkload(sys, wl); err != nil {
+			t.Fatalf("%v: %v", org, err)
+		}
+	}
+}
+
+func TestManualTrace(t *testing.T) {
+	sys, err := vrsim.New(smallConfig(vrsim.VR))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := sys.Apply(vrsim.Ref{CPU: 0, Kind: vrsim.Write, PID: 1, Addr: 0x1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sys.Apply(vrsim.Ref{CPU: 0, Kind: vrsim.Read, PID: 1, Addr: 0x1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.L1Hit || r.Token != w.Token {
+		t.Errorf("read back: %+v, wrote token %d", r, w.Token)
+	}
+}
+
+func TestTimeModelReexports(t *testing.T) {
+	vr := vrsim.DefaultTimeParams(0.88, 0.55)
+	rr := vrsim.DefaultTimeParams(0.90, 0.50)
+	if vrsim.AccessTime(vr) <= 0 {
+		t.Error("AccessTime broken")
+	}
+	pts := vrsim.Curve(vr, rr, 0.1, 5)
+	if len(pts) != 6 {
+		t.Errorf("Curve points = %d", len(pts))
+	}
+	x := vrsim.Crossover(vr, rr)
+	if math.IsNaN(x) {
+		t.Error("Crossover returned NaN")
+	}
+}
+
+func TestNewWorkloadValidation(t *testing.T) {
+	bad := vrsim.PopsWorkload()
+	bad.InstrFrac = 0.99
+	if _, err := vrsim.NewWorkload(bad); err == nil {
+		t.Error("invalid workload accepted")
+	}
+}
+
+func TestStatsExposure(t *testing.T) {
+	sys, err := vrsim.New(smallConfig(vrsim.VR))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := vrsim.AbaqusWorkload().Scaled(0.002)
+	if err := vrsim.RunWorkload(sys, wl); err != nil {
+		t.Fatal(err)
+	}
+	st := sys.Stats(0)
+	if st.CtxSwitches == 0 {
+		t.Error("abaqus-like workload should context switch")
+	}
+	if st.L1.Overall().Total == 0 {
+		t.Error("no L1 accesses recorded")
+	}
+}
