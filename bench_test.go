@@ -90,6 +90,44 @@ func BenchmarkThroughputVR(b *testing.B)            { benchOrganization(b, vrsim
 func BenchmarkThroughputRRInclusion(b *testing.B)   { benchOrganization(b, vrsim.RRInclusion) }
 func BenchmarkThroughputRRNoInclusion(b *testing.B) { benchOrganization(b, vrsim.RRNoInclusion) }
 
+// benchProbed is benchOrganization with the observability layer on:
+// counts-only (a probe with no sinks) or with a windowed-metrics sink
+// consuming the full event stream. BenchmarkThroughput* above is the
+// nil-probe baseline the <5% disabled-overhead budget is measured against.
+func benchProbed(b *testing.B, org vrsim.Organization, sink bool) {
+	b.Helper()
+	wl := vrsim.PopsWorkload().Scaled(benchScale)
+	b.ReportAllocs()
+	var refs uint64
+	for i := 0; i < b.N; i++ {
+		pr := vrsim.NewProbe(0)
+		if sink {
+			pr.AddSink(vrsim.NewMetricWindows(1000))
+		}
+		sys, err := vrsim.New(vrsim.Config{
+			CPUs:         wl.CPUs,
+			Organization: org,
+			L1:           vrsim.Geometry{Size: 16 << 10, Block: 16, Assoc: 1},
+			L2:           vrsim.Geometry{Size: 256 << 10, Block: 32, Assoc: 1},
+			Probe:        pr,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := vrsim.RunWorkload(sys, wl); err != nil {
+			b.Fatal(err)
+		}
+		if err := pr.Close(); err != nil {
+			b.Fatal(err)
+		}
+		refs += sys.Refs()
+	}
+	b.ReportMetric(float64(refs)/b.Elapsed().Seconds(), "refs/s")
+}
+
+func BenchmarkThroughputVRProbeCounts(b *testing.B)  { benchProbed(b, vrsim.VR, false) }
+func BenchmarkThroughputVRProbeWindows(b *testing.B) { benchProbed(b, vrsim.VR, true) }
+
 // BenchmarkTraceGeneration measures the synthetic workload generator
 // alone.
 func BenchmarkTraceGeneration(b *testing.B) {

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/bus"
 	"repro/internal/cache"
+	"repro/internal/probe"
 	"repro/internal/report"
 	"repro/internal/system"
 	"repro/internal/timemodel"
@@ -28,32 +29,60 @@ import (
 	"repro/internal/tracegen"
 )
 
+// options collects every knob of a single-machine run.
+type options struct {
+	preset      string
+	traceFile   string
+	tracePreset string
+	org         string
+	l1, l2      string
+	b1, b2      uint64
+	a1, a2      int
+	split       bool
+	cpus        int
+	scale       float64
+	jsonOut     bool
+
+	events       bool   // stream the event log to stderr
+	eventsFilter string // comma-separated kinds/categories for -events
+	chromeTrace  string // write a Chrome trace_event JSON file
+	metricsEvery uint64 // collect windowed metrics every N references
+}
+
 func main() {
-	preset := flag.String("preset", "", "generate and run a workload preset (pops, thor, abaqus)")
-	traceFile := flag.String("trace", "", "replay a binary trace file instead of generating")
-	tracePreset := flag.String("trace-preset", "", "preset whose shared mappings the trace was generated with")
-	org := flag.String("org", "vr", "organization: vr, rr, rrnoincl")
-	l1 := flag.String("l1", "16K", "first-level cache size")
-	l2 := flag.String("l2", "256K", "second-level cache size")
-	b1 := flag.Uint64("b1", 16, "first-level block size")
-	b2 := flag.Uint64("b2", 32, "second-level block size")
-	a1 := flag.Int("a1", 1, "first-level associativity")
-	a2 := flag.Int("a2", 1, "second-level associativity")
-	split := flag.Bool("split", false, "split the first level into I and D caches")
-	cpus := flag.Int("cpus", 0, "CPU count (default: from preset)")
-	scale := flag.Float64("scale", 1.0, "preset trace length scale factor")
-	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of text")
+	var o options
+	flag.StringVar(&o.preset, "preset", "", "generate and run a workload preset (pops, thor, abaqus)")
+	flag.StringVar(&o.traceFile, "trace", "", "replay a binary trace file instead of generating")
+	flag.StringVar(&o.tracePreset, "trace-preset", "", "preset whose shared mappings the trace was generated with")
+	flag.StringVar(&o.org, "org", "vr", "organization: vr, rr, rrnoincl")
+	flag.StringVar(&o.l1, "l1", "16K", "first-level cache size")
+	flag.StringVar(&o.l2, "l2", "256K", "second-level cache size")
+	flag.Uint64Var(&o.b1, "b1", 16, "first-level block size")
+	flag.Uint64Var(&o.b2, "b2", 32, "second-level block size")
+	flag.IntVar(&o.a1, "a1", 1, "first-level associativity")
+	flag.IntVar(&o.a2, "a2", 1, "second-level associativity")
+	flag.BoolVar(&o.split, "split", false, "split the first level into I and D caches")
+	flag.IntVar(&o.cpus, "cpus", 0, "CPU count (default: from preset)")
+	flag.Float64Var(&o.scale, "scale", 1.0, "preset trace length scale factor")
+	flag.BoolVar(&o.jsonOut, "json", false, "emit machine-readable JSON instead of text")
+	flag.BoolVar(&o.events, "events", false, "stream the event log to stderr")
+	flag.StringVar(&o.eventsFilter, "events-filter", "",
+		"comma-separated event kinds or categories to keep with -events (e.g. synonym,coherence)")
+	flag.StringVar(&o.chromeTrace, "chrome-trace", "",
+		"write a Chrome trace_event JSON file (open in chrome://tracing or Perfetto)")
+	flag.Uint64Var(&o.metricsEvery, "metrics-every", 0,
+		"report windowed metrics every N references (text: printed live; -json: embedded)")
 	compare := flag.Bool("compare", false, "run all three organizations on the same workload and compare")
 	flag.Parse()
 
 	if *compare {
-		if err := runCompare(*preset, *l1, *l2, *b1, *b2, *a1, *a2, *cpus, *scale); err != nil {
+		if err := runCompare(o.preset, o.l1, o.l2, o.b1, o.b2, o.a1, o.a2, o.cpus, o.scale); err != nil {
 			fmt.Fprintln(os.Stderr, "vrsim:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	if err := run(*preset, *traceFile, *tracePreset, *org, *l1, *l2, *b1, *b2, *a1, *a2, *split, *cpus, *scale, *jsonOut); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "vrsim:", err)
 		os.Exit(1)
 	}
@@ -151,17 +180,61 @@ func parseOrg(s string) (system.Organization, error) {
 	}
 }
 
-func run(preset, traceFile, tracePreset, orgName, l1s, l2s string, b1, b2 uint64,
-	a1, a2 int, split bool, cpus int, scale float64, jsonOut bool) error {
-	org, err := parseOrg(orgName)
+// buildProbe assembles the observability layer requested on the command
+// line; it returns a nil probe (zero overhead) when no flag asks for one.
+func buildProbe(o options) (*probe.Probe, *probe.Windows, error) {
+	if !o.events && o.chromeTrace == "" && o.metricsEvery == 0 {
+		if o.eventsFilter != "" {
+			return nil, nil, fmt.Errorf("-events-filter requires -events")
+		}
+		return nil, nil, nil
+	}
+	pr := probe.New(0)
+	if o.events {
+		filter, err := probe.ParseFilter(o.eventsFilter)
+		if err != nil {
+			return nil, nil, err
+		}
+		pr.AddSink(probe.NewLog(os.Stderr, filter))
+	} else if o.eventsFilter != "" {
+		return nil, nil, fmt.Errorf("-events-filter requires -events")
+	}
+	if o.chromeTrace != "" {
+		f, err := os.Create(o.chromeTrace)
+		if err != nil {
+			return nil, nil, err
+		}
+		pr.AddSink(probe.NewChromeTrace(f))
+	}
+	var windows *probe.Windows
+	if o.metricsEvery > 0 {
+		windows = probe.NewWindows(o.metricsEvery)
+		if !o.jsonOut {
+			windows.OnClose = func(w probe.WindowMetrics) {
+				fmt.Printf("refs %d-%d: h1 %.3f, h2 %.3f, syn/ref %.5f, bus/ref %.3f, coh->L1 %d\n",
+					w.FirstRef, w.LastRef, w.L1Ratio(), w.L2Ratio(),
+					w.SynonymRate(), w.BusOccupancy(), w.CohToL1)
+			}
+		}
+		pr.AddSink(windows)
+	}
+	return pr, windows, nil
+}
+
+func run(o options) error {
+	org, err := parseOrg(o.org)
 	if err != nil {
 		return err
 	}
-	l1Size, err := parseSize(l1s)
+	l1Size, err := parseSize(o.l1)
 	if err != nil {
 		return err
 	}
-	l2Size, err := parseSize(l2s)
+	l2Size, err := parseSize(o.l2)
+	if err != nil {
+		return err
+	}
+	pr, windows, err := buildProbe(o)
 	if err != nil {
 		return err
 	}
@@ -169,23 +242,23 @@ func run(preset, traceFile, tracePreset, orgName, l1s, l2s string, b1, b2 uint64
 	var reader trace.Reader
 	var wlCfg *tracegen.Config
 	switch {
-	case preset != "" && traceFile != "":
+	case o.preset != "" && o.traceFile != "":
 		return fmt.Errorf("-preset and -trace are mutually exclusive")
-	case preset != "":
-		cfg, err := tracegen.PresetByName(preset)
+	case o.preset != "":
+		cfg, err := tracegen.PresetByName(o.preset)
 		if err != nil {
 			return err
 		}
-		if scale != 1 {
-			cfg = cfg.Scaled(scale)
+		if o.scale != 1 {
+			cfg = cfg.Scaled(o.scale)
 		}
 		gen, err := tracegen.New(cfg)
 		if err != nil {
 			return err
 		}
 		reader, wlCfg = gen, &cfg
-	case traceFile != "":
-		f, err := os.Open(traceFile)
+	case o.traceFile != "":
+		f, err := os.Open(o.traceFile)
 		if err != nil {
 			return err
 		}
@@ -194,8 +267,8 @@ func run(preset, traceFile, tracePreset, orgName, l1s, l2s string, b1, b2 uint64
 		if err != nil {
 			return err
 		}
-		if tracePreset != "" {
-			cfg, err := tracegen.PresetByName(tracePreset)
+		if o.tracePreset != "" {
+			cfg, err := tracegen.PresetByName(o.tracePreset)
 			if err != nil {
 				return err
 			}
@@ -205,6 +278,7 @@ func run(preset, traceFile, tracePreset, orgName, l1s, l2s string, b1, b2 uint64
 		return fmt.Errorf("one of -preset or -trace is required")
 	}
 
+	cpus := o.cpus
 	if cpus == 0 {
 		if wlCfg != nil {
 			cpus = wlCfg.CPUs
@@ -215,9 +289,10 @@ func run(preset, traceFile, tracePreset, orgName, l1s, l2s string, b1, b2 uint64
 	sc := system.Config{
 		CPUs:         cpus,
 		Organization: org,
-		L1:           cache.Geometry{Size: l1Size, Block: b1, Assoc: a1},
-		Split:        split,
-		L2:           cache.Geometry{Size: l2Size, Block: b2, Assoc: a2},
+		L1:           cache.Geometry{Size: l1Size, Block: o.b1, Assoc: o.a1},
+		Split:        o.split,
+		L2:           cache.Geometry{Size: l2Size, Block: o.b2, Assoc: o.a2},
+		Probe:        pr,
 	}
 	if wlCfg != nil {
 		sc.PageSize = wlCfg.PageSize
@@ -232,10 +307,18 @@ func run(preset, traceFile, tracePreset, orgName, l1s, l2s string, b1, b2 uint64
 		}
 	}
 	if err := sys.Run(reader); err != nil {
+		pr.Close()
 		return err
 	}
-	if jsonOut {
-		return report.FromSystem(sys, sc).WriteJSON(os.Stdout)
+	if err := pr.Close(); err != nil {
+		return err
+	}
+	if o.jsonOut {
+		res := report.FromSystem(sys, sc)
+		if windows != nil {
+			res.AddWindows(windows.Done())
+		}
+		return res.WriteJSON(os.Stdout)
 	}
 	printReport(sys, sc)
 	return nil
@@ -263,6 +346,9 @@ func printReport(sys *system.System, sc system.Config) {
 			fmt.Printf(" (%s)", s)
 		}
 		fmt.Println()
+	}
+	if p := sys.Probe(); p != nil {
+		fmt.Printf("probe: %d events\n", p.Counts().Total())
 	}
 }
 

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -48,16 +49,68 @@ func TestParseOrg(t *testing.T) {
 	}
 }
 
+// smallRun returns options for a tiny preset run; tests override fields.
+func smallRun() options {
+	return options{
+		preset: "pops", org: "vr", l1: "4K", l2: "64K",
+		b1: 16, b2: 32, a1: 1, a2: 1, scale: 0.001,
+	}
+}
+
 func TestRunPreset(t *testing.T) {
-	if err := run("pops", "", "", "vr", "4K", "64K", 16, 32, 1, 1,
-		false, 0, 0.001, false); err != nil {
+	if err := run(smallRun()); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunPresetJSON(t *testing.T) {
-	if err := run("thor", "", "", "rr", "4K", "64K", 16, 32, 1, 1,
-		false, 0, 0.001, true); err != nil {
+	o := smallRun()
+	o.preset, o.org, o.jsonOut = "thor", "rr", true
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunChromeTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	o := smallRun()
+	o.chromeTrace = path
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			PID int    `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("chrome trace has no events")
+	}
+}
+
+func TestRunEventsAndMetrics(t *testing.T) {
+	o := smallRun()
+	o.events = true
+	o.eventsFilter = "synonym,coherence"
+	o.metricsEvery = 100
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMetricsJSON(t *testing.T) {
+	o := smallRun()
+	o.jsonOut = true
+	o.metricsEvery = 50
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -88,41 +141,36 @@ func TestRunTraceFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	if err := run("", path, "abaqus", "vr", "4K", "64K", 16, 32, 1, 1,
-		false, 0, 1, false); err != nil {
+	o := smallRun()
+	o.preset, o.traceFile, o.tracePreset, o.scale = "", path, "abaqus", 1
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
+	mod := func(f func(*options)) options {
+		o := smallRun()
+		f(&o)
+		return o
+	}
 	cases := []struct {
 		name string
-		do   func() error
+		o    options
 	}{
-		{"both inputs", func() error {
-			return run("pops", "x.trc", "", "vr", "4K", "64K", 16, 32, 1, 1, false, 0, 1, false)
-		}},
-		{"no inputs", func() error {
-			return run("", "", "", "vr", "4K", "64K", 16, 32, 1, 1, false, 0, 1, false)
-		}},
-		{"bad org", func() error {
-			return run("pops", "", "", "zz", "4K", "64K", 16, 32, 1, 1, false, 0, 0.001, false)
-		}},
-		{"bad size", func() error {
-			return run("pops", "", "", "vr", "4Q", "64K", 16, 32, 1, 1, false, 0, 0.001, false)
-		}},
-		{"bad preset", func() error {
-			return run("nope", "", "", "vr", "4K", "64K", 16, 32, 1, 1, false, 0, 0.001, false)
-		}},
-		{"missing trace file", func() error {
-			return run("", "/nonexistent/x.trc", "", "vr", "4K", "64K", 16, 32, 1, 1, false, 0, 1, false)
-		}},
-		{"bad geometry", func() error {
-			return run("pops", "", "", "vr", "4K", "64K", 100, 32, 1, 1, false, 0, 0.001, false)
-		}},
+		{"both inputs", mod(func(o *options) { o.traceFile = "x.trc" })},
+		{"no inputs", mod(func(o *options) { o.preset = "" })},
+		{"bad org", mod(func(o *options) { o.org = "zz" })},
+		{"bad size", mod(func(o *options) { o.l1 = "4Q" })},
+		{"bad preset", mod(func(o *options) { o.preset = "nope" })},
+		{"missing trace file", mod(func(o *options) { o.preset = ""; o.traceFile = "/nonexistent/x.trc" })},
+		{"bad geometry", mod(func(o *options) { o.b1 = 100 })},
+		{"bad events filter", mod(func(o *options) { o.events = true; o.eventsFilter = "bogus" })},
+		{"filter without events", mod(func(o *options) { o.eventsFilter = "synonym" })},
+		{"unwritable chrome trace", mod(func(o *options) { o.chromeTrace = "/nonexistent/dir/t.json" })},
 	}
 	for _, c := range cases {
-		if err := c.do(); err == nil {
+		if err := run(c.o); err == nil {
 			t.Errorf("%s: want error", c.name)
 		}
 	}

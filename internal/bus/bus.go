@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"repro/internal/addr"
+	"repro/internal/probe"
 )
 
 // Kind classifies a bus transaction.
@@ -92,10 +93,22 @@ func (s Stats) Count(k Kind) uint64 { return s.ByKind[k] }
 type Bus struct {
 	snoopers []Snooper
 	stats    Stats
+	pr       *probe.Probe
 }
 
 // New creates an empty bus.
 func New() *Bus { return &Bus{} }
+
+// SetProbe attaches an event probe (nil disables emission).
+func (b *Bus) SetProbe(p *probe.Probe) { b.pr = p }
+
+// busEventKind maps a transaction kind to its probe event.
+var busEventKind = [numKinds]probe.Kind{
+	Read:       probe.EvBusRead,
+	ReadMod:    probe.EvBusReadMod,
+	Invalidate: probe.EvBusInvalidate,
+	Update:     probe.EvBusUpdate,
+}
 
 // Attach registers a snooper and returns its id, which the snooper must use
 // as Txn.From so its own transactions are not reflected back to it.
@@ -120,6 +133,9 @@ func (b *Bus) Issue(t Txn) SnoopResult {
 		panic(fmt.Sprintf("bus: bad transaction kind %d", t.Kind))
 	}
 	b.stats.ByKind[t.Kind]++
+	if b.pr != nil {
+		b.pr.Emit(probe.Event{CPU: t.From, Kind: busEventKind[t.Kind], PA: t.Addr, Aux: t.Size})
+	}
 	var agg SnoopResult
 	for i, s := range b.snoopers {
 		if i == t.From {

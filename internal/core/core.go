@@ -28,6 +28,7 @@ import (
 	"repro/internal/bus"
 	"repro/internal/cache"
 	"repro/internal/memory"
+	"repro/internal/probe"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/vm"
@@ -235,6 +236,12 @@ type Options struct {
 	// Tracer, when set, observes every V<->R interface signal of the
 	// paper's Table 4 (see SignalKind).
 	Tracer Tracer
+
+	// Probe, when set, receives a typed event for every mechanism the
+	// hierarchy exercises (hits, misses, synonyms, write-buffer traffic,
+	// coherence messages, ...). Nil disables emission entirely; the hot
+	// paths then pay only a nil check.
+	Probe *probe.Probe
 
 	Tokens *TokenSource
 }

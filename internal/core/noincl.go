@@ -6,6 +6,7 @@ import (
 	"repro/internal/addr"
 	"repro/internal/bus"
 	"repro/internal/cache"
+	"repro/internal/probe"
 	"repro/internal/rcache"
 	"repro/internal/stats"
 	"repro/internal/tlb"
@@ -36,6 +37,15 @@ type RRNoInclusion struct {
 
 	pid addr.PID
 	st  *Stats
+	pr  *probe.Probe // nil: no event emission
+}
+
+// emit forwards one probe event attributed to this hierarchy.
+func (h *RRNoInclusion) emit(k probe.Kind, acc statsKind, va addr.VAddr, pa addr.PAddr, aux uint64) {
+	if h.pr == nil {
+		return
+	}
+	h.pr.Emit(probe.Event{CPU: h.id, Kind: k, Access: acc, VA: va, PA: pa, Aux: aux})
 }
 
 var _ Hierarchy = (*RRNoInclusion)(nil)
@@ -62,6 +72,7 @@ func NewRRNoInclusion(o Options) (*RRNoInclusion, error) {
 		l1:   cache.MustNew[nl1Line](o.L1, cache.LRU, 0),
 		l2:   rcache.MustNew(o.L2, o.L1.Block),
 		st:   newStats(),
+		pr:   o.Probe,
 	}
 	t, err := tlb.New(o.MMU, o.TLBEntries, o.TLBAssoc)
 	if err != nil {
@@ -83,6 +94,7 @@ func (h *RRNoInclusion) Access(ref trace.Ref) AccessResult {
 	if ref.Kind == trace.CtxSwitch {
 		h.st.CtxSwitches++
 		h.pid = ref.PID
+		h.emit(probe.EvCtxSwitch, 0, 0, 0, probe.CtxNone)
 		return AccessResult{CtxSwitch: true}
 	}
 	h.st.WriteIntervals.Tick()
@@ -92,8 +104,10 @@ func (h *RRNoInclusion) Access(ref trace.Ref) AccessResult {
 	pa, hit := h.tlb.Translate(ref.PID, ref.Addr)
 	if hit {
 		h.st.TLB.Hits++
+		h.emit(probe.EvTLBHit, kind, ref.Addr, pa, 0)
 	} else {
 		h.st.TLB.Misses++
+		h.emit(probe.EvTLBMiss, kind, ref.Addr, pa, 0)
 	}
 	paSub := pa &^ addr.PAddr(h.opts.L1.Block-1)
 
@@ -102,6 +116,7 @@ func (h *RRNoInclusion) Access(ref trace.Ref) AccessResult {
 		h.st.L1.Record(kind, true)
 		h.l1.Touch(set, way)
 		l := h.l1.Line(set, way)
+		h.emit(probe.EvL1Hit, kind, ref.Addr, paSub, l.token)
 		if ref.Kind != trace.Write {
 			return AccessResult{Kind: kind, L1Hit: true, PA: paSub, Token: l.token}
 		}
@@ -121,6 +136,7 @@ func (h *RRNoInclusion) Access(ref trace.Ref) AccessResult {
 	}
 
 	h.st.L1.Record(kind, false)
+	h.emit(probe.EvL1Miss, kind, ref.Addr, paSub, 0)
 	if ref.Kind == trace.Write {
 		h.st.WriteIntervals.Event()
 	}
@@ -151,6 +167,7 @@ func (h *RRNoInclusion) fill(ref trace.Ref, kind statsKind, pa, paSub addr.PAddr
 			h.st.WriteBacks++
 			h.st.WriteBackIntervals.Event()
 			vicPA := addr.PAddr(h.opts.L1.BlockAddr(set, h.l1.TagAt(set, way)))
+			h.emit(probe.EvWriteBack, 0, 0, vicPA, 0)
 			if s2, w2, ok := h.l2.Lookup(vicPA); ok {
 				se := h.l2.Sub(s2, w2, h.l2.SubIndex(vicPA))
 				se.Token = vl.token
@@ -166,6 +183,13 @@ func (h *RRNoInclusion) fill(ref trace.Ref, kind statsKind, pa, paSub addr.PAddr
 	// Second level.
 	s2, w2, l2hit := h.l2.Lookup(pa)
 	h.st.L2.Record(kind, l2hit)
+	if h.pr != nil {
+		k := probe.EvL2Miss
+		if l2hit {
+			k = probe.EvL2Hit
+		}
+		h.emit(k, kind, ref.Addr, paSub, 0)
+	}
 	if l2hit {
 		if isWrite && h.l2.Line(s2, w2).State == rcache.Shared {
 			h.issueInvalidate(pa)
@@ -227,6 +251,7 @@ func (h *RRNoInclusion) l2Miss(pa addr.PAddr, isWrite bool) (set, way int) {
 // unshielded disturbance the paper's Tables 11-13 count.
 func (h *RRNoInclusion) SnoopBus(t bus.Txn) bus.SnoopResult {
 	h.st.Coherence.Record(stats.MsgProbe)
+	h.emit(probe.EvCohProbe, 0, 0, t.Addr, uint64(t.Kind))
 	var res bus.SnoopResult
 	// Probe the L1 in its own block strides.
 	for a := t.Addr; a < t.Addr+addr.PAddr(t.Size); a += addr.PAddr(h.opts.L1.Block) {

@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/addr"
 	"repro/internal/bus"
+	"repro/internal/probe"
 	"repro/internal/rcache"
 	"repro/internal/stats"
 )
@@ -10,8 +11,23 @@ import (
 // SnoopBus implements the bus-induced half of the coherence protocol
 // (Section 3). Thanks to inclusion, the R-cache filters: the V-cache is
 // disturbed only when it actually holds (or buffers) the block — the
-// shielding effect Tables 11-13 measure.
+// shielding effect Tables 11-13 measure. When probing, a transaction the
+// R-cache absorbed without sending any message down is reported as
+// shielded.
 func (h *VR) SnoopBus(t bus.Txn) bus.SnoopResult {
+	if h.pr == nil {
+		return h.snoop(t)
+	}
+	before := h.st.Coherence.Total()
+	res := h.snoop(t)
+	if h.st.Coherence.Total() == before {
+		h.emit(probe.EvShielded, 0, 0, t.Addr, uint64(t.Kind))
+	}
+	return res
+}
+
+// snoop dispatches one remote transaction against this hierarchy.
+func (h *VR) snoop(t bus.Txn) bus.SnoopResult {
 	var res bus.SnoopResult
 	// Walk the transaction's range in our own L2-block strides (hierarchies
 	// are homogeneous in practice, so this is a single iteration).
@@ -58,6 +74,7 @@ func (h *VR) snoopUpdate(a addr.PAddr, token uint64) bool {
 		// it defensively rather than lose the ordering.
 		h.wb.Update(rptrOf(set, way, sub), token)
 		h.st.Coherence.Record(stats.MsgUpdate)
+		h.emit(probe.EvCohUpdate, 0, 0, a, token)
 	}
 	if se.Inclusion {
 		child := h.vcs[se.VPtr.Cache]
@@ -66,6 +83,7 @@ func (h *VR) snoopUpdate(a addr.PAddr, token uint64) bool {
 		cl.Dirty = false
 		se.VDirty = false
 		h.st.Coherence.Record(stats.MsgUpdate)
+		h.emit(probe.EvCohUpdate, 0, 0, a, token)
 		h.sig(SigUpdate, rptrOf(set, way, sub), se.VPtr, a)
 	}
 	h.rc.Line(set, way).State = rcache.Shared
@@ -97,6 +115,7 @@ func (h *VR) snoopRead(a addr.PAddr) bus.SnoopResult {
 			se.Buffer = false
 			se.VDirty = false
 			h.st.Coherence.Record(stats.MsgFlushBuffer)
+			h.emit(probe.EvCohFlushBuffer, 0, 0, subAddr, e.Token)
 			h.sig(SigFlushBuffer, rptrOf(set, way, i), rcache.VPtr{}, subAddr)
 			res.Supplied = true
 		case se.Inclusion && se.VDirty:
@@ -109,6 +128,7 @@ func (h *VR) snoopRead(a addr.PAddr) bus.SnoopResult {
 			h.opts.Mem.Write(subAddr, token)
 			se.VDirty = false
 			h.st.Coherence.Record(stats.MsgFlush)
+			h.emit(probe.EvCohFlush, 0, 0, subAddr, token)
 			h.sig(SigFlush, rptrOf(set, way, i), se.VPtr, subAddr)
 			res.Supplied = true
 		case se.RDirty:
@@ -139,6 +159,7 @@ func (h *VR) snoopInvalidate(a addr.PAddr) {
 				panic("core: invalidate found buffer bit without buffered entry")
 			}
 			h.st.Coherence.Record(stats.MsgInvalidateBuffer)
+			h.emit(probe.EvCohInvalidateBuffer, 0, 0, a, 0)
 			h.sig(SigInvalidateBuffer, rptrOf(set, way, i), rcache.VPtr{}, a)
 		}
 		if se.Inclusion {
@@ -146,6 +167,7 @@ func (h *VR) snoopInvalidate(a addr.PAddr) {
 			// first level disturb it — the shielding effect.
 			h.vcs[se.VPtr.Cache].Invalidate(se.VPtr.Set, se.VPtr.Way)
 			h.st.Coherence.Record(stats.MsgInvalidate)
+			h.emit(probe.EvCohInvalidate, 0, 0, a, 0)
 			h.sig(SigInvalidate, rptrOf(set, way, i), se.VPtr, a)
 		}
 	}

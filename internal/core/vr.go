@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/addr"
 	"repro/internal/bus"
+	"repro/internal/probe"
 	"repro/internal/rcache"
 	"repro/internal/stats"
 	"repro/internal/tlb"
@@ -33,6 +34,16 @@ type VR struct {
 
 	pid addr.PID
 	st  *Stats
+	pr  *probe.Probe // nil: no event emission
+}
+
+// emit forwards one probe event attributed to this hierarchy. The nil
+// check keeps the disabled cost to a predictable branch.
+func (h *VR) emit(k probe.Kind, acc statsKind, va addr.VAddr, pa addr.PAddr, aux uint64) {
+	if h.pr == nil {
+		return
+	}
+	h.pr.Emit(probe.Event{CPU: h.id, Kind: k, Access: acc, VA: va, PA: pa, Aux: aux})
 }
 
 var _ Hierarchy = (*VR)(nil)
@@ -70,6 +81,25 @@ func newVR(o Options, virtual bool) (*VR, error) {
 		rc:      rcache.MustNew(o.L2, o.L1.Block),
 		wb:      writebuf.MustNew(o.WriteBufDepth, o.WriteBufLatency),
 		st:      newStats(),
+		pr:      o.Probe,
+	}
+	if h.pr != nil {
+		// The buffer reports its own traffic; translate its operations
+		// into probe events carrying the R-cache subentry's physical
+		// address. Wired only when probing, so the disabled path pays
+		// nothing inside the buffer either.
+		h.wb.Observer = func(op writebuf.Op, e writebuf.Entry) {
+			k := probe.EvWBEnqueue
+			switch op {
+			case writebuf.OpDrain:
+				k = probe.EvWBDrain
+			case writebuf.OpCancel:
+				k = probe.EvWBCancel
+			case writebuf.OpFlush:
+				k = probe.EvWBFlush
+			}
+			h.emit(k, 0, 0, h.rc.SubAddr(e.RPtr.Set, e.RPtr.Way, e.RPtr.Sub), e.Token)
+		}
 	}
 	h.rc.SetNaiveReplacement(o.NaiveL2Replacement)
 	h.wt = wtQueue{depth: o.WriteBufDepth, latency: o.WriteBufLatency}
@@ -116,8 +146,10 @@ func (h *VR) translate(pid addr.PID, va addr.VAddr) addr.PAddr {
 	pa, hit := h.tlb.Translate(pid, va)
 	if hit {
 		h.st.TLB.Hits++
+		h.emit(probe.EvTLBHit, 0, va, pa, 0)
 	} else {
 		h.st.TLB.Misses++
+		h.emit(probe.EvTLBMiss, 0, va, pa, 0)
 	}
 	return pa
 }
@@ -163,6 +195,14 @@ func (h *VR) Access(ref trace.Ref) AccessResult {
 		l := vc.Line(set, way)
 		pa := h.rc.SubAddr(l.RPtr.Set, l.RPtr.Way, l.RPtr.Sub)
 		h.sig(SigHit, l.RPtr, rcache.VPtr{Cache: ci, Set: set, Way: way}, pa)
+		if h.pr != nil {
+			h.emit(probe.EvL1Hit, kind, ref.Addr, pa, l.Token)
+			if h.virtual {
+				// The V-cache hit aborts the translation started in
+				// parallel — the paper's Section 3 abort signal.
+				h.emit(probe.EvTLBAbort, kind, ref.Addr, 0, 0)
+			}
+		}
 		if ref.Kind != trace.Write {
 			return AccessResult{Kind: kind, L1Hit: true, PA: pa, Token: l.Token}
 		}
@@ -176,6 +216,7 @@ func (h *VR) Access(ref trace.Ref) AccessResult {
 	}
 
 	h.st.L1.Record(kind, false)
+	h.emit(probe.EvL1Miss, kind, ref.Addr, h.subAlign(paKnown), 0)
 	if ref.Kind == trace.Write {
 		h.st.WriteIntervals.Event()
 		if h.opts.L1WriteThrough {
@@ -269,6 +310,13 @@ func (h *VR) fill(ci int, ref trace.Ref, kind statsKind, la addr.VAddr, paKnown 
 	// 3. Second-level lookup.
 	rset, rway, l2hit := h.rc.Lookup(pa)
 	h.st.L2.Record(kind, l2hit)
+	if h.pr != nil {
+		k := probe.EvL2Miss
+		if l2hit {
+			k = probe.EvL2Hit
+		}
+		h.emit(k, kind, ref.Addr, paSub, 0)
+	}
 	if l2hit {
 		if isWrite && h.opts.Protocol == WriteInvalidate &&
 			h.rc.Line(rset, rway).State == rcache.Shared {
@@ -348,6 +396,9 @@ func (h *VR) fill(ci int, ref trace.Ref, kind statsKind, la addr.VAddr, paKnown 
 		}
 	}
 	h.st.Synonyms[syn]++
+	if syn != SynNone {
+		h.emit(synEvent[syn], kind, ref.Addr, paSub, 0)
+	}
 
 	// 5. Perform the write.
 	token := vc.Line(fset, fway).Token
@@ -379,12 +430,16 @@ func (h *VR) evictVVictim(vic vcache.Victim) {
 	}
 	h.st.WriteBacks++
 	h.st.WriteBackIntervals.Event()
+	var aux uint64
 	if vic.SV {
 		h.st.SwappedWriteBacks++
+		aux = probe.WBSwapped
 	}
+	h.emit(probe.EvWriteBack, 0, 0, h.rc.SubAddr(vic.RPtr.Set, vic.RPtr.Way, vic.RPtr.Sub), aux)
 	se.Buffer = true
 	if evicted, forced := h.wb.Push(vic.RPtr, vic.Token); forced {
 		h.st.BufferStalls++
+		h.emit(probe.EvWBStall, 0, 0, 0, 0)
 		h.drainEntry(evicted)
 	}
 }
@@ -442,6 +497,7 @@ func (h *VR) evictRVictim(vic rcache.Victim) {
 			child.Invalidate(se.VPtr.Set, se.VPtr.Way)
 			h.st.InclusionInvals++
 			h.st.Coherence.Record(stats.MsgInclusionInvalidate)
+			h.emit(probe.EvInclusionInval, 0, 0, subAddr, 0)
 			h.sig(SigInvalidate, rptrOf(vic.Set, vic.Way, i), se.VPtr, subAddr)
 		case se.RDirty:
 			h.opts.Mem.Write(subAddr, se.Token)
@@ -488,14 +544,17 @@ func (h *VR) contextSwitch(newPID addr.PID) {
 	if !h.virtual || h.opts.PIDTagged {
 		// Physically-addressed or PID-tagged first levels keep their
 		// contents across switches.
+		h.emit(probe.EvCtxSwitch, 0, 0, 0, probe.CtxNone)
 		return
 	}
 	if !h.opts.EagerCtxFlush {
+		h.emit(probe.EvCtxSwitch, 0, 0, 0, probe.CtxLazy)
 		for _, vc := range h.vcs {
 			vc.SwapOut()
 		}
 		return
 	}
+	h.emit(probe.EvCtxSwitch, 0, 0, 0, probe.CtxEager)
 	for _, vc := range h.vcs {
 		vc.ForEachPresent(func(set, way int, l *vcache.Line) {
 			se := h.rc.Sub(l.RPtr.Set, l.RPtr.Way, l.RPtr.Sub)
@@ -505,6 +564,8 @@ func (h *VR) contextSwitch(newPID addr.PID) {
 				h.st.EagerFlushWriteBacks++
 				h.st.WriteBacks++
 				h.st.WriteBackIntervals.Event()
+				h.emit(probe.EvWriteBack, 0, 0,
+					h.rc.SubAddr(l.RPtr.Set, l.RPtr.Way, l.RPtr.Sub), probe.WBEager)
 			}
 			se.VDirty = false
 			se.Inclusion = false
@@ -517,3 +578,12 @@ func (h *VR) contextSwitch(newPID addr.PID) {
 // statsKind aliases the stats package's access kind for brevity in
 // signatures.
 type statsKind = stats.AccessKind
+
+// synEvent maps a synonym resolution (other than SynNone) to its probe
+// event kind.
+var synEvent = [...]probe.Kind{
+	SynSameSet:  probe.EvSynSameSet,
+	SynMove:     probe.EvSynMove,
+	SynCross:    probe.EvSynCross,
+	SynBuffered: probe.EvSynBuffered,
+}

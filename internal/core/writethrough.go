@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/addr"
 	"repro/internal/bus"
+	"repro/internal/probe"
 	"repro/internal/rcache"
 	"repro/internal/trace"
 )
@@ -78,6 +79,13 @@ func (h *VR) wtWrite(ref trace.Ref, kind statsKind, l1hit bool, ci, set, way int
 		}
 		rset, rway, l2hit = h.rc.Lookup(pa)
 		h.st.L2.Record(kind, l2hit)
+		if h.pr != nil {
+			k := probe.EvL2Miss
+			if l2hit {
+				k = probe.EvL2Hit
+			}
+			h.emit(k, kind, ref.Addr, h.subAlign(pa), 0)
+		}
 		if !l2hit {
 			rset, rway = h.l2Miss(pa, true)
 		}
@@ -108,6 +116,7 @@ func (h *VR) wtWrite(ref trace.Ref, kind statsKind, l1hit bool, ci, set, way int
 	}
 	if h.wt.push() {
 		h.st.BufferStalls++
+		h.emit(probe.EvWBStall, 0, 0, 0, 0)
 	}
 	return AccessResult{
 		Kind:  kind,

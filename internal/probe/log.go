@@ -1,0 +1,67 @@
+package probe
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Log is a Sink that renders each event as one human-readable line,
+// optionally filtered.
+type Log struct {
+	w      *bufio.Writer
+	filter func(Event) bool
+	err    error
+}
+
+// NewLog creates a log sink. filter may be nil (log everything).
+func NewLog(w io.Writer, filter func(Event) bool) *Log {
+	return &Log{w: bufio.NewWriter(w), filter: filter}
+}
+
+// Event implements Sink.
+func (l *Log) Event(ev Event) {
+	if l.err != nil || (l.filter != nil && !l.filter(ev)) {
+		return
+	}
+	if _, err := fmt.Fprintln(l.w, ev); err != nil {
+		l.err = err
+	}
+}
+
+// Close flushes the log.
+func (l *Log) Close() error {
+	if err := l.w.Flush(); err != nil && l.err == nil {
+		l.err = err
+	}
+	return l.err
+}
+
+// ParseFilter compiles a comma-separated list of event kind names or
+// categories (e.g. "synonym,coh-invalidate,bus") into an event predicate.
+// An empty spec accepts everything; unknown terms are an error.
+func ParseFilter(spec string) (func(Event) bool, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	kinds := map[Kind]bool{}
+	for _, term := range strings.Split(spec, ",") {
+		term = strings.TrimSpace(term)
+		if term == "" {
+			continue
+		}
+		matched := false
+		for k := Kind(0); k < NumKinds; k++ {
+			if k.String() == term || k.Category() == term {
+				kinds[k] = true
+				matched = true
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("probe: unknown event kind or category %q", term)
+		}
+	}
+	return func(ev Event) bool { return kinds[ev.Kind] }, nil
+}

@@ -1,0 +1,182 @@
+package probe
+
+import "sort"
+
+// Sink consumes events in global emission order. Sinks that also implement
+// `Close() error` are closed by Probe.Close.
+type Sink interface {
+	Event(Event)
+}
+
+// Counts is the per-kind event tally a Probe maintains inline (available
+// without attaching any sink).
+type Counts [NumKinds]uint64
+
+// Of returns the count for one kind.
+func (c Counts) Of(k Kind) uint64 {
+	if k < NumKinds {
+		return c[k]
+	}
+	return 0
+}
+
+// Total returns the count across all kinds.
+func (c Counts) Total() uint64 {
+	var t uint64
+	for _, v := range c {
+		t += v
+	}
+	return t
+}
+
+// Map returns the non-zero counts keyed by kind name (the JSON report
+// form).
+func (c Counts) Map() map[string]uint64 {
+	m := make(map[string]uint64)
+	for k := Kind(0); k < NumKinds; k++ {
+		if c[k] > 0 {
+			m[k.String()] = c[k]
+		}
+	}
+	return m
+}
+
+// DefaultRingCapacity is the per-CPU ring size used when none is given.
+const DefaultRingCapacity = 4096
+
+// Probe is the event sink the simulator's components emit through. A nil
+// *Probe is valid and means "disabled": every method is safe to call and
+// does nothing, so the hot paths pay only a nil check.
+type Probe struct {
+	sinks   []Sink
+	rings   []*ring
+	ringCap int
+	scratch []Event // reused flush buffer
+	counts  Counts
+	seq     uint64
+	ref     uint64
+}
+
+// New creates an enabled probe. ringCapacity is the per-CPU ring size
+// (rounded up to a power of two); 0 selects DefaultRingCapacity.
+func New(ringCapacity int) *Probe {
+	if ringCapacity <= 0 {
+		ringCapacity = DefaultRingCapacity
+	}
+	cap := 1
+	for cap < ringCapacity {
+		cap <<= 1
+	}
+	return &Probe{ringCap: cap}
+}
+
+// AddSink attaches a sink. Sinks receive batches of events in global
+// emission order when the rings flush.
+func (p *Probe) AddSink(s Sink) {
+	if p == nil || s == nil {
+		return
+	}
+	p.sinks = append(p.sinks, s)
+}
+
+// Enabled reports whether the probe collects events.
+func (p *Probe) Enabled() bool { return p != nil }
+
+// AdvanceRef starts the next memory reference; subsequent events are
+// stamped with its 1-based index. The system layer calls this once per
+// non-context-switch trace record.
+func (p *Probe) AdvanceRef() {
+	if p != nil {
+		p.ref++
+	}
+}
+
+// Ref returns the current reference index.
+func (p *Probe) Ref() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.ref
+}
+
+// Counts returns a copy of the per-kind tallies, including events still
+// buffered in the rings.
+func (p *Probe) Counts() Counts {
+	if p == nil {
+		return Counts{}
+	}
+	return p.counts
+}
+
+// Emit records one event, stamping its sequence number and reference
+// index. When the owning ring fills, every ring is flushed to the sinks in
+// sequence order first, so sinks always observe a globally ordered stream.
+func (p *Probe) Emit(ev Event) {
+	if p == nil {
+		return
+	}
+	p.seq++
+	ev.Seq = p.seq
+	ev.Ref = p.ref
+	p.counts[ev.Kind]++
+	r := p.ringFor(ev.CPU)
+	if !r.push(ev) {
+		p.flush()
+		r.push(ev)
+	}
+}
+
+// ringFor returns (growing on demand) the ring of bus agent id.
+func (p *Probe) ringFor(cpu int) *ring {
+	if cpu < 0 {
+		cpu = 0
+	}
+	for len(p.rings) <= cpu {
+		p.rings = append(p.rings, newRing(p.ringCap))
+	}
+	return p.rings[cpu]
+}
+
+// flush drains every ring and delivers the merged, sequence-ordered batch
+// to the sinks.
+func (p *Probe) flush() {
+	out := p.scratch[:0]
+	for _, r := range p.rings {
+		out = r.drain(out)
+	}
+	if len(out) == 0 {
+		return
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	for _, s := range p.sinks {
+		for _, ev := range out {
+			s.Event(ev)
+		}
+	}
+	p.scratch = out[:0]
+}
+
+// Flush delivers all buffered events to the sinks now.
+func (p *Probe) Flush() {
+	if p != nil {
+		p.flush()
+	}
+}
+
+// Close flushes the rings and closes every sink that supports closing,
+// returning the first error.
+func (p *Probe) Close() error {
+	if p == nil {
+		return nil
+	}
+	p.flush()
+	var first error
+	for _, s := range p.sinks {
+		if c, ok := s.(interface{ Close() error }); ok {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}

@@ -1,0 +1,49 @@
+package probe
+
+import "sync/atomic"
+
+// ring is a single-producer single-consumer lock-free ring buffer of
+// events. The producer is the one hierarchy (or bus agent) that owns the
+// ring; the consumer is the Probe's flush path. The simulator itself is
+// reference-serial, but the ring is safe under the race detector and keeps
+// the door open for the sharded simulation the ROADMAP aims at.
+type ring struct {
+	buf  []Event
+	mask uint64
+	head atomic.Uint64 // next slot to write
+	tail atomic.Uint64 // next slot to read
+}
+
+// newRing creates a ring with the given power-of-two capacity.
+func newRing(capacity int) *ring {
+	if capacity <= 0 || capacity&(capacity-1) != 0 {
+		panic("probe: ring capacity must be a positive power of two")
+	}
+	return &ring{buf: make([]Event, capacity), mask: uint64(capacity - 1)}
+}
+
+// push appends ev; it reports false when the ring is full (the caller
+// flushes and retries).
+func (r *ring) push(ev Event) bool {
+	h := r.head.Load()
+	if h-r.tail.Load() == uint64(len(r.buf)) {
+		return false
+	}
+	r.buf[h&r.mask] = ev
+	r.head.Store(h + 1)
+	return true
+}
+
+// drain appends every buffered event to out, oldest first, and empties the
+// ring.
+func (r *ring) drain(out []Event) []Event {
+	t, h := r.tail.Load(), r.head.Load()
+	for ; t < h; t++ {
+		out = append(out, r.buf[t&r.mask])
+	}
+	r.tail.Store(t)
+	return out
+}
+
+// len returns the current occupancy.
+func (r *ring) len() int { return int(r.head.Load() - r.tail.Load()) }

@@ -1,0 +1,157 @@
+package probe
+
+// WindowMetrics aggregates the headline rates over one window of N
+// references: how hit ratios, synonym cost and coherence disturbance
+// evolve across a trace rather than only at the end of the run.
+type WindowMetrics struct {
+	Index    int    `json:"window"`
+	FirstRef uint64 `json:"firstRef"` // 1-based, inclusive
+	LastRef  uint64 `json:"lastRef"`  // inclusive
+
+	L1Hits     uint64 `json:"l1Hits"`
+	L1Misses   uint64 `json:"l1Misses"`
+	L2Hits     uint64 `json:"l2Hits"`
+	L2Misses   uint64 `json:"l2Misses"`
+	TLBMisses  uint64 `json:"tlbMisses"`
+	Synonyms   uint64 `json:"synonyms"`
+	WriteBacks uint64 `json:"writeBacks"`
+	CohToL1    uint64 `json:"coherenceToL1"`
+	Shielded   uint64 `json:"shielded"`
+	BusTxns    uint64 `json:"busTxns"`
+}
+
+// refs returns the number of references the window spans.
+func (w WindowMetrics) refs() uint64 {
+	if w.LastRef < w.FirstRef {
+		return 0
+	}
+	return w.LastRef - w.FirstRef + 1
+}
+
+func ratio(hits, misses uint64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}
+
+// L1Ratio returns the window's first-level hit ratio.
+func (w WindowMetrics) L1Ratio() float64 { return ratio(w.L1Hits, w.L1Misses) }
+
+// L2Ratio returns the window's second-level hit ratio.
+func (w WindowMetrics) L2Ratio() float64 { return ratio(w.L2Hits, w.L2Misses) }
+
+// SynonymRate returns synonym resolutions per reference — the paper's
+// "considerably less than 1% of data references" claim, windowed.
+func (w WindowMetrics) SynonymRate() float64 {
+	if n := w.refs(); n > 0 {
+		return float64(w.Synonyms) / float64(n)
+	}
+	return 0
+}
+
+// BusOccupancy returns bus transactions per reference, a proxy for bus
+// utilization in the reference-serial simulator.
+func (w WindowMetrics) BusOccupancy() float64 {
+	if n := w.refs(); n > 0 {
+		return float64(w.BusTxns) / float64(n)
+	}
+	return 0
+}
+
+// Windows is a Sink that folds the event stream into fixed-size windows of
+// N references. OnClose, when set, observes each window as it completes —
+// the CLI's live run telemetry.
+type Windows struct {
+	every   uint64
+	last    uint64 // newest reference index seen
+	cur     WindowMetrics
+	open    bool
+	done    []WindowMetrics
+	OnClose func(WindowMetrics)
+}
+
+// NewWindows creates a collector with the given window length in
+// references (minimum 1).
+func NewWindows(every uint64) *Windows {
+	if every < 1 {
+		every = 1
+	}
+	return &Windows{every: every}
+}
+
+// Every returns the window length.
+func (w *Windows) Every() uint64 { return w.every }
+
+// Event implements Sink.
+func (w *Windows) Event(ev Event) {
+	idx := 0
+	if ev.Ref > 0 {
+		idx = int((ev.Ref - 1) / w.every)
+		if ev.Ref > w.last {
+			w.last = ev.Ref
+		}
+	}
+	if !w.open || idx > w.cur.Index {
+		w.roll(idx)
+	}
+	switch ev.Kind {
+	case EvL1Hit:
+		w.cur.L1Hits++
+	case EvL1Miss:
+		w.cur.L1Misses++
+	case EvL2Hit:
+		w.cur.L2Hits++
+	case EvL2Miss:
+		w.cur.L2Misses++
+	case EvTLBMiss:
+		w.cur.TLBMisses++
+	case EvSynSameSet, EvSynMove, EvSynCross, EvSynBuffered:
+		w.cur.Synonyms++
+	case EvWriteBack:
+		w.cur.WriteBacks++
+	case EvCohInvalidate, EvCohFlush, EvCohInvalidateBuffer, EvCohFlushBuffer,
+		EvCohUpdate, EvCohProbe, EvInclusionInval:
+		w.cur.CohToL1++
+	case EvShielded:
+		w.cur.Shielded++
+	case EvBusRead, EvBusReadMod, EvBusInvalidate, EvBusUpdate:
+		w.cur.BusTxns++
+	}
+}
+
+// roll closes the current window (if open) and opens window idx.
+func (w *Windows) roll(idx int) {
+	if w.open {
+		w.done = append(w.done, w.cur)
+		if w.OnClose != nil {
+			w.OnClose(w.cur)
+		}
+	}
+	w.cur = WindowMetrics{
+		Index:    idx,
+		FirstRef: uint64(idx)*w.every + 1,
+		LastRef:  uint64(idx+1) * w.every,
+	}
+	w.open = true
+}
+
+// Close finalizes the trailing partial window, clamping its bound to the
+// last reference actually seen so per-reference rates stay honest.
+func (w *Windows) Close() error {
+	if w.open {
+		if w.last > 0 && w.last < w.cur.LastRef {
+			w.cur.LastRef = w.last
+		}
+		w.done = append(w.done, w.cur)
+		if w.OnClose != nil {
+			w.OnClose(w.cur)
+		}
+		w.open = false
+	}
+	return nil
+}
+
+// Done returns the completed windows (call Close first to include the
+// trailing partial one).
+func (w *Windows) Done() []WindowMetrics { return w.done }

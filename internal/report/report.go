@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/bus"
 	"repro/internal/core"
+	"repro/internal/probe"
 	"repro/internal/system"
 )
 
@@ -54,14 +55,35 @@ type CPUStats struct {
 	CoherenceToL1     uint64 `json:"coherenceMessagesToL1"`
 }
 
+// ProbeReport carries the observability layer's output when a probe was
+// attached to the run: per-mechanism event totals keyed by event name, and
+// the windowed metrics when a window collector ran.
+type ProbeReport struct {
+	Events  map[string]uint64     `json:"events"`
+	Windows []probe.WindowMetrics `json:"windows,omitempty"`
+}
+
 // Results is a complete run summary.
 type Results struct {
-	Machine Machine    `json:"machine"`
-	Refs    uint64     `json:"references"`
-	L1      HitRatios  `json:"l1"`
-	L2      HitRatios  `json:"l2"`
-	Bus     BusStats   `json:"bus"`
-	PerCPU  []CPUStats `json:"perCPU"`
+	Machine Machine      `json:"machine"`
+	Refs    uint64       `json:"references"`
+	L1      HitRatios    `json:"l1"`
+	L2      HitRatios    `json:"l2"`
+	Bus     BusStats     `json:"bus"`
+	PerCPU  []CPUStats   `json:"perCPU"`
+	Probe   *ProbeReport `json:"probe,omitempty"`
+}
+
+// AddWindows attaches windowed metrics to the probe section (creating it
+// when the run had counts-only probing).
+func (r *Results) AddWindows(ws []probe.WindowMetrics) {
+	if len(ws) == 0 {
+		return
+	}
+	if r.Probe == nil {
+		r.Probe = &ProbeReport{}
+	}
+	r.Probe.Windows = ws
 }
 
 // FromSystem gathers a Results from a finished run.
@@ -95,6 +117,9 @@ func FromSystem(sys *system.System, cfg system.Config) Results {
 			Update:      bs.Count(bus.Update),
 			CacheSupply: bs.Supplies,
 		},
+	}
+	if p := sys.Probe(); p != nil {
+		r.Probe = &ProbeReport{Events: p.Counts().Map()}
 	}
 	for cpu := 0; cpu < sys.CPUs(); cpu++ {
 		st := sys.Stats(cpu)

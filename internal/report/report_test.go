@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/cache"
+	"repro/internal/probe"
 	"repro/internal/system"
 	"repro/internal/trace"
 )
@@ -82,6 +83,80 @@ func TestJSONRoundTrip(t *testing.T) {
 	}
 	if !reflect.DeepEqual(back, r) {
 		t.Error("JSON round trip lost data")
+	}
+}
+
+func TestProbeSection(t *testing.T) {
+	cfg := system.Config{
+		CPUs:         1,
+		Organization: system.VR,
+		PageSize:     64,
+		L1:           cache.Geometry{Size: 128, Block: 16, Assoc: 1},
+		L2:           cache.Geometry{Size: 512, Block: 32, Assoc: 2},
+		Probe:        probe.New(0),
+	}
+	windows := probe.NewWindows(2)
+	cfg.Probe.AddSink(windows)
+	sys, err := system.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := []trace.Ref{
+		{CPU: 0, Kind: trace.Read, PID: 1, Addr: 0x000},
+		{CPU: 0, Kind: trace.Read, PID: 1, Addr: 0x004},
+		{CPU: 0, Kind: trace.Write, PID: 1, Addr: 0x010},
+	}
+	if err := sys.Run(trace.NewSliceReader(refs)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Probe.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := FromSystem(sys, cfg)
+	r.AddWindows(windows.Done())
+	if r.Probe == nil {
+		t.Fatal("probe section missing")
+	}
+	if got := r.Probe.Events["l1-hit"]; got != 1 {
+		t.Errorf("l1-hit events = %d, want 1", got)
+	}
+	if got := r.Probe.Events["l1-miss"]; got != 2 {
+		t.Errorf("l1-miss events = %d, want 2", got)
+	}
+	if len(r.Probe.Windows) != 2 {
+		t.Fatalf("windows = %d, want 2", len(r.Probe.Windows))
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"probe"`, `"events"`, `"l1-hit": 1`, `"windows"`, `"firstRef": 1`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON missing %s:\n%s", want, out)
+		}
+	}
+	back, err := ParseJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, r) {
+		t.Error("probe section lost in JSON round trip")
+	}
+}
+
+func TestNoProbeOmitted(t *testing.T) {
+	sys, cfg := runSmall(t)
+	r := FromSystem(sys, cfg)
+	if r.Probe != nil {
+		t.Error("probe section present without a probe")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `"probe"`) {
+		t.Error("probe key present in JSON without a probe")
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/addr"
 	"repro/internal/bus"
+	"repro/internal/probe"
 )
 
 // DMA models an I/O device doing direct memory access — the paper's
@@ -63,6 +64,9 @@ func (d *DMA) WriteBlock(pa addr.PAddr) uint64 {
 		d.sys.oracle[base] = token
 	}
 	d.st.Writes++
+	if pr := d.sys.cfg.Probe; pr != nil {
+		pr.Emit(probe.Event{CPU: d.id, Kind: probe.EvDMAWrite, PA: base, Aux: token})
+	}
 	return token
 }
 
@@ -78,6 +82,9 @@ func (d *DMA) ReadBlock(pa addr.PAddr) (uint64, error) {
 	})
 	token := d.sys.mem.Read(base)
 	d.st.Reads++
+	if pr := d.sys.cfg.Probe; pr != nil {
+		pr.Emit(probe.Event{CPU: d.id, Kind: probe.EvDMARead, PA: base, Aux: token})
+	}
 	if d.sys.oracle != nil {
 		if want := d.sys.oracle[base]; token != want {
 			return token, fmt.Errorf("system: DMA oracle violation at %#x: read %d, want %d",

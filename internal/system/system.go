@@ -15,6 +15,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/memory"
+	"repro/internal/probe"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/vm"
@@ -73,6 +74,10 @@ type Config struct {
 	// Tracer, when set, observes every hierarchy's Table 4 interface
 	// signals (Signal.CPU attributes them).
 	Tracer core.Tracer
+	// Probe, when set, receives typed events from every hierarchy, the
+	// bus, and any DMA agents (see internal/probe). Nil disables all
+	// emission.
+	Probe *probe.Probe
 
 	// CheckOracle verifies on every read that the newest write to the
 	// physical block is observed. CheckInvariants additionally validates
@@ -128,6 +133,7 @@ func New(cfg Config) (*System, error) {
 		mem:    memory.MustNew(cfg.L1.Block),
 		tokens: &core.TokenSource{},
 	}
+	s.bus.SetProbe(cfg.Probe)
 	if cfg.CheckOracle {
 		s.oracle = make(map[addr.PAddr]uint64)
 	}
@@ -151,6 +157,7 @@ func New(cfg Config) (*System, error) {
 			NaiveL2Replacement: cfg.NaiveL2Replacement,
 			L1WriteThrough:     cfg.L1WriteThrough,
 			Tracer:             cfg.Tracer,
+			Probe:              cfg.Probe,
 		}
 		var h core.Hierarchy
 		switch cfg.Organization {
@@ -201,11 +208,18 @@ func (s *System) Stats(i int) *core.Stats { return s.cpus[i].Stats() }
 // Refs returns the number of memory references applied so far.
 func (s *System) Refs() uint64 { return s.refs }
 
+// Probe returns the machine's event probe (nil when observability is
+// disabled).
+func (s *System) Probe() *probe.Probe { return s.cfg.Probe }
+
 // Apply runs one trace record through the machine.
 func (s *System) Apply(ref trace.Ref) (core.AccessResult, error) {
 	if int(ref.CPU) >= len(s.cpus) {
 		return core.AccessResult{}, fmt.Errorf("system: record for CPU %d on a %d-CPU machine",
 			ref.CPU, len(s.cpus))
+	}
+	if s.cfg.Probe != nil && ref.Kind != trace.CtxSwitch {
+		s.cfg.Probe.AdvanceRef()
 	}
 	res := s.cpus[ref.CPU].Access(ref)
 	if !res.CtxSwitch {

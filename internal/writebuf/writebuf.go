@@ -36,6 +36,17 @@ type Stats struct {
 	MaxDepth int    // high-water mark of occupancy
 }
 
+// Op classifies a buffer operation reported to an Observer.
+type Op int
+
+// Observable buffer operations.
+const (
+	OpPush   Op = iota // entry accepted
+	OpDrain            // entry drained by age (or end-of-run)
+	OpCancel           // entry removed without writing anywhere
+	OpFlush            // entry removed by a coherence flush
+)
+
 // Buffer is a FIFO write-back buffer with per-entry drain deadlines.
 type Buffer struct {
 	entries []Entry
@@ -43,6 +54,17 @@ type Buffer struct {
 	latency uint64
 	clock   uint64
 	stats   Stats
+
+	// Observer, when set, is invoked with every buffer operation (the
+	// probe layer attaches here). Leave nil to pay nothing.
+	Observer func(Op, Entry)
+}
+
+// observe reports op on e when an observer is attached.
+func (b *Buffer) observe(op Op, e Entry) {
+	if b.Observer != nil {
+		b.Observer(op, e)
+	}
 }
 
 // New builds a buffer holding up to depth entries, each draining latency
@@ -87,10 +109,12 @@ func (b *Buffer) Push(rptr vcache.RPtr, token uint64) (evicted Entry, forced boo
 		b.entries = b.entries[1:]
 	}
 	b.stats.Pushes++
-	b.entries = append(b.entries, Entry{RPtr: rptr, Token: token, due: b.clock + b.latency})
+	e := Entry{RPtr: rptr, Token: token, due: b.clock + b.latency}
+	b.entries = append(b.entries, e)
 	if len(b.entries) > b.stats.MaxDepth {
 		b.stats.MaxDepth = len(b.entries)
 	}
+	b.observe(OpPush, e)
 	return evicted, forced
 }
 
@@ -110,6 +134,9 @@ func (b *Buffer) Tick() []Entry {
 	copy(due, b.entries[:n])
 	b.entries = b.entries[n:]
 	b.stats.Drains += uint64(n)
+	for _, e := range due {
+		b.observe(OpDrain, e)
+	}
 	return due
 }
 
@@ -119,6 +146,9 @@ func (b *Buffer) DrainAll() []Entry {
 	out := b.entries
 	b.entries = nil
 	b.stats.Drains += uint64(len(out))
+	for _, e := range out {
+		b.observe(OpDrain, e)
+	}
 	return out
 }
 
@@ -135,13 +165,13 @@ func (b *Buffer) Find(rptr vcache.RPtr) (Entry, bool) {
 // Cancel removes the entry for rptr without writing it anywhere (synonym
 // reattach or bus invalidation of buffered data).
 func (b *Buffer) Cancel(rptr vcache.RPtr) (Entry, bool) {
-	return b.remove(rptr, &b.stats.Cancels)
+	return b.remove(rptr, &b.stats.Cancels, OpCancel)
 }
 
 // Flush removes and returns the entry for rptr so the caller can forward
 // its data on a bus-induced flush.
 func (b *Buffer) Flush(rptr vcache.RPtr) (Entry, bool) {
-	return b.remove(rptr, &b.stats.Flushes)
+	return b.remove(rptr, &b.stats.Flushes, OpFlush)
 }
 
 // Update replaces the token of a buffered entry in place (write-update
@@ -156,11 +186,12 @@ func (b *Buffer) Update(rptr vcache.RPtr, token uint64) bool {
 	return false
 }
 
-func (b *Buffer) remove(rptr vcache.RPtr, counter *uint64) (Entry, bool) {
+func (b *Buffer) remove(rptr vcache.RPtr, counter *uint64, op Op) (Entry, bool) {
 	for i, e := range b.entries {
 		if e.RPtr == rptr {
 			b.entries = append(b.entries[:i], b.entries[i+1:]...)
 			*counter++
+			b.observe(op, e)
 			return e, true
 		}
 	}

@@ -1,0 +1,189 @@
+package vrsim_test
+
+// Replay-based consistency check of the observability layer: every counter
+// in internal/stats is mirrored by exactly one probe event at the emission
+// site, so summing the event stream must reproduce the counters exactly —
+// for each organization and for the policy variants that exercise the
+// remaining event kinds (eager flush, write-update, write-through).
+
+import (
+	"fmt"
+	"testing"
+
+	vrsim "repro"
+	"repro/internal/bus"
+	"repro/internal/core"
+	"repro/internal/probe"
+	"repro/internal/stats"
+)
+
+// cpuTally accumulates per-CPU event counts, splitting access events by
+// reference kind and write-backs by their aux flags.
+type cpuTally struct {
+	kinds          [probe.NumKinds]uint64
+	l1Hits, l1Miss [3]uint64 // by stats.AccessKind
+	l2Hits, l2Miss [3]uint64
+	swapped, eager uint64
+}
+
+type tallySink struct {
+	cpus map[int]*cpuTally
+}
+
+func (t *tallySink) of(cpu int) *cpuTally {
+	c := t.cpus[cpu]
+	if c == nil {
+		c = &cpuTally{}
+		t.cpus[cpu] = c
+	}
+	return c
+}
+
+func (t *tallySink) Event(ev probe.Event) {
+	c := t.of(ev.CPU)
+	c.kinds[ev.Kind]++
+	switch ev.Kind {
+	case probe.EvL1Hit:
+		c.l1Hits[ev.Access]++
+	case probe.EvL1Miss:
+		c.l1Miss[ev.Access]++
+	case probe.EvL2Hit:
+		c.l2Hits[ev.Access]++
+	case probe.EvL2Miss:
+		c.l2Miss[ev.Access]++
+	case probe.EvWriteBack:
+		if ev.Aux&probe.WBSwapped != 0 {
+			c.swapped++
+		}
+		if ev.Aux&probe.WBEager != 0 {
+			c.eager++
+		}
+	}
+}
+
+// synKinds maps core synonym classifications to their event kinds.
+var synKinds = map[core.SynonymKind]probe.Kind{
+	core.SynSameSet:  probe.EvSynSameSet,
+	core.SynMove:     probe.EvSynMove,
+	core.SynCross:    probe.EvSynCross,
+	core.SynBuffered: probe.EvSynBuffered,
+}
+
+// cohKinds are the event kinds that mirror stats.CoherenceStats records.
+var cohKinds = []probe.Kind{
+	probe.EvCohInvalidate, probe.EvCohFlush, probe.EvCohInvalidateBuffer,
+	probe.EvCohFlushBuffer, probe.EvCohUpdate, probe.EvCohProbe,
+	probe.EvInclusionInval,
+}
+
+func checkConsistency(t *testing.T, cfg vrsim.Config) {
+	t.Helper()
+	pr := probe.New(64) // tiny rings force frequent merged flushes
+	sink := &tallySink{cpus: map[int]*cpuTally{}}
+	pr.AddSink(sink)
+	cfg.Probe = pr
+
+	wl := vrsim.PopsWorkload().Scaled(0.01)
+	cfg.CPUs = wl.CPUs
+	sys, err := vrsim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vrsim.RunWorkload(sys, wl); err != nil {
+		t.Fatal(err)
+	}
+	pr.Flush()
+
+	for cpu := 0; cpu < sys.CPUs(); cpu++ {
+		st := sys.Stats(cpu)
+		c := sink.of(cpu)
+		eq := func(what string, got, want uint64) {
+			t.Helper()
+			if got != want {
+				t.Errorf("cpu %d: %s: events %d, stats %d", cpu, what, got, want)
+			}
+		}
+		for _, k := range stats.Kinds() {
+			eq(fmt.Sprintf("L1 %v hits", k), c.l1Hits[k], st.L1.ByKind[k].Hits)
+			eq(fmt.Sprintf("L1 %v misses", k), c.l1Miss[k], st.L1.ByKind[k].Misses())
+			eq(fmt.Sprintf("L2 %v hits", k), c.l2Hits[k], st.L2.ByKind[k].Hits)
+			eq(fmt.Sprintf("L2 %v misses", k), c.l2Miss[k], st.L2.ByKind[k].Misses())
+		}
+		eq("TLB hits", c.kinds[probe.EvTLBHit], st.TLB.Hits)
+		eq("TLB misses", c.kinds[probe.EvTLBMiss], st.TLB.Misses)
+		eq("context switches", c.kinds[probe.EvCtxSwitch], st.CtxSwitches)
+		eq("write-backs", c.kinds[probe.EvWriteBack], st.WriteBacks)
+		eq("swapped write-backs", c.swapped, st.SwappedWriteBacks)
+		eq("eager-flush write-backs", c.eager, st.EagerFlushWriteBacks)
+		eq("inclusion invalidations", c.kinds[probe.EvInclusionInval], st.InclusionInvals)
+		eq("buffer stalls", c.kinds[probe.EvWBStall], st.BufferStalls)
+		for syn, k := range synKinds {
+			eq(syn.String(), c.kinds[k], st.Synonyms[syn])
+		}
+		var coh uint64
+		for _, k := range cohKinds {
+			coh += c.kinds[k]
+		}
+		eq("coherence messages to L1", coh, st.Coherence.Total())
+	}
+
+	// Bus transactions are attributed to the issuing agent; sum them.
+	var busEv [4]uint64
+	for _, c := range sink.cpus {
+		busEv[0] += c.kinds[probe.EvBusRead]
+		busEv[1] += c.kinds[probe.EvBusReadMod]
+		busEv[2] += c.kinds[probe.EvBusInvalidate]
+		busEv[3] += c.kinds[probe.EvBusUpdate]
+	}
+	bs := sys.Bus().Stats()
+	for i, kind := range []bus.Kind{bus.Read, bus.ReadMod, bus.Invalidate, bus.Update} {
+		if busEv[i] != bs.Count(kind) {
+			t.Errorf("bus %v: events %d, stats %d", kind, busEv[i], bs.Count(kind))
+		}
+	}
+
+	// The run must actually exercise the machinery it claims to check.
+	// (Write-through L1 lines are never dirty, so no write-backs there.)
+	total := pr.Counts()
+	if total.Of(probe.EvL1Miss) == 0 || total.Of(probe.EvCtxSwitch) == 0 ||
+		(!cfg.L1WriteThrough && total.Of(probe.EvWriteBack) == 0) {
+		t.Errorf("workload too small to exercise the hierarchy: %v", total.Map())
+	}
+}
+
+func probeTestConfig(org vrsim.Organization) vrsim.Config {
+	return vrsim.Config{
+		Organization: org,
+		L1:           vrsim.Geometry{Size: 1 << 10, Block: 16, Assoc: 1},
+		L2:           vrsim.Geometry{Size: 8 << 10, Block: 32, Assoc: 1},
+	}
+}
+
+func TestProbeEventsMatchStats(t *testing.T) {
+	for _, org := range []vrsim.Organization{vrsim.VR, vrsim.RRInclusion, vrsim.RRNoInclusion} {
+		t.Run(org.String(), func(t *testing.T) {
+			checkConsistency(t, probeTestConfig(org))
+		})
+	}
+}
+
+func TestProbeEventsMatchStatsVariants(t *testing.T) {
+	eager := probeTestConfig(vrsim.VR)
+	eager.EagerCtxFlush = true
+	update := probeTestConfig(vrsim.VR)
+	update.Protocol = vrsim.WriteUpdate
+	wthrough := probeTestConfig(vrsim.VR)
+	wthrough.L1WriteThrough = true
+	wthrough.WriteBufDepth = 2
+	pid := probeTestConfig(vrsim.VR)
+	pid.PIDTagged = true
+	cases := map[string]vrsim.Config{
+		"eager-flush":   eager,
+		"write-update":  update,
+		"write-through": wthrough,
+		"pid-tagged":    pid,
+	}
+	for name, cfg := range cases {
+		t.Run(name, func(t *testing.T) { checkConsistency(t, cfg) })
+	}
+}

@@ -42,9 +42,12 @@
 package vrsim
 
 import (
+	"io"
+
 	"repro/internal/addr"
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/probe"
 	"repro/internal/system"
 	"repro/internal/timemodel"
 	"repro/internal/trace"
@@ -163,6 +166,92 @@ func RunWorkload(sys *System, cfg WorkloadConfig) error {
 	}
 	return sys.Run(gen)
 }
+
+// Event tracing: a Probe attached through Config.Probe receives one typed
+// Event per paper mechanism exercised — cache hits and misses by level and
+// reference kind, TLB activity and aborted lookups, synonym resolutions,
+// write-buffer traffic, inclusion invalidations, coherence messages reaching
+// (or shielded from) the first level, bus transactions, DMA, and context
+// switches. A nil Probe in Config disables collection entirely; the hot
+// paths then pay only a nil check.
+type (
+	// Probe collects events; attach sinks with AddSink and Close at the
+	// end of a run.
+	Probe = probe.Probe
+	// Event is one typed occurrence in the machine.
+	Event = probe.Event
+	// EventKind discriminates events; its String form ("l1-hit",
+	// "syn-sameset", ...) keys the JSON report's probe.events map.
+	EventKind = probe.Kind
+	// EventSink consumes events in global emission order.
+	EventSink = probe.Sink
+	// EventCounts is the per-kind tally a Probe maintains inline.
+	EventCounts = probe.Counts
+	// WindowMetrics aggregates headline rates over a window of references.
+	WindowMetrics = probe.WindowMetrics
+	// MetricWindows folds the event stream into fixed-size windows.
+	MetricWindows = probe.Windows
+	// EventLog renders events as human-readable lines.
+	EventLog = probe.Log
+	// ChromeTrace exports the event stream as Chrome trace_event JSON.
+	ChromeTrace = probe.ChromeTrace
+)
+
+// NewProbe creates an enabled probe; ringCapacity 0 selects the default
+// per-CPU buffer size.
+func NewProbe(ringCapacity int) *Probe { return probe.New(ringCapacity) }
+
+// NewEventLog creates a line-oriented event log sink; filter may be nil.
+func NewEventLog(w io.Writer, filter func(Event) bool) *EventLog {
+	return probe.NewLog(w, filter)
+}
+
+// ParseEventFilter compiles a comma-separated list of event kind names or
+// categories into a predicate for NewEventLog.
+func ParseEventFilter(spec string) (func(Event) bool, error) { return probe.ParseFilter(spec) }
+
+// NewChromeTrace creates a Chrome trace_event JSON exporter writing to w.
+func NewChromeTrace(w io.Writer) *ChromeTrace { return probe.NewChromeTrace(w) }
+
+// NewMetricWindows creates a windowed-metrics collector with the given
+// window length in references.
+func NewMetricWindows(every uint64) *MetricWindows { return probe.NewWindows(every) }
+
+// Event kinds, one per paper mechanism.
+const (
+	EvL1Hit               = probe.EvL1Hit
+	EvL1Miss              = probe.EvL1Miss
+	EvL2Hit               = probe.EvL2Hit
+	EvL2Miss              = probe.EvL2Miss
+	EvTLBHit              = probe.EvTLBHit
+	EvTLBMiss             = probe.EvTLBMiss
+	EvTLBAbort            = probe.EvTLBAbort
+	EvSynSameSet          = probe.EvSynSameSet
+	EvSynMove             = probe.EvSynMove
+	EvSynCross            = probe.EvSynCross
+	EvSynBuffered         = probe.EvSynBuffered
+	EvWriteBack           = probe.EvWriteBack
+	EvWBEnqueue           = probe.EvWBEnqueue
+	EvWBDrain             = probe.EvWBDrain
+	EvWBCancel            = probe.EvWBCancel
+	EvWBFlush             = probe.EvWBFlush
+	EvWBStall             = probe.EvWBStall
+	EvInclusionInval      = probe.EvInclusionInval
+	EvCohInvalidate       = probe.EvCohInvalidate
+	EvCohFlush            = probe.EvCohFlush
+	EvCohInvalidateBuffer = probe.EvCohInvalidateBuffer
+	EvCohFlushBuffer      = probe.EvCohFlushBuffer
+	EvCohUpdate           = probe.EvCohUpdate
+	EvCohProbe            = probe.EvCohProbe
+	EvShielded            = probe.EvShielded
+	EvBusRead             = probe.EvBusRead
+	EvBusReadMod          = probe.EvBusReadMod
+	EvBusInvalidate       = probe.EvBusInvalidate
+	EvBusUpdate           = probe.EvBusUpdate
+	EvDMARead             = probe.EvDMARead
+	EvDMAWrite            = probe.EvDMAWrite
+	EvCtxSwitch           = probe.EvCtxSwitch
+)
 
 // TimeParams are the inputs of the paper's access-time equation.
 type TimeParams = timemodel.Params
