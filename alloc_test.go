@@ -1,0 +1,106 @@
+package vrsim_test
+
+// Allocation regression tests for the per-reference hot path. Once the
+// machine is warm (pages faulted in, lines resident, write-buffer ring in
+// steady state), applying a reference must not allocate at all — the sweep
+// engine's throughput depends on it. Guarded paths: a first-level hit (the
+// overwhelmingly common case), the V-miss/R-hit fill path with its victim
+// choice and replacement, and the probe-nil check every emission site pays
+// when observability is off.
+
+import (
+	"testing"
+
+	vrsim "repro"
+)
+
+// allocMachine builds a small 1-CPU machine with no probe, no oracle and
+// no invariant checking — the production configuration of the hot loop.
+func allocMachine(t *testing.T, org vrsim.Organization) *vrsim.System {
+	t.Helper()
+	sys, err := vrsim.New(vrsim.Config{
+		CPUs:         1,
+		Organization: org,
+		L1:           vrsim.Geometry{Size: 4 << 10, Block: 16, Assoc: 1},
+		L2:           vrsim.Geometry{Size: 64 << 10, Block: 32, Assoc: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func mustApply(t *testing.T, sys *vrsim.System, refs ...vrsim.Ref) {
+	t.Helper()
+	for _, r := range refs {
+		if _, err := sys.Apply(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func requireZeroAllocs(t *testing.T, name string, f func()) {
+	t.Helper()
+	if n := testing.AllocsPerRun(200, f); n != 0 {
+		t.Errorf("%s: %v allocs per reference, want 0", name, n)
+	}
+}
+
+// TestWarmHitPathAllocationFree covers the first-level hit path — read,
+// write and instruction fetch against a resident line — for all three
+// organizations.
+func TestWarmHitPathAllocationFree(t *testing.T) {
+	orgs := []struct {
+		name string
+		org  vrsim.Organization
+	}{
+		{"VR", vrsim.VR},
+		{"RRInclusion", vrsim.RRInclusion},
+		{"RRNoInclusion", vrsim.RRNoInclusion},
+	}
+	for _, o := range orgs {
+		t.Run(o.name, func(t *testing.T) {
+			sys := allocMachine(t, o.org)
+			read := vrsim.Ref{CPU: 0, Kind: vrsim.Read, PID: 1, Addr: 0x2000}
+			write := vrsim.Ref{CPU: 0, Kind: vrsim.Write, PID: 1, Addr: 0x2000}
+			ifetch := vrsim.Ref{CPU: 0, Kind: vrsim.IFetch, PID: 1, Addr: 0x3000}
+			mustApply(t, sys, read, write, ifetch) // fault pages in, fill lines
+			requireZeroAllocs(t, "read hit", func() { mustApply(t, sys, read) })
+			requireZeroAllocs(t, "write hit", func() { mustApply(t, sys, write) })
+			requireZeroAllocs(t, "ifetch hit", func() { mustApply(t, sys, ifetch) })
+		})
+	}
+}
+
+// TestWarmMissPathAllocationFree covers the V-miss/R-hit fill path: two
+// addresses that collide in the direct-mapped first level but live in
+// different second-level sets evict each other forever, so every reference
+// is a first-level miss served by the second level — exercising victim
+// choice, replacement, the r/v-pointer bookkeeping and (for the dirty
+// variant) the write-back ring.
+func TestWarmMissPathAllocationFree(t *testing.T) {
+	orgs := []struct {
+		name string
+		org  vrsim.Organization
+	}{
+		{"VR", vrsim.VR},
+		{"RRInclusion", vrsim.RRInclusion},
+		{"RRNoInclusion", vrsim.RRNoInclusion},
+	}
+	for _, o := range orgs {
+		t.Run(o.name, func(t *testing.T) {
+			sys := allocMachine(t, o.org)
+			// Same L1 set (4K apart, 4K direct-mapped L1), different L2 sets.
+			a := vrsim.Ref{CPU: 0, Kind: vrsim.Read, PID: 1, Addr: 0x10000}
+			b := vrsim.Ref{CPU: 0, Kind: vrsim.Read, PID: 1, Addr: 0x11000}
+			wa := a
+			wa.Kind = vrsim.Write
+			mustApply(t, sys, a, b, a, b) // fault in, settle both in L2
+			requireZeroAllocs(t, "clean V-miss/R-hit", func() { mustApply(t, sys, a, b) })
+			// Dirty the evicted line so each miss also pushes through the
+			// write-back buffer.
+			mustApply(t, sys, wa, b)
+			requireZeroAllocs(t, "dirty V-miss/R-hit", func() { mustApply(t, sys, wa, b) })
+		})
+	}
+}

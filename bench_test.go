@@ -5,11 +5,13 @@
 package vrsim_test
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
 	vrsim "repro"
 	"repro/internal/experiments"
+	"repro/internal/sweep"
 )
 
 // benchScale keeps single benchmark iterations around tens of
@@ -127,6 +129,66 @@ func benchProbed(b *testing.B, org vrsim.Organization, sink bool) {
 
 func BenchmarkThroughputVRProbeCounts(b *testing.B)  { benchProbed(b, vrsim.VR, false) }
 func BenchmarkThroughputVRProbeWindows(b *testing.B) { benchProbed(b, vrsim.VR, true) }
+
+// sweepBenchConfigs deals out n distinct machine configurations, cycling
+// organizations and size pairs the way the paper's tables do.
+func sweepBenchConfigs(n, cpus int) []vrsim.Config {
+	orgs := []vrsim.Organization{vrsim.VR, vrsim.RRInclusion, vrsim.RRNoInclusion}
+	pairs := [][2]uint64{
+		{4 << 10, 64 << 10}, {8 << 10, 128 << 10}, {16 << 10, 256 << 10},
+		{4 << 10, 128 << 10}, {8 << 10, 256 << 10}, {16 << 10, 512 << 10},
+	}
+	cfgs := make([]vrsim.Config, n)
+	for i := range cfgs {
+		p := pairs[(i/len(orgs))%len(pairs)]
+		cfgs[i] = vrsim.Config{
+			CPUs:         cpus,
+			Organization: orgs[i%len(orgs)],
+			L1:           vrsim.Geometry{Size: p[0], Block: 16, Assoc: 1},
+			L2:           vrsim.Geometry{Size: p[1], Block: 32, Assoc: 1},
+		}
+	}
+	return cfgs
+}
+
+// BenchmarkSweepNConfigs measures the single-pass sweep engine: one trace
+// generation feeding N simulated configurations. refs/s is the aggregate
+// across all N systems; the scaling of interest is wall time versus N,
+// compared with N sequential runs each regenerating the trace.
+func BenchmarkSweepNConfigs(b *testing.B) {
+	for _, n := range []int{1, 2, 6, 18} {
+		b.Run(fmt.Sprintf("%d", n), func(b *testing.B) {
+			wl := vrsim.PopsWorkload().Scaled(benchScale)
+			cfgs := sweepBenchConfigs(n, wl.CPUs)
+			b.ReportAllocs()
+			var refs uint64
+			for i := 0; i < b.N; i++ {
+				systems := make([]*vrsim.System, n)
+				for j, cfg := range cfgs {
+					sys, err := vrsim.New(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := wl.SetupSharedMappings(sys.MMU()); err != nil {
+						b.Fatal(err)
+					}
+					systems[j] = sys
+				}
+				gen, err := vrsim.NewWorkload(wl)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := sweep.Run(gen, systems, sweep.Options{}); err != nil {
+					b.Fatal(err)
+				}
+				for _, sys := range systems {
+					refs += sys.Refs()
+				}
+			}
+			b.ReportMetric(float64(refs)/b.Elapsed().Seconds(), "refs/s")
+		})
+	}
+}
 
 // BenchmarkTraceGeneration measures the synthetic workload generator
 // alone.

@@ -22,4 +22,7 @@ go build ./...
 echo "== go test -race"
 go test -race ./...
 
+echo "== benchmark smoke (one iteration each)"
+go test -run '^$' -bench . -benchtime 1x ./...
+
 echo "ci: all checks passed"

@@ -43,7 +43,8 @@ func main() {
 	run := flag.String("run", "", "comma-separated experiment ids, or 'all'")
 	scale := flag.Float64("scale", 1.0, "trace length scale factor (1.0 = paper-sized traces)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
-	parallel := flag.Int("parallel", 1, "experiments to run concurrently (they are independent)")
+	parallel := flag.Int("parallel", runtime.NumCPU(),
+		"experiments to run concurrently (they are independent; capped at NumCPU)")
 	flag.Parse()
 
 	if *list {

@@ -6,7 +6,10 @@
 // low-order address bits above the block offset. All sizes are in bytes.
 package addr
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // VAddr is a virtual (process-relative) byte address.
 type VAddr uint64
@@ -26,12 +29,7 @@ func Log2(v uint64) (uint, error) {
 	if v == 0 || v&(v-1) != 0 {
 		return 0, fmt.Errorf("addr: %d is not a power of two", v)
 	}
-	n := uint(0)
-	for v > 1 {
-		v >>= 1
-		n++
-	}
-	return n, nil
+	return uint(bits.TrailingZeros64(v)), nil
 }
 
 // MustLog2 is Log2 for values known to be powers of two at construction

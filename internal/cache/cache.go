@@ -124,6 +124,12 @@ type Cache[L any] struct {
 	sets   [][]way[L]
 	clock  uint64
 	rng    *rand.Rand
+
+	// Shift/mask fields derived from geom at construction, so the
+	// per-access Locate/BlockNum arithmetic never recomputes a logarithm.
+	blockBits uint
+	setBits   uint
+	setMask   uint64
 }
 
 // New builds a cache with the given geometry, replacement policy and (for
@@ -138,10 +144,13 @@ func New[L any](g Geometry, policy Policy, seed int64) (*Cache[L], error) {
 		sets[i], backing = backing[:g.Assoc:g.Assoc], backing[g.Assoc:]
 	}
 	return &Cache[L]{
-		geom:   g,
-		policy: policy,
-		sets:   sets,
-		rng:    rand.New(rand.NewSource(seed)),
+		geom:      g,
+		policy:    policy,
+		sets:      sets,
+		rng:       rand.New(rand.NewSource(seed)),
+		blockBits: g.BlockBits(),
+		setBits:   g.SetBits(),
+		setMask:   uint64(g.Sets() - 1),
 	}, nil
 }
 
@@ -157,6 +166,23 @@ func MustNew[L any](g Geometry, policy Policy, seed int64) *Cache[L] {
 
 // Geometry returns the cache's shape.
 func (c *Cache[L]) Geometry() Geometry { return c.geom }
+
+// BlockNum returns the block number of byte address a using the shift
+// precomputed at construction.
+func (c *Cache[L]) BlockNum(a uint64) uint64 { return a >> c.blockBits }
+
+// Locate maps a byte address to its (set, tag) pair. It is equivalent to
+// Geometry.Locate but uses the cached shift and mask fields, keeping the
+// per-reference path free of log2 computation.
+func (c *Cache[L]) Locate(a uint64) (set int, tag uint64) {
+	block := a >> c.blockBits
+	return int(block & c.setMask), block >> c.setBits
+}
+
+// BlockAddr reconstructs the block-aligned byte address of (set, tag).
+func (c *Cache[L]) BlockAddr(set int, tag uint64) uint64 {
+	return (tag<<c.setBits | uint64(set)) << c.blockBits
+}
 
 // Sets returns the number of sets.
 func (c *Cache[L]) Sets() int { return len(c.sets) }
@@ -199,7 +225,11 @@ func (c *Cache[L]) ValidAt(set, wayIdx int) bool { return c.sets[set][wayIdx].va
 // before ways that do not, and the second return value reports whether the
 // chosen valid victim satisfied prefer. For an invalid way, preferred is
 // true.
-func (c *Cache[L]) Victim(set int, prefer func(wayIdx int) bool) (wayIdx int, preferred bool) {
+//
+// prefer receives the (set, way) pair, so callers can install one
+// long-lived predicate at construction instead of closing over the set on
+// every call — the per-reference path then allocates nothing.
+func (c *Cache[L]) Victim(set int, prefer func(set, wayIdx int) bool) (wayIdx int, preferred bool) {
 	ws := c.sets[set]
 	for i := range ws {
 		if !ws[i].valid {
@@ -216,24 +246,36 @@ func (c *Cache[L]) Victim(set int, prefer func(wayIdx int) bool) (wayIdx int, pr
 
 // pick applies the replacement policy over ways of set satisfying filter
 // (nil accepts all); returns -1 when none qualifies.
-func (c *Cache[L]) pick(set int, filter func(int) bool) int {
+func (c *Cache[L]) pick(set int, filter func(set, wayIdx int) bool) int {
 	ws := c.sets[set]
 	switch c.policy {
 	case Random:
-		var candidates []int
+		// Count the qualifying ways, draw once, then walk to the chosen
+		// one: same single rng draw (and therefore the same choice) as
+		// collecting candidates into a slice, without the allocation.
+		n := 0
 		for i := range ws {
-			if filter == nil || filter(i) {
-				candidates = append(candidates, i)
+			if filter == nil || filter(set, i) {
+				n++
 			}
 		}
-		if len(candidates) == 0 {
+		if n == 0 {
 			return -1
 		}
-		return candidates[c.rng.Intn(len(candidates))]
+		k := c.rng.Intn(n)
+		for i := range ws {
+			if filter == nil || filter(set, i) {
+				if k == 0 {
+					return i
+				}
+				k--
+			}
+		}
+		panic("cache: random pick out of range")
 	default: // LRU and FIFO: minimum stamp
 		best, bestStamp := -1, uint64(0)
 		for i := range ws {
-			if filter != nil && !filter(i) {
+			if filter != nil && !filter(set, i) {
 				continue
 			}
 			if best == -1 || ws[i].stamp < bestStamp {

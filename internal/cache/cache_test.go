@@ -226,7 +226,7 @@ func TestVictimPreference(t *testing.T) {
 		*c.Install(0, w, tag) = int(tag)
 	}
 	// Prefer ways whose payload is even.
-	v, pref := c.Victim(0, func(w int) bool { return *c.Line(0, w)%2 == 0 })
+	v, pref := c.Victim(0, func(set, w int) bool { return *c.Line(set, w)%2 == 0 })
 	if !pref {
 		t.Fatal("preference not honored though candidates exist")
 	}
@@ -234,7 +234,7 @@ func TestVictimPreference(t *testing.T) {
 		t.Errorf("victim payload %d is odd", *c.Line(0, v))
 	}
 	// No way qualifies: falls back, preferred=false.
-	v2, pref2 := c.Victim(0, func(int) bool { return false })
+	v2, pref2 := c.Victim(0, func(int, int) bool { return false })
 	if pref2 {
 		t.Error("impossible preference reported as honored")
 	}
@@ -250,7 +250,7 @@ func TestVictimPreferenceFollowsLRUAmongPreferred(t *testing.T) {
 		c.Install(0, w, tag)
 	}
 	// All preferred; LRU among them is tag 1.
-	v, _ := c.Victim(0, func(int) bool { return true })
+	v, _ := c.Victim(0, func(int, int) bool { return true })
 	if c.TagAt(0, v) != 1 {
 		t.Errorf("preferred LRU victim tag = %d, want 1", c.TagAt(0, v))
 	}

@@ -111,7 +111,7 @@ func (h *RRNoInclusion) Access(ref trace.Ref) AccessResult {
 	}
 	paSub := pa &^ addr.PAddr(h.opts.L1.Block-1)
 
-	set, tag := h.opts.L1.Locate(uint64(pa))
+	set, tag := h.l1.Locate(uint64(pa))
 	if way, ok := h.l1.Probe(set, tag); ok {
 		h.st.L1.Record(kind, true)
 		h.l1.Touch(set, way)
@@ -166,7 +166,7 @@ func (h *RRNoInclusion) fill(ref trace.Ref, kind statsKind, pa, paSub addr.PAddr
 		if vl.dirty {
 			h.st.WriteBacks++
 			h.st.WriteBackIntervals.Event()
-			vicPA := addr.PAddr(h.opts.L1.BlockAddr(set, h.l1.TagAt(set, way)))
+			vicPA := addr.PAddr(h.l1.BlockAddr(set, h.l1.TagAt(set, way)))
 			h.emit(probe.EvWriteBack, 0, 0, vicPA, 0)
 			if s2, w2, ok := h.l2.Lookup(vicPA); ok {
 				se := h.l2.Sub(s2, w2, h.l2.SubIndex(vicPA))
@@ -255,7 +255,7 @@ func (h *RRNoInclusion) SnoopBus(t bus.Txn) bus.SnoopResult {
 	var res bus.SnoopResult
 	// Probe the L1 in its own block strides.
 	for a := t.Addr; a < t.Addr+addr.PAddr(t.Size); a += addr.PAddr(h.opts.L1.Block) {
-		set, tag := h.opts.L1.Locate(uint64(a))
+		set, tag := h.l1.Locate(uint64(a))
 		way, ok := h.l1.Probe(set, tag)
 		if !ok {
 			continue

@@ -508,7 +508,12 @@ func (h *VR) evictRVictim(vic rcache.Victim) {
 
 // drainDue writes aged-out buffer entries back into the R-cache.
 func (h *VR) drainDue() {
-	for _, e := range h.wb.Tick() {
+	h.wb.Tick()
+	for {
+		e, ok := h.wb.PopDue()
+		if !ok {
+			break
+		}
 		h.drainEntry(e)
 	}
 }

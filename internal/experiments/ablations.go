@@ -15,14 +15,20 @@ import (
 func WriteBufferDepth(w io.Writer, scale float64) error {
 	tc := scaled(tracegen.PopsLike(), scale)
 	fmt.Fprintf(w, "%-7s %-12s %-12s %s\n", "depth", "write-backs", "stalls", "stall rate")
-	for _, depth := range []int{1, 2, 4, 8} {
+	depths := []int{1, 2, 4, 8}
+	scs := make([]system.Config, len(depths))
+	for i, depth := range depths {
 		sc := machineConfig(tc, mainSizePairs()[2], system.VR)
 		sc.WriteBufDepth = depth
 		sc.WriteBufLatency = 8
-		sys, _, err := runWorkload(tc, sc)
-		if err != nil {
-			return err
-		}
+		scs[i] = sc
+	}
+	systems, err := runSweep(tc, scs)
+	if err != nil {
+		return err
+	}
+	for i, sys := range systems {
+		depth := depths[i]
 		var wbs, stalls uint64
 		for cpu := 0; cpu < sys.CPUs(); cpu++ {
 			st := sys.Stats(cpu)
@@ -44,13 +50,19 @@ func WriteBufferDepth(w io.Writer, scale float64) error {
 // switch time (the latency spike the paper's scheme removes).
 func EagerFlush(w io.Writer, scale float64) error {
 	tc := scaled(tracegen.AbaqusLike(), scale)
-	for _, eager := range []bool{false, true} {
+	modes := []bool{false, true}
+	scs := make([]system.Config, len(modes))
+	for i, eager := range modes {
 		sc := machineConfig(tc, mainSizePairs()[2], system.VR)
 		sc.EagerCtxFlush = eager
-		sys, _, err := runWorkload(tc, sc)
-		if err != nil {
-			return err
-		}
+		scs[i] = sc
+	}
+	systems, err := runSweep(tc, scs)
+	if err != nil {
+		return err
+	}
+	for i, sys := range systems {
+		eager := modes[i]
 		var wbs, swapped, eagerWBs, switches uint64
 		for cpu := 0; cpu < sys.CPUs(); cpu++ {
 			st := sys.Stats(cpu)

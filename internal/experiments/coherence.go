@@ -16,16 +16,22 @@ import (
 func coherenceTable(w io.Writer, tc tracegen.Config) error {
 	orgs := []system.Organization{system.VR, system.RRInclusion, system.RRNoInclusion}
 	pairs := mainSizePairs()
+	scs := make([]system.Config, 0, len(pairs)*len(orgs))
+	for _, p := range pairs {
+		for _, org := range orgs {
+			scs = append(scs, machineConfig(tc, p, org))
+		}
+	}
+	systems, err := runSweep(tc, scs)
+	if err != nil {
+		return err
+	}
 	// counts[pair][org][cpu]
 	counts := make([][][]uint64, len(pairs))
-	for i, p := range pairs {
+	for i := range pairs {
 		counts[i] = make([][]uint64, len(orgs))
-		for j, org := range orgs {
-			sys, _, err := runWorkload(tc, machineConfig(tc, p, org))
-			if err != nil {
-				return err
-			}
-			counts[i][j] = sys.CoherenceMessages()
+		for j := range orgs {
+			counts[i][j] = systems[i*len(orgs)+j].CoherenceMessages()
 		}
 	}
 	fmt.Fprintf(w, "coherence messages to the first-level cache (%s)\n", tc.Name)
@@ -145,8 +151,10 @@ func AssocBoundEmpirical(w io.Writer, scale float64) error {
 	fmt.Fprintf(w, "16K direct-mapped V-cache, 16B blocks; 256K R-cache, 64B blocks; 4K pages\n")
 	fmt.Fprintf(w, "analytic bound: A2 >= %d\n", bound)
 	fmt.Fprintf(w, "%-5s %s\n", "A2", "strict-rule failures (relaxed rule's inclusion invalidations)")
-	for _, a2 := range []int{1, 2, 4, 8, 16, 32} {
-		sc := system.Config{
+	assocs := []int{1, 2, 4, 8, 16, 32}
+	scs := make([]system.Config, len(assocs))
+	for i, a2 := range assocs {
+		scs[i] = system.Config{
 			CPUs:         tc.CPUs,
 			Organization: system.VR,
 			PageSize:     4096,
@@ -156,10 +164,13 @@ func AssocBoundEmpirical(w io.Writer, scale float64) error {
 			// extra children beyond the bound's assumptions.
 			WriteBufLatency: 1,
 		}
-		sys, _, err := runWorkload(tc, sc)
-		if err != nil {
-			return err
-		}
+	}
+	systems, err := runSweep(tc, scs)
+	if err != nil {
+		return err
+	}
+	for i, a2 := range assocs {
+		sys := systems[i]
 		var invals uint64
 		for cpu := 0; cpu < sys.CPUs(); cpu++ {
 			invals += sys.Stats(cpu).InclusionInvals

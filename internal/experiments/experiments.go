@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"repro/internal/cache"
+	"repro/internal/sweep"
 	"repro/internal/system"
 	"repro/internal/trace"
 	"repro/internal/tracegen"
@@ -134,6 +135,50 @@ func runWorkload(tc tracegen.Config, sc system.Config) (*system.System, *tracege
 		return nil, nil, err
 	}
 	return sys, gen, nil
+}
+
+// useSweep selects the engine behind runSweep: the single-pass sweep engine
+// (default) or the reference per-configuration sequential loop. The
+// determinism test flips it to prove both produce byte-identical output.
+var useSweep = true
+
+// runSweep drives one synthetic workload through every machine
+// configuration in scs. With the sweep engine, the trace is generated once
+// and broadcast to all systems, each simulating in its own goroutine; the
+// fallback regenerates and re-runs the workload per configuration. The
+// returned systems parallel scs.
+func runSweep(tc tracegen.Config, scs []system.Config) ([]*system.System, error) {
+	systems := make([]*system.System, len(scs))
+	for i, sc := range scs {
+		sys, err := system.New(sc)
+		if err != nil {
+			return nil, err
+		}
+		if err := tc.SetupSharedMappings(sys.MMU()); err != nil {
+			return nil, err
+		}
+		systems[i] = sys
+	}
+	if !useSweep {
+		for _, sys := range systems {
+			gen, err := tracegen.New(tc)
+			if err != nil {
+				return nil, err
+			}
+			if err := sys.Run(gen); err != nil {
+				return nil, err
+			}
+		}
+		return systems, nil
+	}
+	gen, err := tracegen.New(tc)
+	if err != nil {
+		return nil, err
+	}
+	if err := sweep.Run(gen, systems, sweep.Options{}); err != nil {
+		return nil, err
+	}
+	return systems, nil
 }
 
 // runLimited is runWorkload but stops after n references (the paper's

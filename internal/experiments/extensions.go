@@ -29,16 +29,24 @@ func PIDTags(w io.Writer, scale float64) error {
 	}
 	fmt.Fprintf(w, "%-20s %-8s %-8s %-13s %s\n",
 		"scheme", "h1(4K)", "h1(16K)", "write-backs", "clustered-at-switch")
+	pairs := []sizePair{mainSizePairs()[0], mainSizePairs()[2]}
+	var scs []system.Config
 	for _, v := range variants {
-		var h1s []float64
-		var wbs, clustered uint64
-		for _, p := range []sizePair{mainSizePairs()[0], mainSizePairs()[2]} {
+		for _, p := range pairs {
 			sc := machineConfig(tc, p, system.VR)
 			v.tweak(&sc)
-			sys, _, err := runWorkload(tc, sc)
-			if err != nil {
-				return err
-			}
+			scs = append(scs, sc)
+		}
+	}
+	systems, err := runSweep(tc, scs)
+	if err != nil {
+		return err
+	}
+	for i, v := range variants {
+		var h1s []float64
+		var wbs, clustered uint64
+		for j, p := range pairs {
+			sys := systems[i*len(pairs)+j]
 			h1s = append(h1s, sys.Aggregate().H1)
 			if p.l1 == 16<<10 {
 				for cpu := 0; cpu < sys.CPUs(); cpu++ {
@@ -64,13 +72,19 @@ func PIDTags(w io.Writer, scale float64) error {
 // disappear at the cost of bus update transactions.
 func UpdateProtocol(w io.Writer, scale float64) error {
 	tc := scaled(tracegen.PopsLike(), scale)
-	for _, proto := range []core.Protocol{core.WriteInvalidate, core.WriteUpdate} {
+	protos := []core.Protocol{core.WriteInvalidate, core.WriteUpdate}
+	scs := make([]system.Config, len(protos))
+	for i, proto := range protos {
 		sc := machineConfig(tc, mainSizePairs()[2], system.VR)
 		sc.Protocol = proto
-		sys, _, err := runWorkload(tc, sc)
-		if err != nil {
-			return err
-		}
+		scs[i] = sc
+	}
+	systems, err := runSweep(tc, scs)
+	if err != nil {
+		return err
+	}
+	for i, sys := range systems {
+		proto := protos[i]
 		agg := sys.Aggregate()
 		var msgs uint64
 		for cpu := 0; cpu < sys.CPUs(); cpu++ {
@@ -93,14 +107,20 @@ func RelaxedReplacement(w io.Writer, scale float64) error {
 	tc := scaled(tracegen.AbaqusLike(), scale)
 	fmt.Fprintf(w, "L1 8K, L2 32K 2-way (a tight 4:1 ratio where victim choice matters), abaqus\n")
 	fmt.Fprintf(w, "%-10s %-22s %-8s\n", "rule", "inclusion invalidations", "h1")
-	for _, naive := range []bool{false, true} {
+	rules := []bool{false, true}
+	scs := make([]system.Config, len(rules))
+	for i, naive := range rules {
 		sc := machineConfig(tc, sizePair{"8K/32K", 8 << 10, 32 << 10}, system.VR)
 		sc.L2.Assoc = 2 // give the preference rule a choice within each set
 		sc.NaiveL2Replacement = naive
-		sys, _, err := runWorkload(tc, sc)
-		if err != nil {
-			return err
-		}
+		scs[i] = sc
+	}
+	systems, err := runSweep(tc, scs)
+	if err != nil {
+		return err
+	}
+	for i, sys := range systems {
+		naive := rules[i]
 		var invals uint64
 		for cpu := 0; cpu < sys.CPUs(); cpu++ {
 			invals += sys.Stats(cpu).InclusionInvals

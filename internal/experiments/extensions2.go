@@ -18,39 +18,47 @@ func WritePolicy(w io.Writer, scale float64) error {
 	tc := scaled(tracegen.PopsLike(), scale)
 	fmt.Fprintf(w, "%-14s %-7s %-9s %-9s %-13s %-9s %s\n",
 		"policy", "depth", "h1", "h1-write", "down-writes", "stalls", "stall rate")
-	for _, wt := range []bool{true, false} {
-		for _, depth := range []int{1, 2, 4} {
+	policies := []bool{true, false}
+	depths := []int{1, 2, 4}
+	var scs []system.Config
+	for _, wt := range policies {
+		for _, depth := range depths {
 			sc := machineConfig(tc, mainSizePairs()[2], system.VR)
 			sc.L1WriteThrough = wt
 			sc.WriteBufDepth = depth
 			sc.WriteBufLatency = 6
-			sys, _, err := runWorkload(tc, sc)
-			if err != nil {
-				return err
-			}
-			agg := sys.Aggregate()
-			var down, stalls uint64
-			for cpu := 0; cpu < sys.CPUs(); cpu++ {
-				st := sys.Stats(cpu)
-				stalls += st.BufferStalls
-				if wt {
-					// Every write goes down a level.
-					down += st.L1.Kind(2).Total
-				} else {
-					down += st.WriteBacks
-				}
-			}
-			name := "write-back"
-			if wt {
-				name = "write-through"
-			}
-			rate := 0.0
-			if down > 0 {
-				rate = float64(stalls) / float64(down)
-			}
-			fmt.Fprintf(w, "%-14s %-7d %-9.3f %-9.3f %-13d %-9d %.4f\n",
-				name, depth, agg.H1, agg.L1.DataWrite, down, stalls, rate)
+			scs = append(scs, sc)
 		}
+	}
+	systems, err := runSweep(tc, scs)
+	if err != nil {
+		return err
+	}
+	for i, sys := range systems {
+		wt := policies[i/len(depths)]
+		depth := depths[i%len(depths)]
+		agg := sys.Aggregate()
+		var down, stalls uint64
+		for cpu := 0; cpu < sys.CPUs(); cpu++ {
+			st := sys.Stats(cpu)
+			stalls += st.BufferStalls
+			if wt {
+				// Every write goes down a level.
+				down += st.L1.Kind(2).Total
+			} else {
+				down += st.WriteBacks
+			}
+		}
+		name := "write-back"
+		if wt {
+			name = "write-through"
+		}
+		rate := 0.0
+		if down > 0 {
+			rate = float64(stalls) / float64(down)
+		}
+		fmt.Fprintf(w, "%-14s %-7d %-9.3f %-9.3f %-13d %-9d %.4f\n",
+			name, depth, agg.H1, agg.L1.DataWrite, down, stalls, rate)
 	}
 	fmt.Fprintln(w, "\nshape to match (paper section 2): write-through needs several buffers and still")
 	fmt.Fprintln(w, "stalls, with the lower (no-allocate) write hit ratio; write-back sends several")
@@ -71,12 +79,17 @@ func Scaling(w io.Writer, scale float64) error {
 		tc := scaled(tracegen.PopsLike(), scale)
 		tc.CPUs = cpus
 		tc.TotalRefs = tc.TotalRefs / 4 * cpus // fixed per-CPU length
+		orgs := []system.Organization{system.VR, system.RRNoInclusion}
+		scs := make([]system.Config, len(orgs))
+		for i, org := range orgs {
+			scs[i] = machineConfig(tc, mainSizePairs()[2], org)
+		}
+		systems, err := runSweep(tc, scs)
+		if err != nil {
+			return err
+		}
 		var per [2]float64
-		for i, org := range []system.Organization{system.VR, system.RRNoInclusion} {
-			sys, _, err := runWorkload(tc, machineConfig(tc, mainSizePairs()[2], org))
-			if err != nil {
-				return err
-			}
+		for i, sys := range systems {
 			var total uint64
 			for _, m := range sys.CoherenceMessages() {
 				total += m
@@ -102,11 +115,17 @@ func Bandwidth(w io.Writer, scale float64) error {
 		costData, costAddr)
 	fmt.Fprintf(w, "%-13s %-9s %-9s %-9s %-12s %s\n",
 		"organization", "reads", "rmw", "inval", "bus cycles", "cycles/1k refs")
-	for _, org := range []system.Organization{system.VR, system.RRInclusion, system.RRNoInclusion} {
-		sys, _, err := runWorkload(tc, machineConfig(tc, mainSizePairs()[2], org))
-		if err != nil {
-			return err
-		}
+	orgs := []system.Organization{system.VR, system.RRInclusion, system.RRNoInclusion}
+	scs := make([]system.Config, len(orgs))
+	for i, org := range orgs {
+		scs[i] = machineConfig(tc, mainSizePairs()[2], org)
+	}
+	systems, err := runSweep(tc, scs)
+	if err != nil {
+		return err
+	}
+	for i, sys := range systems {
+		org := orgs[i]
 		bs := sys.Bus().Stats()
 		cycles := (bs.Count(bus.Read)+bs.Count(bus.ReadMod))*costData +
 			(bs.Count(bus.Invalidate)+bs.Count(bus.Update))*costAddr

@@ -16,16 +16,19 @@ import (
 // curves per size configuration, plus the crossover points.
 func figure(w io.Writer, tc tracegen.Config) error {
 	fmt.Fprintf(w, "average access time vs first-level R-cache slow-down (%s, t1=1 t2=4 tm=20)\n", tc.Name)
-	for _, p := range mainSizePairs() {
-		vrSys, _, err := runWorkload(tc, machineConfig(tc, p, system.VR))
-		if err != nil {
-			return err
-		}
-		rrSys, _, err := runWorkload(tc, machineConfig(tc, p, system.RRInclusion))
-		if err != nil {
-			return err
-		}
-		av, ar := vrSys.Aggregate(), rrSys.Aggregate()
+	pairs := mainSizePairs()
+	scs := make([]system.Config, 0, 2*len(pairs))
+	for _, p := range pairs {
+		scs = append(scs,
+			machineConfig(tc, p, system.VR),
+			machineConfig(tc, p, system.RRInclusion))
+	}
+	systems, err := runSweep(tc, scs)
+	if err != nil {
+		return err
+	}
+	for i, p := range pairs {
+		av, ar := systems[2*i].Aggregate(), systems[2*i+1].Aggregate()
 		vr := timemodel.DefaultParams(av.H1, av.H2)
 		rr := timemodel.DefaultParams(ar.H1, ar.H2)
 		fmt.Fprintf(w, "\nsizes %s: h1VR=%.3f h2VR=%.3f  h1RR=%.3f h2RR=%.3f\n",

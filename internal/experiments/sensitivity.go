@@ -20,25 +20,30 @@ func AssocSweep(w io.Writer, scale float64) error {
 	tc := scaled(tracegen.PopsLike(), scale)
 	fmt.Fprintf(w, "V-R hierarchy, 16K/256K, pops\n")
 	fmt.Fprintf(w, "%-5s %-5s %-8s %-8s %-12s %s\n", "A1", "A2", "h1", "h2", "incl-invals", "synonyms")
-	for _, a1 := range []int{1, 2, 4} {
-		for _, a2 := range []int{1, 2, 4} {
+	assocs := []int{1, 2, 4}
+	var scs []system.Config
+	for _, a1 := range assocs {
+		for _, a2 := range assocs {
 			sc := machineConfig(tc, mainSizePairs()[2], system.VR)
 			sc.L1.Assoc = a1
 			sc.L2.Assoc = a2
-			sys, _, err := runWorkload(tc, sc)
-			if err != nil {
-				return err
-			}
-			var invals, syns uint64
-			for cpu := 0; cpu < sys.CPUs(); cpu++ {
-				st := sys.Stats(cpu)
-				invals += st.InclusionInvals
-				syns += st.SynonymTotal() - st.Synonyms[core.SynNone]
-			}
-			agg := sys.Aggregate()
-			fmt.Fprintf(w, "%-5d %-5d %-8.3f %-8.3f %-12d %d\n",
-				a1, a2, agg.H1, agg.H2, invals, syns)
+			scs = append(scs, sc)
 		}
+	}
+	systems, err := runSweep(tc, scs)
+	if err != nil {
+		return err
+	}
+	for i, sys := range systems {
+		var invals, syns uint64
+		for cpu := 0; cpu < sys.CPUs(); cpu++ {
+			st := sys.Stats(cpu)
+			invals += st.InclusionInvals
+			syns += st.SynonymTotal() - st.Synonyms[core.SynNone]
+		}
+		agg := sys.Aggregate()
+		fmt.Fprintf(w, "%-5d %-5d %-8.3f %-8.3f %-12d %d\n",
+			assocs[i/len(assocs)], assocs[i%len(assocs)], agg.H1, agg.H2, invals, syns)
 	}
 	return nil
 }
@@ -124,29 +129,36 @@ func TLBPressure(w io.Writer, scale float64) error {
 	tc := scaled(tracegen.PopsLike(), scale)
 	fmt.Fprintf(w, "%-13s %-8s %-14s %-14s %s\n",
 		"organization", "entries", "TLB lookups", "lookups/1kref", "TLB miss ratio")
-	for _, org := range []system.Organization{system.VR, system.RRInclusion} {
-		for _, entries := range []int{8, 64} {
+	orgs := []system.Organization{system.VR, system.RRInclusion}
+	sizes := []int{8, 64}
+	var scs []system.Config
+	for _, org := range orgs {
+		for _, entries := range sizes {
 			sc := machineConfig(tc, mainSizePairs()[2], org)
 			sc.TLBEntries = entries
 			sc.TLBAssoc = 2
-			sys, _, err := runWorkload(tc, sc)
-			if err != nil {
-				return err
-			}
-			var hits, misses uint64
-			for cpu := 0; cpu < sys.CPUs(); cpu++ {
-				st := sys.Stats(cpu)
-				hits += st.TLB.Hits
-				misses += st.TLB.Misses
-			}
-			lookups := hits + misses
-			missRatio := 0.0
-			if lookups > 0 {
-				missRatio = float64(misses) / float64(lookups)
-			}
-			fmt.Fprintf(w, "%-13s %-8d %-14d %-14.1f %.4f\n",
-				org, entries, lookups, 1000*float64(lookups)/float64(sys.Refs()), missRatio)
+			scs = append(scs, sc)
 		}
+	}
+	systems, err := runSweep(tc, scs)
+	if err != nil {
+		return err
+	}
+	for i, sys := range systems {
+		var hits, misses uint64
+		for cpu := 0; cpu < sys.CPUs(); cpu++ {
+			st := sys.Stats(cpu)
+			hits += st.TLB.Hits
+			misses += st.TLB.Misses
+		}
+		lookups := hits + misses
+		missRatio := 0.0
+		if lookups > 0 {
+			missRatio = float64(misses) / float64(lookups)
+		}
+		fmt.Fprintf(w, "%-13s %-8d %-14d %-14.1f %.4f\n",
+			orgs[i/len(sizes)], sizes[i%len(sizes)], lookups,
+			1000*float64(lookups)/float64(sys.Refs()), missRatio)
 	}
 	fmt.Fprintln(w, "\nshape to match (paper section 4): the V-R TLB is consulted only on L1 misses —")
 	fmt.Fprintln(w, "an order of magnitude fewer lookups — so it can be slower and smaller, and TLB")

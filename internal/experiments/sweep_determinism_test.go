@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// sweptExperiments lists every experiment ported onto the sweep engine.
+var sweptExperiments = []string{
+	"table6", "table7", "table8", "table9", "table10",
+	"table11", "table12", "table13",
+	"fig4", "fig5", "fig6",
+	"assocsweep", "assocbound", "scaling", "tlb",
+	"wbdepth", "eagerflush", "pidtags", "protocol", "replacement",
+	"writepolicy", "bandwidth",
+}
+
+// TestSweepOutputMatchesSequential is the acceptance criterion for the sweep
+// port: every experiment's table/figure output must be byte-identical
+// whether the configurations run through the single-pass engine or through
+// the reference one-at-a-time loop.
+func TestSweepOutputMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every swept experiment twice")
+	}
+	defer func() { useSweep = true }()
+	for _, id := range sweptExperiments {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(id, func(t *testing.T) {
+			var seq, swp bytes.Buffer
+			useSweep = false
+			if err := e.Run(&seq, testScale); err != nil {
+				t.Fatalf("sequential: %v", err)
+			}
+			useSweep = true
+			if err := e.Run(&swp, testScale); err != nil {
+				t.Fatalf("sweep: %v", err)
+			}
+			if !bytes.Equal(seq.Bytes(), swp.Bytes()) {
+				t.Errorf("output differs between sweep and sequential engines\n--- sequential ---\n%s\n--- sweep ---\n%s",
+					seq.String(), swp.String())
+			}
+		})
+	}
+}

@@ -25,9 +25,7 @@ func Table1(w io.Writer, scale float64) error {
 	h := gen.WritesPerCall()
 	fmt.Fprintf(w, "%-22s %-10s %s\n", "no. of wr. per call", "count", "total writes")
 	for n := 1; n <= 16; n++ {
-		if c := h.Count(n); c > 0 || n <= 16 {
-			fmt.Fprintf(w, "%-22d %-10d %d\n", n, c, uint64(n)*c)
-		}
+		fmt.Fprintf(w, "%-22d %-10d %d\n", n, h.Count(n), uint64(n)*h.Count(n))
 	}
 	fmt.Fprintf(w, "%-22s %d\n", "no. of wr. due to p", h.Sum())
 	fmt.Fprintf(w, "%-22s %d\n", "total no. of wr", chars.Writes)
@@ -114,20 +112,23 @@ func Table5(w io.Writer, scale float64) error {
 }
 
 // hitRatioRows runs one trace over the given size pairs for both the V-R
-// and R-R organizations and prints the paper's h1/h2 rows.
+// and R-R organizations — a single sweep over all pairs×organizations —
+// and prints the paper's h1/h2 rows.
 func hitRatioRows(w io.Writer, tc tracegen.Config, pairs []sizePair) error {
+	scs := make([]system.Config, 0, 2*len(pairs))
+	for _, p := range pairs {
+		scs = append(scs,
+			machineConfig(tc, p, system.VR),
+			machineConfig(tc, p, system.RRInclusion))
+	}
+	systems, err := runSweep(tc, scs)
+	if err != nil {
+		return err
+	}
 	type cell struct{ h1vr, h1rr, h2vr, h2rr float64 }
 	cells := make([]cell, len(pairs))
-	for i, p := range pairs {
-		vr, _, err := runWorkload(tc, machineConfig(tc, p, system.VR))
-		if err != nil {
-			return err
-		}
-		rr, _, err := runWorkload(tc, machineConfig(tc, p, system.RRInclusion))
-		if err != nil {
-			return err
-		}
-		av, ar := vr.Aggregate(), rr.Aggregate()
+	for i := range pairs {
+		av, ar := systems[2*i].Aggregate(), systems[2*i+1].Aggregate()
 		cells[i] = cell{av.H1, ar.H1, av.H2, ar.H2}
 	}
 	fmt.Fprintf(w, "%-6s", "sizes")
@@ -179,23 +180,24 @@ func Table7(w io.Writer, scale float64) error {
 // main size pairs and prints the paper's per-kind hit-ratio rows.
 func splitTable(w io.Writer, tc tracegen.Config) error {
 	pairs := mainSizePairs()
+	scs := make([]system.Config, 0, 2*len(pairs))
+	for _, p := range pairs {
+		sc := machineConfig(tc, p, system.VR)
+		sc.Split = true
+		scs = append(scs, sc)
+		sc.Split = false
+		scs = append(scs, sc)
+	}
+	systems, err := runSweep(tc, scs)
+	if err != nil {
+		return err
+	}
 	type agg = system.AggregateStats
 	splits := make([]agg, len(pairs))
 	unis := make([]agg, len(pairs))
-	for i, p := range pairs {
-		sc := machineConfig(tc, p, system.VR)
-		sc.Split = true
-		sys, _, err := runWorkload(tc, sc)
-		if err != nil {
-			return err
-		}
-		splits[i] = sys.Aggregate()
-		sc.Split = false
-		sys, _, err = runWorkload(tc, sc)
-		if err != nil {
-			return err
-		}
-		unis[i] = sys.Aggregate()
+	for i := range pairs {
+		splits[i] = systems[2*i].Aggregate()
+		unis[i] = systems[2*i+1].Aggregate()
 	}
 	fmt.Fprintf(w, "%-24s", tc.Name)
 	for _, p := range pairs {

@@ -81,6 +81,12 @@ type RCache struct {
 	subSize uint64 // first-level block size
 	subs    int    // subentries per line
 	naive   bool   // ignore children when picking victims (ablation)
+
+	subShift uint   // log2(subSize)
+	subMask  uint64 // subs - 1
+	// childless is the relaxed-inclusion victim preference, built once at
+	// construction so PickVictim allocates no per-call closure.
+	childless func(set, way int) bool
 }
 
 // SetNaiveReplacement disables the relaxed-inclusion victim preference so
@@ -101,12 +107,28 @@ func New(g cache.Geometry, l1Block uint64) (*RCache, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &RCache{
-		tags:    tags,
-		geom:    g,
-		subSize: l1Block,
-		subs:    int(g.Block / l1Block),
-	}, nil
+	r := &RCache{
+		tags:     tags,
+		geom:     g,
+		subSize:  l1Block,
+		subs:     int(g.Block / l1Block),
+		subShift: addr.MustLog2(l1Block),
+	}
+	r.subMask = uint64(r.subs - 1)
+	r.childless = r.hasNoChildren
+	return r, nil
+}
+
+// hasNoChildren reports whether the line at (set, way) tracks no
+// first-level data — the paper's preferred replacement victim.
+func (r *RCache) hasNoChildren(set, way int) bool {
+	l := r.tags.Line(set, way)
+	for i := range l.Subs {
+		if l.Subs[i].HasChild() {
+			return false
+		}
+	}
+	return true
 }
 
 // MustNew is New but panics on error.
@@ -129,12 +151,12 @@ func (r *RCache) SubSize() uint64 { return r.subSize }
 
 // Locate maps a physical address to its (set, tag).
 func (r *RCache) Locate(pa addr.PAddr) (set int, tag uint64) {
-	return r.geom.Locate(uint64(pa))
+	return r.tags.Locate(uint64(pa))
 }
 
 // SubIndex returns which subentry of its line pa falls in.
 func (r *RCache) SubIndex(pa addr.PAddr) int {
-	return int(uint64(pa) % r.geom.Block / r.subSize)
+	return int(uint64(pa) >> r.subShift & r.subMask)
 }
 
 // Lookup probes for pa's line without touching recency.
@@ -166,7 +188,7 @@ func (r *RCache) Present(set, way int) bool { return r.tags.ValidAt(set, way) }
 // BlockAddr returns the block-aligned physical address of the line at
 // (set, way).
 func (r *RCache) BlockAddr(set, way int) addr.PAddr {
-	return addr.PAddr(r.geom.BlockAddr(set, r.tags.TagAt(set, way)))
+	return addr.PAddr(r.tags.BlockAddr(set, r.tags.TagAt(set, way)))
 }
 
 // SubAddr returns the physical address of subentry sub of the line at
@@ -188,15 +210,7 @@ type Victim struct {
 // the slot.
 func (r *RCache) PickVictim(pa addr.PAddr) Victim {
 	set, _ := r.Locate(pa)
-	prefer := func(w int) bool {
-		l := r.tags.Line(set, w)
-		for i := range l.Subs {
-			if l.Subs[i].HasChild() {
-				return false
-			}
-		}
-		return true
-	}
+	prefer := r.childless
 	if r.naive {
 		prefer = nil
 	}

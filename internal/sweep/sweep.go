@@ -1,0 +1,146 @@
+// Package sweep is the single-pass multi-configuration simulation engine.
+//
+// The paper's evaluation is a sweep: every table runs the same trace through
+// many machine configurations. Generating the workload once and fanning the
+// reference stream out to N independent systems removes the dominant
+// regenerate-per-configuration cost (trace synthesis is roughly a third of a
+// run) and lets the configurations simulate concurrently — they are fully
+// independent given the trace, so after the broadcast this is embarrassingly
+// parallel, the classic trace-driven-simulator structure of DineroIV and
+// gem5 trace replay.
+//
+// The engine reads fixed-size []trace.Ref batches from the shared reader and
+// hands each batch to every system through a per-system buffered channel.
+// Batches are reference-counted and recycled through a free pool, so the
+// steady state allocates nothing. Each system consumes its channel in order
+// from a single goroutine, so it observes exactly the reference stream a
+// sequential run would: per-system results are bit-identical to running that
+// configuration alone (see TestSweepMatchesSequential).
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/system"
+	"repro/internal/trace"
+)
+
+// Options tunes the engine. The zero value is ready to use.
+type Options struct {
+	// BatchSize is the number of trace records per broadcast batch
+	// (default 4096). Larger batches amortize channel operations; smaller
+	// ones keep the batch cache-resident.
+	BatchSize int
+	// QueueDepth is the number of batches that may queue per system before
+	// the broadcaster blocks (default 4). It bounds how far a fast system
+	// can run ahead of the slowest one.
+	QueueDepth int
+}
+
+func (o *Options) applyDefaults() {
+	if o.BatchSize <= 0 {
+		o.BatchSize = 4096
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 4
+	}
+}
+
+// batch is one broadcast unit: a shared read-only slice of records and the
+// count of systems still consuming it.
+type batch struct {
+	refs []trace.Ref
+	left atomic.Int32
+}
+
+// Run reads r once and drives every system with the full stream, each in its
+// own goroutine. When the stream ends every system's write buffers are
+// drained, as System.Run would. The first error from the reader or from any
+// system aborts the sweep and is returned (system errors are annotated with
+// the system's index); the remaining systems still consume the stream
+// already broadcast, so Run never deadlocks on error.
+func Run(r trace.Reader, systems []*system.System, opts Options) error {
+	opts.applyDefaults()
+	if len(systems) == 0 {
+		return nil
+	}
+	if len(systems) == 1 {
+		// No fan-out needed; run in place on the caller's goroutine.
+		return systems[0].Run(r)
+	}
+
+	// Free pool: QueueDepth in flight per system plus one being filled and
+	// one being consumed.
+	nBatches := opts.QueueDepth + 2
+	free := make(chan *batch, nBatches)
+	for i := 0; i < nBatches; i++ {
+		free <- &batch{refs: make([]trace.Ref, opts.BatchSize)}
+	}
+
+	chans := make([]chan *batch, len(systems))
+	for i := range chans {
+		chans[i] = make(chan *batch, opts.QueueDepth)
+	}
+
+	errs := make([]error, len(systems))
+	var wg sync.WaitGroup
+	for i, s := range systems {
+		wg.Add(1)
+		go func(i int, s *system.System, in <-chan *batch) {
+			defer wg.Done()
+			for b := range in {
+				if errs[i] == nil {
+					errs[i] = s.ApplyBatch(b.refs)
+				}
+				// Always release, even after an error, so the pool keeps
+				// cycling and the broadcaster cannot block forever.
+				if b.left.Add(-1) == 0 {
+					free <- b
+				}
+			}
+			if errs[i] == nil {
+				s.Drain()
+			}
+		}(i, s, chans[i])
+	}
+
+	var readErr error
+	for {
+		b := <-free
+		b.refs = b.refs[:cap(b.refs)]
+		n, err := trace.FillBatch(r, b.refs)
+		if n > 0 {
+			b.refs = b.refs[:n]
+			b.left.Store(int32(len(systems)))
+			for _, ch := range chans {
+				ch <- b
+			}
+		} else {
+			free <- b
+		}
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				readErr = err
+			}
+			break
+		}
+	}
+	for _, ch := range chans {
+		close(ch)
+	}
+	wg.Wait()
+
+	if readErr != nil {
+		return readErr
+	}
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("sweep: system %d: %w", i, err)
+		}
+	}
+	return nil
+}

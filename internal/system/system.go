@@ -243,19 +243,37 @@ func (s *System) Apply(ref trace.Ref) (core.AccessResult, error) {
 	return res, nil
 }
 
+// ApplyBatch runs a slice of trace records through the machine. It is the
+// batched entry point the sweep engine uses: one call per batch instead of
+// one interface call per reference.
+func (s *System) ApplyBatch(refs []trace.Ref) error {
+	for _, ref := range refs {
+		if _, err := s.Apply(ref); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runBatchSize is the slice length Run reads at a time; large enough to
+// amortize the Reader interface call, small enough to stay cache-resident.
+const runBatchSize = 4096
+
 // Run drives every record from r through the machine and drains the write
-// buffers at the end.
+// buffers at the end. Reads go through the batched path (trace.FillBatch),
+// so readers implementing trace.BatchReader are consumed a slice at a time.
 func (s *System) Run(r trace.Reader) error {
+	buf := make([]trace.Ref, runBatchSize)
 	for {
-		ref, err := r.Next()
+		n, err := trace.FillBatch(r, buf)
+		if aerr := s.ApplyBatch(buf[:n]); aerr != nil {
+			return aerr
+		}
 		if errors.Is(err, io.EOF) {
 			s.Drain()
 			return nil
 		}
 		if err != nil {
-			return err
-		}
-		if _, err := s.Apply(ref); err != nil {
 			return err
 		}
 	}

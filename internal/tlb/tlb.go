@@ -88,7 +88,7 @@ func (t *TLB) Stats() Stats { return t.stats }
 func (t *TLB) Translate(pid addr.PID, va addr.VAddr) (pa addr.PAddr, hit bool) {
 	pg := t.mmu.PageGeom()
 	vpage := pg.VPage(va)
-	set, locTag := t.geom.Locate(vpage)
+	set, locTag := t.tags.Locate(vpage)
 	tag := locTag<<16 | uint64(pid)
 	if w, ok := t.tags.Probe(set, tag); ok {
 		e := t.tags.Line(set, w)

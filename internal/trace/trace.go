@@ -85,6 +85,36 @@ type Reader interface {
 	Next() (Ref, error)
 }
 
+// BatchReader is a Reader that can fill a caller-provided slice in one call,
+// amortizing the per-record interface dispatch. ReadBatch returns the number
+// of records written into dst; it returns io.EOF (with n == 0) only once the
+// stream is exhausted. n may be short of len(dst) without the stream being
+// done.
+type BatchReader interface {
+	Reader
+	ReadBatch(dst []Ref) (n int, err error)
+}
+
+// FillBatch fills dst from r, using ReadBatch when r implements BatchReader
+// and falling back to per-record Next calls otherwise. Like ReadBatch it
+// returns io.EOF only with n == 0.
+func FillBatch(r Reader, dst []Ref) (int, error) {
+	if br, ok := r.(BatchReader); ok {
+		return br.ReadBatch(dst)
+	}
+	for n := range dst {
+		ref, err := r.Next()
+		if err != nil {
+			if errors.Is(err, io.EOF) && n > 0 {
+				return n, nil
+			}
+			return n, err
+		}
+		dst[n] = ref
+	}
+	return len(dst), nil
+}
+
 // SliceReader adapts a slice of records to the Reader interface.
 type SliceReader struct {
 	refs []Ref
@@ -102,6 +132,17 @@ func (r *SliceReader) Next() (Ref, error) {
 	ref := r.refs[r.pos]
 	r.pos++
 	return ref, nil
+}
+
+// ReadBatch implements BatchReader by copying directly from the backing
+// slice.
+func (r *SliceReader) ReadBatch(dst []Ref) (int, error) {
+	if r.pos >= len(r.refs) {
+		return 0, io.EOF
+	}
+	n := copy(dst, r.refs[r.pos:])
+	r.pos += n
+	return n, nil
 }
 
 // Len returns the total number of records.
@@ -141,6 +182,20 @@ func (l *Limit) Next() (Ref, error) {
 	}
 	l.left--
 	return l.r.Next()
+}
+
+// ReadBatch implements BatchReader, delegating to the wrapped reader's batch
+// path when it has one.
+func (l *Limit) ReadBatch(dst []Ref) (int, error) {
+	if l.left <= 0 {
+		return 0, io.EOF
+	}
+	if l.left < len(dst) {
+		dst = dst[:l.left]
+	}
+	n, err := FillBatch(l.r, dst)
+	l.left -= n
+	return n, err
 }
 
 // binaryMagic begins every binary trace stream.
@@ -326,6 +381,8 @@ func ParseLine(line string) (Ref, error) {
 }
 
 // Characteristics summarizes a trace in the style of the paper's Table 5.
+// The seen-CPU and seen-PID sets are fixed-size bitsets rather than maps so
+// Observe stays on the per-reference hot path without hashing or allocating.
 type Characteristics struct {
 	CPUs         int
 	TotalRefs    uint64
@@ -334,23 +391,21 @@ type Characteristics struct {
 	Writes       uint64
 	CtxSwitches  uint64
 	DistinctPIDs int
-	seenCPU      map[uint8]bool
-	seenPID      map[addr.PID]bool
+	seenCPU      [4]uint64    // 256 possible CPU ids
+	seenPID      [1024]uint64 // 65536 possible PIDs
 }
 
 // Observe folds one record into the summary.
 func (c *Characteristics) Observe(r Ref) {
-	if c.seenCPU == nil {
-		c.seenCPU = make(map[uint8]bool)
-		c.seenPID = make(map[addr.PID]bool)
-	}
-	if !c.seenCPU[r.CPU] {
-		c.seenCPU[r.CPU] = true
+	if bit := uint64(1) << (r.CPU & 63); c.seenCPU[r.CPU>>6]&bit == 0 {
+		c.seenCPU[r.CPU>>6] |= bit
 		c.CPUs++
 	}
-	if r.PID != addr.NoPID && !c.seenPID[r.PID] {
-		c.seenPID[r.PID] = true
-		c.DistinctPIDs++
+	if r.PID != addr.NoPID {
+		if bit := uint64(1) << (r.PID & 63); c.seenPID[r.PID>>6]&bit == 0 {
+			c.seenPID[r.PID>>6] |= bit
+			c.DistinctPIDs++
+		}
 	}
 	switch r.Kind {
 	case IFetch:

@@ -16,6 +16,7 @@
 package tracegen
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -358,6 +359,25 @@ func (g *Generator) Next() (trace.Ref, error) {
 	}
 	g.chars.Observe(ref)
 	return ref, nil
+}
+
+// ReadBatch implements trace.BatchReader: it fills dst with successive
+// records, amortizing the per-record interface dispatch when the generator
+// feeds the sweep engine's broadcast loop.
+func (g *Generator) ReadBatch(dst []trace.Ref) (int, error) {
+	n := 0
+	for n < len(dst) {
+		ref, err := g.Next()
+		if err != nil {
+			if errors.Is(err, io.EOF) && n > 0 {
+				return n, nil
+			}
+			return n, err
+		}
+		dst[n] = ref
+		n++
+	}
+	return n, nil
 }
 
 func (g *Generator) genRef(cpu int, cs *cpuState) trace.Ref {

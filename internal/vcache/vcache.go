@@ -65,6 +65,10 @@ type VCache struct {
 	tags    *cache.Cache[Line]
 	geom    cache.Geometry
 	pidTags bool
+	// swapped is the victim preference (prefer logically-invalid
+	// swapped-valid lines), built once so PickVictim allocates no per-call
+	// closure.
+	swapped func(set, way int) bool
 }
 
 // New builds a V-cache with the given geometry.
@@ -73,8 +77,13 @@ func New(g cache.Geometry) (*VCache, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &VCache{tags: tags, geom: g}, nil
+	v := &VCache{tags: tags, geom: g}
+	v.swapped = v.isSwapped
+	return v, nil
 }
+
+// isSwapped reports whether the line at (set, way) is swapped-valid.
+func (v *VCache) isSwapped(set, way int) bool { return v.tags.Line(set, way).SV }
 
 // NewPIDTagged builds a V-cache whose tags include the process identifier.
 func NewPIDTagged(g cache.Geometry) (*VCache, error) {
@@ -91,7 +100,7 @@ func (v *VCache) PIDTagged() bool { return v.pidTags }
 
 // tagFor derives the stored tag for (pid, va).
 func (v *VCache) tagFor(pid addr.PID, va addr.VAddr) uint64 {
-	_, tag := v.geom.Locate(uint64(va))
+	_, tag := v.tags.Locate(uint64(va))
 	if v.pidTags {
 		tag = tag<<16 | uint64(pid)
 	}
@@ -112,7 +121,7 @@ func (v *VCache) Geometry() cache.Geometry { return v.geom }
 
 // Locate maps a virtual address to its (set, tag).
 func (v *VCache) Locate(va addr.VAddr) (set int, tag uint64) {
-	return v.geom.Locate(uint64(va))
+	return v.tags.Locate(uint64(va))
 }
 
 // Lookup probes for (pid, va). On Hit or MissPresent, set/way identify the
@@ -169,7 +178,7 @@ func (v *VCache) PickVictim(pid addr.PID, va addr.VAddr) Victim {
 		// Same tag, necessarily swapped-valid (a live line would have hit).
 		way = w
 	} else {
-		way, _ = v.tags.Victim(set, func(w int) bool { return v.tags.Line(set, w).SV })
+		way, _ = v.tags.Victim(set, v.swapped)
 	}
 	vic := Victim{Set: set, Way: way, Present: v.tags.ValidAt(set, way)}
 	if vic.Present {

@@ -43,7 +43,7 @@ func TestBufferAccountingProperty(t *testing.T) {
 				live[rp] = true
 				order = append(order, rp)
 			case 1: // tick-drain
-				for _, e := range b.Tick() {
+				for _, e := range tickDrain(b) {
 					if len(order) == 0 || order[0] != e.RPtr {
 						return false // drains must be FIFO
 					}

@@ -47,9 +47,13 @@ const (
 	OpFlush            // entry removed by a coherence flush
 )
 
-// Buffer is a FIFO write-back buffer with per-entry drain deadlines.
+// Buffer is a FIFO write-back buffer with per-entry drain deadlines. It is
+// backed by a fixed-size ring sized at construction, so steady-state
+// operation allocates nothing.
 type Buffer struct {
-	entries []Entry
+	ring    []Entry // fixed backing store, capacity == depth
+	head    int     // index of the oldest entry
+	count   int     // occupancy
 	depth   int
 	latency uint64
 	clock   uint64
@@ -58,6 +62,17 @@ type Buffer struct {
 	// Observer, when set, is invoked with every buffer operation (the
 	// probe layer attaches here). Leave nil to pay nothing.
 	Observer func(Op, Entry)
+}
+
+// at returns a pointer to the i-th oldest entry (0 = oldest).
+func (b *Buffer) at(i int) *Entry { return &b.ring[(b.head+i)%b.depth] }
+
+// popFront removes and returns the oldest entry.
+func (b *Buffer) popFront() Entry {
+	e := b.ring[b.head]
+	b.head = (b.head + 1) % b.depth
+	b.count--
+	return e
 }
 
 // observe reports op on e when an observer is attached.
@@ -74,7 +89,7 @@ func New(depth int, latency uint64) (*Buffer, error) {
 	if depth < 1 {
 		return nil, fmt.Errorf("writebuf: depth %d < 1", depth)
 	}
-	return &Buffer{depth: depth, latency: latency}, nil
+	return &Buffer{ring: make([]Entry, depth), depth: depth, latency: latency}, nil
 }
 
 // MustNew is New but panics on error.
@@ -87,13 +102,13 @@ func MustNew(depth int, latency uint64) *Buffer {
 }
 
 // Len returns the current occupancy.
-func (b *Buffer) Len() int { return len(b.entries) }
+func (b *Buffer) Len() int { return b.count }
 
 // Depth returns the buffer's capacity.
 func (b *Buffer) Depth() int { return b.depth }
 
 // Full reports whether a push would stall.
-func (b *Buffer) Full() bool { return len(b.entries) >= b.depth }
+func (b *Buffer) Full() bool { return b.count >= b.depth }
 
 // Stats returns a copy of the counters.
 func (b *Buffer) Stats() Stats { return b.stats }
@@ -105,48 +120,44 @@ func (b *Buffer) Push(rptr vcache.RPtr, token uint64) (evicted Entry, forced boo
 	if b.Full() {
 		b.stats.Stalls++
 		b.stats.Forced++
-		evicted, forced = b.entries[0], true
-		b.entries = b.entries[1:]
+		evicted, forced = b.popFront(), true
 	}
 	b.stats.Pushes++
 	e := Entry{RPtr: rptr, Token: token, due: b.clock + b.latency}
-	b.entries = append(b.entries, e)
-	if len(b.entries) > b.stats.MaxDepth {
-		b.stats.MaxDepth = len(b.entries)
+	*b.at(b.count) = e
+	b.count++
+	if b.count > b.stats.MaxDepth {
+		b.stats.MaxDepth = b.count
 	}
 	b.observe(OpPush, e)
 	return evicted, forced
 }
 
-// Tick advances the buffer clock and returns the entries whose drain
-// deadline has passed, oldest first. The caller writes them back into the
+// Tick advances the buffer clock. After a tick the caller pops entries whose
+// drain deadline has passed with PopDue and writes them back into the
 // R-cache.
-func (b *Buffer) Tick() []Entry {
-	b.clock++
-	n := 0
-	for n < len(b.entries) && b.entries[n].due < b.clock {
-		n++
+func (b *Buffer) Tick() { b.clock++ }
+
+// PopDue removes and returns the oldest entry if its drain deadline has
+// passed. Callers loop until ok is false; the loop allocates nothing.
+func (b *Buffer) PopDue() (e Entry, ok bool) {
+	if b.count == 0 || b.ring[b.head].due >= b.clock {
+		return Entry{}, false
 	}
-	if n == 0 {
-		return nil
-	}
-	due := make([]Entry, n)
-	copy(due, b.entries[:n])
-	b.entries = b.entries[n:]
-	b.stats.Drains += uint64(n)
-	for _, e := range due {
-		b.observe(OpDrain, e)
-	}
-	return due
+	e = b.popFront()
+	b.stats.Drains++
+	b.observe(OpDrain, e)
+	return e, true
 }
 
 // DrainAll removes and returns every entry, oldest first (end-of-run or
 // eager context-switch flush).
 func (b *Buffer) DrainAll() []Entry {
-	out := b.entries
-	b.entries = nil
-	b.stats.Drains += uint64(len(out))
-	for _, e := range out {
+	out := make([]Entry, 0, b.count)
+	for b.count > 0 {
+		e := b.popFront()
+		out = append(out, e)
+		b.stats.Drains++
 		b.observe(OpDrain, e)
 	}
 	return out
@@ -154,9 +165,9 @@ func (b *Buffer) DrainAll() []Entry {
 
 // Find returns the entry for rptr, if buffered.
 func (b *Buffer) Find(rptr vcache.RPtr) (Entry, bool) {
-	for _, e := range b.entries {
-		if e.RPtr == rptr {
-			return e, true
+	for i := 0; i < b.count; i++ {
+		if e := b.at(i); e.RPtr == rptr {
+			return *e, true
 		}
 	}
 	return Entry{}, false
@@ -177,9 +188,9 @@ func (b *Buffer) Flush(rptr vcache.RPtr) (Entry, bool) {
 // Update replaces the token of a buffered entry in place (write-update
 // protocol refreshing buffered data).
 func (b *Buffer) Update(rptr vcache.RPtr, token uint64) bool {
-	for i := range b.entries {
-		if b.entries[i].RPtr == rptr {
-			b.entries[i].Token = token
+	for i := 0; i < b.count; i++ {
+		if e := b.at(i); e.RPtr == rptr {
+			e.Token = token
 			return true
 		}
 	}
@@ -187,9 +198,13 @@ func (b *Buffer) Update(rptr vcache.RPtr, token uint64) bool {
 }
 
 func (b *Buffer) remove(rptr vcache.RPtr, counter *uint64, op Op) (Entry, bool) {
-	for i, e := range b.entries {
-		if e.RPtr == rptr {
-			b.entries = append(b.entries[:i], b.entries[i+1:]...)
+	for i := 0; i < b.count; i++ {
+		if e := *b.at(i); e.RPtr == rptr {
+			// Shift the younger entries down one slot to keep FIFO order.
+			for j := i; j < b.count-1; j++ {
+				*b.at(j) = *b.at(j + 1)
+			}
+			b.count--
 			*counter++
 			b.observe(op, e)
 			return e, true

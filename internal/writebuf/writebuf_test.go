@@ -8,19 +8,33 @@ import (
 
 func rp(set, way, sub int) vcache.RPtr { return vcache.RPtr{Set: set, Way: way, Sub: sub} }
 
+// tickDrain advances the clock one tick and collects every due entry, the
+// way the hierarchy controller drives the buffer each reference.
+func tickDrain(b *Buffer) []Entry {
+	b.Tick()
+	var out []Entry
+	for {
+		e, ok := b.PopDue()
+		if !ok {
+			return out
+		}
+		out = append(out, e)
+	}
+}
+
 func TestPushAndTickDrain(t *testing.T) {
 	b := MustNew(4, 2)
 	b.Push(rp(1, 0, 0), 10)
 	if b.Len() != 1 {
 		t.Fatalf("Len = %d", b.Len())
 	}
-	if got := b.Tick(); got != nil { // clock 1: due at 2, not yet
+	if got := tickDrain(b); got != nil { // clock 1: due at 2, not yet
 		t.Fatalf("drained too early: %v", got)
 	}
-	if got := b.Tick(); got != nil { // clock 2: due == 2, drains when clock > due
+	if got := tickDrain(b); got != nil { // clock 2: due == 2, drains when clock > due
 		t.Fatalf("drained too early: %v", got)
 	}
-	got := b.Tick() // clock 3 > due 2
+	got := tickDrain(b) // clock 3 > due 2
 	if len(got) != 1 || got[0].Token != 10 || got[0].RPtr != rp(1, 0, 0) {
 		t.Fatalf("drain = %v", got)
 	}
@@ -32,7 +46,7 @@ func TestPushAndTickDrain(t *testing.T) {
 func TestZeroLatencyDrainsNextTick(t *testing.T) {
 	b := MustNew(2, 0)
 	b.Push(rp(0, 0, 0), 1)
-	if got := b.Tick(); len(got) != 1 {
+	if got := tickDrain(b); len(got) != 1 {
 		t.Fatalf("zero-latency entry not drained: %v", got)
 	}
 }
@@ -42,7 +56,7 @@ func TestFIFOOrder(t *testing.T) {
 	b.Push(rp(0, 0, 0), 1)
 	b.Push(rp(0, 0, 1), 2)
 	b.Push(rp(0, 1, 0), 3)
-	got := b.Tick()
+	got := tickDrain(b)
 	if len(got) != 3 || got[0].Token != 1 || got[1].Token != 2 || got[2].Token != 3 {
 		t.Fatalf("order = %v", got)
 	}
@@ -126,9 +140,9 @@ func TestMaxDepth(t *testing.T) {
 func TestPartialDrainKeepsYoung(t *testing.T) {
 	b := MustNew(4, 1)
 	b.Push(rp(0, 0, 0), 1) // due at 1
-	b.Tick()               // clock 1
+	tickDrain(b)           // clock 1
 	b.Push(rp(0, 0, 1), 2) // due at 2
-	got := b.Tick()        // clock 2: first entry due (1 < 2), second not
+	got := tickDrain(b)    // clock 2: first entry due (1 < 2), second not
 	if len(got) != 1 || got[0].Token != 1 {
 		t.Fatalf("partial drain = %v", got)
 	}

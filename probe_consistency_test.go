@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/probe"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 )
 
 // cpuTally accumulates per-CPU event counts, splitting access events by
@@ -93,7 +94,13 @@ func checkConsistency(t *testing.T, cfg vrsim.Config) {
 		t.Fatal(err)
 	}
 	pr.Flush()
+	verifyEventsMatchStats(t, cfg, sys, pr, sink)
+}
 
+// verifyEventsMatchStats requires every internal/stats counter of sys to be
+// reproduced exactly by the event tallies accumulated in sink.
+func verifyEventsMatchStats(t *testing.T, cfg vrsim.Config, sys *vrsim.System, pr *probe.Probe, sink *tallySink) {
+	t.Helper()
 	for cpu := 0; cpu < sys.CPUs(); cpu++ {
 		st := sys.Stats(cpu)
 		c := sink.of(cpu)
@@ -185,5 +192,74 @@ func TestProbeEventsMatchStatsVariants(t *testing.T) {
 	}
 	for name, cfg := range cases {
 		t.Run(name, func(t *testing.T) { checkConsistency(t, cfg) })
+	}
+}
+
+// TestProbeEventsMatchStatsBatched runs the same consistency check through
+// the sweep engine's batched broadcast path: two identically configured
+// probed machines share one generated trace, each must (a) keep its event
+// stream consistent with its counters and (b) tally exactly the same events
+// as a sequential reference run of the same configuration.
+func TestProbeEventsMatchStatsBatched(t *testing.T) {
+	wl := vrsim.PopsWorkload().Scaled(0.01)
+
+	newProbed := func() (vrsim.Config, *probe.Probe, *tallySink) {
+		cfg := probeTestConfig(vrsim.VR)
+		cfg.CPUs = wl.CPUs
+		pr := probe.New(64)
+		sink := &tallySink{cpus: map[int]*cpuTally{}}
+		pr.AddSink(sink)
+		cfg.Probe = pr
+		return cfg, pr, sink
+	}
+
+	// Sequential reference run.
+	refCfg, refPr, refSink := newProbed()
+	refSys, err := vrsim.New(refCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vrsim.RunWorkload(refSys, wl); err != nil {
+		t.Fatal(err)
+	}
+	refPr.Flush()
+
+	// Two identical machines driven by one trace pass through the sweep.
+	const n = 2
+	systems := make([]*vrsim.System, n)
+	prs := make([]*probe.Probe, n)
+	sinks := make([]*tallySink, n)
+	cfgs := make([]vrsim.Config, n)
+	for i := range systems {
+		cfgs[i], prs[i], sinks[i] = newProbed()
+		sys, err := vrsim.New(cfgs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := wl.SetupSharedMappings(sys.MMU()); err != nil {
+			t.Fatal(err)
+		}
+		systems[i] = sys
+	}
+	gen, err := vrsim.NewWorkload(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sweep.Run(gen, systems, sweep.Options{BatchSize: 128}); err != nil {
+		t.Fatal(err)
+	}
+
+	for i, sys := range systems {
+		prs[i].Flush()
+		verifyEventsMatchStats(t, cfgs[i], sys, prs[i], sinks[i])
+		if got, want := len(sinks[i].cpus), len(refSink.cpus); got != want {
+			t.Errorf("system %d: events from %d CPUs, reference saw %d", i, got, want)
+		}
+		for cpu, want := range refSink.cpus {
+			if got := sinks[i].of(cpu); *got != *want {
+				t.Errorf("system %d cpu %d: batched tally diverged from sequential run\n got %+v\nwant %+v",
+					i, cpu, *got, *want)
+			}
+		}
 	}
 }
