@@ -25,4 +25,8 @@ go test -race ./...
 echo "== benchmark smoke (one iteration each)"
 go test -run '^$' -bench . -benchtime 1x ./...
 
+echo "== fuzz smoke (10s per target)"
+go test -run '^$' -fuzz '^FuzzBinaryRoundTrip$' -fuzztime 10s ./internal/trace
+go test -run '^$' -fuzz '^FuzzTextParse$' -fuzztime 10s ./internal/trace
+
 echo "ci: all checks passed"

@@ -22,19 +22,41 @@ import (
 	"repro/internal/experiments"
 )
 
-// selectExperiments resolves a -run argument ("all" or a comma-separated
-// id list) to the experiments to execute.
+// selectExperiments resolves a -run argument ("all", a comma-separated id
+// list, or prefix globs like "timed*") to the experiments to execute, in
+// registry order per pattern and without duplicates.
 func selectExperiments(run string) ([]experiments.Experiment, error) {
 	if run == "all" {
 		return experiments.All(), nil
 	}
 	var selected []experiments.Experiment
+	seen := map[string]bool{}
+	add := func(e experiments.Experiment) {
+		if !seen[e.ID] {
+			seen[e.ID] = true
+			selected = append(selected, e)
+		}
+	}
 	for _, id := range strings.Split(run, ",") {
-		e, err := experiments.ByID(strings.TrimSpace(id))
+		id = strings.TrimSpace(id)
+		if prefix, ok := strings.CutSuffix(id, "*"); ok {
+			matched := false
+			for _, e := range experiments.All() {
+				if strings.HasPrefix(e.ID, prefix) {
+					add(e)
+					matched = true
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("experiments: no experiment matches %q", id)
+			}
+			continue
+		}
+		e, err := experiments.ByID(id)
 		if err != nil {
 			return nil, err
 		}
-		selected = append(selected, e)
+		add(e)
 	}
 	return selected, nil
 }

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/bus"
 	"repro/internal/cache"
+	"repro/internal/cycles"
 	"repro/internal/probe"
 	"repro/internal/report"
 	"repro/internal/system"
@@ -47,6 +48,28 @@ type options struct {
 	eventsFilter string // comma-separated kinds/categories for -events
 	chromeTrace  string // write a Chrome trace_event JSON file
 	metricsEvery uint64 // collect windowed metrics every N references
+
+	timed      bool   // attach the cycle engine and measure access times
+	t1, t2, tm uint64 // service latencies, cycles
+	tlbPenalty uint64 // extra cycles per TLB miss
+	ctxCost    uint64 // flush cost per context switch
+	busMemOcc  uint64 // bus occupancy per memory fill transaction
+	busCtrlOcc uint64 // bus occupancy per invalidate/update broadcast
+	busWBOcc   uint64 // bus occupancy per background write-back
+	contention bool   // charge bus queueing delay to the requester
+}
+
+// cycleParams assembles the engine's latency inputs from the flags.
+func (o options) cycleParams() cycles.Params {
+	return cycles.Params{
+		T1: o.t1, T2: o.t2, TM: o.tm,
+		TLBMissPenalty: o.tlbPenalty,
+		CtxSwitchCost:  o.ctxCost,
+		BusMemOcc:      o.busMemOcc,
+		BusCtrlOcc:     o.busCtrlOcc,
+		BusWBOcc:       o.busWBOcc,
+		Contention:     o.contention,
+	}
 }
 
 func main() {
@@ -72,6 +95,16 @@ func main() {
 		"write a Chrome trace_event JSON file (open in chrome://tracing or Perfetto)")
 	flag.Uint64Var(&o.metricsEvery, "metrics-every", 0,
 		"report windowed metrics every N references (text: printed live; -json: embedded)")
+	flag.BoolVar(&o.timed, "timed", false, "measure access times with the cycle engine")
+	flag.Uint64Var(&o.t1, "t1", 1, "first-level hit time, cycles (-timed)")
+	flag.Uint64Var(&o.t2, "t2", 4, "second-level hit time, cycles (-timed)")
+	flag.Uint64Var(&o.tm, "tm", 20, "memory time, cycles (-timed)")
+	flag.Uint64Var(&o.tlbPenalty, "tlb-penalty", 0, "extra cycles per TLB miss (-timed)")
+	flag.Uint64Var(&o.ctxCost, "ctx-cost", 0, "flush cost per context switch, cycles (-timed)")
+	flag.Uint64Var(&o.busMemOcc, "bus-occ", 0, "bus occupancy per memory fill, cycles (-timed)")
+	flag.Uint64Var(&o.busCtrlOcc, "bus-ctrl-occ", 0, "bus occupancy per invalidate/update, cycles (-timed)")
+	flag.Uint64Var(&o.busWBOcc, "bus-wb-occ", 0, "bus occupancy per write-back, cycles (-timed)")
+	flag.BoolVar(&o.contention, "contention", true, "charge bus queueing to the requester (-timed)")
 	compare := flag.Bool("compare", false, "run all three organizations on the same workload and compare")
 	flag.Parse()
 
@@ -238,6 +271,17 @@ func run(o options) error {
 	if err != nil {
 		return err
 	}
+	var eng *cycles.Engine
+	if o.timed {
+		if eng, err = cycles.New(o.cycleParams(), pr); err != nil {
+			return err
+		}
+	} else if p := o.cycleParams(); p != (cycles.Params{T1: 1, T2: 4, TM: 20, Contention: true}) && p != (cycles.Params{}) {
+		// A latency flag moved off its default without -timed: the value
+		// would be silently ignored, so reject the combination. The zero
+		// struct is also accepted (options built without flag parsing).
+		return fmt.Errorf("latency flags require -timed")
+	}
 
 	var reader trace.Reader
 	var wlCfg *tracegen.Config
@@ -293,6 +337,7 @@ func run(o options) error {
 		Split:        o.split,
 		L2:           cache.Geometry{Size: l2Size, Block: o.b2, Assoc: o.a2},
 		Probe:        pr,
+		Cycles:       eng,
 	}
 	if wlCfg != nil {
 		sc.PageSize = wlCfg.PageSize
@@ -349,6 +394,21 @@ func printReport(sys *system.System, sc system.Config) {
 	}
 	if p := sys.Probe(); p != nil {
 		fmt.Printf("probe: %d events\n", p.Counts().Total())
+	}
+	if eng := sys.Cycles(); eng != nil {
+		agg := sys.Aggregate()
+		analytic := timemodel.AccessTime(timemodel.Params{
+			T1: float64(eng.Params().T1), T2: float64(eng.Params().T2),
+			TM: float64(eng.Params().TM), H1: agg.H1, H2: agg.H2,
+		})
+		fmt.Printf("timing: measured Tacc %.4f cycles/ref (analytic %.4f), bus busy %d cycles over %d txns\n",
+			eng.Tacc(), analytic, eng.BusBusy(), eng.BusTxns())
+		for cpu := 0; cpu < sys.CPUs(); cpu++ {
+			at := eng.Agent(cpu)
+			fmt.Printf("cpu %d: %d cycles / %d refs = %.4f (access %d, tlb %d, bus-wait %d, stall %d, ctx %d)\n",
+				cpu, at.Clock, at.Refs, at.Tacc(),
+				at.Access, at.TLB, at.BusWait, at.Stall, at.Ctx)
+		}
 	}
 }
 

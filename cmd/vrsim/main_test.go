@@ -148,6 +148,20 @@ func TestRunTraceFile(t *testing.T) {
 	}
 }
 
+func TestRunTimed(t *testing.T) {
+	o := smallRun()
+	o.timed = true
+	o.t1, o.t2, o.tm = 1, 4, 20
+	o.busMemOcc, o.busWBOcc, o.contention = 12, 4, true
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	o.jsonOut = true
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	mod := func(f func(*options)) options {
 		o := smallRun()
@@ -168,6 +182,8 @@ func TestRunErrors(t *testing.T) {
 		{"bad events filter", mod(func(o *options) { o.events = true; o.eventsFilter = "bogus" })},
 		{"filter without events", mod(func(o *options) { o.eventsFilter = "synonym" })},
 		{"unwritable chrome trace", mod(func(o *options) { o.chromeTrace = "/nonexistent/dir/t.json" })},
+		{"latency flag without -timed", mod(func(o *options) { o.tm = 40 })},
+		{"bad latencies", mod(func(o *options) { o.timed = true; o.t1 = 0 })},
 	}
 	for _, c := range cases {
 		if err := run(c.o); err == nil {

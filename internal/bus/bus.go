@@ -88,12 +88,21 @@ func (s Stats) Total() uint64 {
 // Count returns the number of transactions of kind k.
 func (s Stats) Count(k Kind) uint64 { return s.ByKind[k] }
 
+// Timer observes every transaction before it is snooped, so a timing model
+// can arbitrate the bus as a shared resource: charge the requester any
+// queueing delay and account the transaction's occupancy. internal/cycles
+// implements it.
+type Timer interface {
+	OnTxn(t Txn)
+}
+
 // Bus is the shared bus. It is not safe for concurrent use; the simulator
 // is reference-serial by design.
 type Bus struct {
 	snoopers []Snooper
 	stats    Stats
 	pr       *probe.Probe
+	timer    Timer
 }
 
 // New creates an empty bus.
@@ -101,6 +110,9 @@ func New() *Bus { return &Bus{} }
 
 // SetProbe attaches an event probe (nil disables emission).
 func (b *Bus) SetProbe(p *probe.Probe) { b.pr = p }
+
+// SetTimer attaches a cycle-accounting timer (nil disables timing).
+func (b *Bus) SetTimer(t Timer) { b.timer = t }
 
 // busEventKind maps a transaction kind to its probe event.
 var busEventKind = [numKinds]probe.Kind{
@@ -133,6 +145,11 @@ func (b *Bus) Issue(t Txn) SnoopResult {
 		panic(fmt.Sprintf("bus: bad transaction kind %d", t.Kind))
 	}
 	b.stats.ByKind[t.Kind]++
+	if b.timer != nil {
+		// Arbitrate before snooping: any write-backs a snooper flushes in
+		// response queue behind this transaction's own occupancy.
+		b.timer.OnTxn(t)
+	}
 	if b.pr != nil {
 		b.pr.Emit(probe.Event{CPU: t.From, Kind: busEventKind[t.Kind], PA: t.Addr, Aux: t.Size})
 	}

@@ -27,6 +27,7 @@ import (
 	"repro/internal/addr"
 	"repro/internal/bus"
 	"repro/internal/cache"
+	"repro/internal/cycles"
 	"repro/internal/memory"
 	"repro/internal/probe"
 	"repro/internal/stats"
@@ -242,6 +243,12 @@ type Options struct {
 	// coherence messages, ...). Nil disables emission entirely; the hot
 	// paths then pay only a nil check.
 	Probe *probe.Probe
+
+	// Cycles, when set, charges the hierarchy's TLB-miss penalties,
+	// write-back bus occupancy and stalls to the cycle engine (the system
+	// layer charges the per-reference service time). Nil disables timing;
+	// the hot paths then pay only nil checks.
+	Cycles *cycles.Engine
 
 	Tokens *TokenSource
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/addr"
 	"repro/internal/bus"
 	"repro/internal/cache"
+	"repro/internal/cycles"
 	"repro/internal/probe"
 	"repro/internal/rcache"
 	"repro/internal/stats"
@@ -38,6 +39,7 @@ type RRNoInclusion struct {
 	pid addr.PID
 	st  *Stats
 	pr  *probe.Probe // nil: no event emission
+	cy  *cycles.CPU  // nil: no cycle accounting
 }
 
 // emit forwards one probe event attributed to this hierarchy.
@@ -80,6 +82,7 @@ func NewRRNoInclusion(o Options) (*RRNoInclusion, error) {
 	}
 	h.tlb = t
 	h.id = o.Bus.Attach(h)
+	h.cy = o.Cycles.CPU(h.id)
 	return h, nil
 }
 
@@ -108,6 +111,7 @@ func (h *RRNoInclusion) Access(ref trace.Ref) AccessResult {
 	} else {
 		h.st.TLB.Misses++
 		h.emit(probe.EvTLBMiss, kind, ref.Addr, pa, 0)
+		h.cy.TLBMiss()
 	}
 	paSub := pa &^ addr.PAddr(h.opts.L1.Block-1)
 
@@ -175,6 +179,7 @@ func (h *RRNoInclusion) fill(ref trace.Ref, kind statsKind, pa, paSub addr.PAddr
 			} else {
 				h.opts.Mem.Write(vicPA, vl.token)
 				h.st.MemWritesDirect++
+				h.cy.BusWrite()
 			}
 		}
 		h.l1.Invalidate(set, way)
@@ -221,6 +226,7 @@ func (h *RRNoInclusion) l2Miss(pa addr.PAddr, isWrite bool) (set, way int) {
 		for i := range l.Subs {
 			if l.Subs[i].RDirty {
 				h.opts.Mem.Write(h.l2.SubAddr(vic.Set, vic.Way, i), l.Subs[i].Token)
+				h.cy.BusWrite()
 			}
 		}
 		h.l2.Invalidate(vic.Set, vic.Way)
@@ -307,6 +313,7 @@ func (h *RRNoInclusion) SnoopBus(t bus.Txn) bus.SnoopResult {
 // our L2, refreshes that copy so it cannot later supply stale data.
 func (h *RRNoInclusion) flushL1(a addr.PAddr, l *nl1Line) {
 	h.opts.Mem.Write(a, l.token)
+	h.cy.BusWrite()
 	l.dirty = false
 	if s2, w2, ok := h.l2.Lookup(a); ok {
 		se := h.l2.Sub(s2, w2, h.l2.SubIndex(a))
@@ -319,6 +326,7 @@ func (h *RRNoInclusion) flushL2Subs(s2, w2 int, l *rcache.Line, res *bus.SnoopRe
 	for i := range l.Subs {
 		if l.Subs[i].RDirty {
 			h.opts.Mem.Write(h.l2.SubAddr(s2, w2, i), l.Subs[i].Token)
+			h.cy.BusWrite()
 			l.Subs[i].RDirty = false
 			res.Supplied = true
 		}

@@ -117,6 +117,11 @@ func (h *VR) snoopRead(a addr.PAddr) bus.SnoopResult {
 			h.st.Coherence.Record(stats.MsgFlushBuffer)
 			h.emit(probe.EvCohFlushBuffer, 0, 0, subAddr, e.Token)
 			h.sig(SigFlushBuffer, rptrOf(set, way, i), rcache.VPtr{}, subAddr)
+			// flush(buffer) is one of the two events that stall the
+			// processor behind its write buffer: the flush occupies the
+			// bus and we wait for it to complete.
+			h.cy.BusWrite()
+			h.cy.WBStall()
 			res.Supplied = true
 		case se.Inclusion && se.VDirty:
 			// Modified data in the V-cache: flush(v-pointer). The child
@@ -126,6 +131,7 @@ func (h *VR) snoopRead(a addr.PAddr) bus.SnoopResult {
 			child.CleanLine(se.VPtr.Set, se.VPtr.Way)
 			se.Token = token
 			h.opts.Mem.Write(subAddr, token)
+			h.cy.BusWrite()
 			se.VDirty = false
 			h.st.Coherence.Record(stats.MsgFlush)
 			h.emit(probe.EvCohFlush, 0, 0, subAddr, token)
@@ -134,6 +140,7 @@ func (h *VR) snoopRead(a addr.PAddr) bus.SnoopResult {
 		case se.RDirty:
 			// Modified only here: supply from the R-cache.
 			h.opts.Mem.Write(subAddr, se.Token)
+			h.cy.BusWrite()
 			res.Supplied = true
 		}
 		se.RDirty = false

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/addr"
 	"repro/internal/bus"
+	"repro/internal/cycles"
 	"repro/internal/probe"
 	"repro/internal/rcache"
 	"repro/internal/stats"
@@ -35,6 +36,7 @@ type VR struct {
 	pid addr.PID
 	st  *Stats
 	pr  *probe.Probe // nil: no event emission
+	cy  *cycles.CPU  // nil: no cycle accounting
 }
 
 // emit forwards one probe event attributed to this hierarchy. The nil
@@ -120,6 +122,7 @@ func newVR(o Options, virtual bool) (*VR, error) {
 		h.vcs = append(h.vcs, vc)
 	}
 	h.id = o.Bus.Attach(h)
+	h.cy = o.Cycles.CPU(h.id)
 	return h, nil
 }
 
@@ -150,6 +153,7 @@ func (h *VR) translate(pid addr.PID, va addr.VAddr) addr.PAddr {
 	} else {
 		h.st.TLB.Misses++
 		h.emit(probe.EvTLBMiss, 0, va, pa, 0)
+		h.cy.TLBMiss()
 	}
 	return pa
 }
@@ -441,6 +445,9 @@ func (h *VR) evictVVictim(vic vcache.Victim) {
 		h.st.BufferStalls++
 		h.emit(probe.EvWBStall, 0, 0, 0, 0)
 		h.drainEntry(evicted)
+		// The buffer was full: the processor waits for the forced drain
+		// to clear the bus before its own miss can proceed.
+		h.cy.WBStall()
 	}
 }
 
@@ -487,12 +494,15 @@ func (h *VR) evictRVictim(vic rcache.Victim) {
 				panic("core: buffer bit set but no buffered entry at L2 eviction")
 			}
 			h.opts.Mem.Write(subAddr, e.Token)
+			h.cy.BusWrite()
 		case se.Inclusion:
 			child := h.vcs[se.VPtr.Cache]
 			if se.VDirty {
 				h.opts.Mem.Write(subAddr, child.Line(se.VPtr.Set, se.VPtr.Way).Token)
+				h.cy.BusWrite()
 			} else if se.RDirty {
 				h.opts.Mem.Write(subAddr, se.Token)
+				h.cy.BusWrite()
 			}
 			child.Invalidate(se.VPtr.Set, se.VPtr.Way)
 			h.st.InclusionInvals++
@@ -501,6 +511,7 @@ func (h *VR) evictRVictim(vic rcache.Victim) {
 			h.sig(SigInvalidate, rptrOf(vic.Set, vic.Way, i), se.VPtr, subAddr)
 		case se.RDirty:
 			h.opts.Mem.Write(subAddr, se.Token)
+			h.cy.BusWrite()
 		}
 	}
 	h.rc.Invalidate(vic.Set, vic.Way)
@@ -530,6 +541,9 @@ func (h *VR) drainEntry(e writebuf.Entry) {
 	se.RDirty = true
 	se.Token = e.Token
 	h.sig(SigWriteBack, e.RPtr, rcache.VPtr{}, h.rc.SubAddr(e.RPtr.Set, e.RPtr.Way, e.RPtr.Sub))
+	// The drain occupies the bus but overlaps with subsequent hits: no
+	// processor time is charged here.
+	h.cy.BusWrite()
 }
 
 // Drain implements Hierarchy.

@@ -117,6 +117,7 @@ func (h *VR) wtWrite(ref trace.Ref, kind statsKind, l1hit bool, ci, set, way int
 	if h.wt.push() {
 		h.st.BufferStalls++
 		h.emit(probe.EvWBStall, 0, 0, 0, 0)
+		h.cy.WBStall()
 	}
 	return AccessResult{
 		Kind:  kind,

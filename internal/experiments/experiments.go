@@ -36,6 +36,9 @@ func All() []Experiment {
 		{"fig4", "Figure 4: average access time vs R-cache slow-down (thor)", Fig4},
 		{"fig5", "Figure 5: average access time vs R-cache slow-down (pops)", Fig5},
 		{"fig6", "Figure 6: average access time vs R-cache slow-down (abaqus)", Fig6},
+		{"timedthor", "Section 4, measured: analytic vs cycle-measured Tacc under bus contention (thor)", TimedThor},
+		{"timedpops", "Section 4, measured: analytic vs cycle-measured Tacc under bus contention (pops)", TimedPops},
+		{"timedabaqus", "Section 4, measured: analytic vs cycle-measured Tacc under bus contention (abaqus)", TimedAbaqus},
 		{"table8", "Table 8: split vs unified level-1 hit ratios (thor)", Table8},
 		{"table9", "Table 9: split vs unified level-1 hit ratios (pops)", Table9},
 		{"table10", "Table 10: split vs unified level-1 hit ratios (abaqus)", Table10},

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cycles"
+	"repro/internal/system"
+	"repro/internal/timemodel"
+	"repro/internal/tracegen"
+)
+
+// timedCPUCounts are the machine sizes the timed tables sweep: the paper's
+// Figures 4-6 reason about a single processor's access time; the measured
+// tables show how bus contention moves it as processors are added.
+var timedCPUCounts = []int{1, 2, 4}
+
+// timed prints the measured-vs-analytic access-time table for one trace:
+// for 1, 2 and 4 CPUs, each organization's hit ratios, the Section 4
+// closed-form Tacc those ratios predict, and the Tacc the cycle engine
+// measured with a contended bus. The gap between the two columns is pure
+// queueing: with one CPU and an uncontended bus they agree to float
+// rounding (the differential test pins this), and the gap widens with the
+// processor count — the contention effect the closed form cannot see.
+func timed(w io.Writer, tc tracegen.Config, scale float64) error {
+	tc = scaled(tc, scale)
+	p := mainSizePairs()[2] // the paper's largest pair, 16K/256K
+	cp := cycles.ContentionParams()
+	fmt.Fprintf(w, "measured vs analytic average access time (%s, sizes %s)\n", tc.Name, p.label)
+	fmt.Fprintf(w, "latencies t1=%d t2=%d tm=%d; bus occupancy mem=%d ctrl=%d wb=%d cycles, contention on\n\n",
+		cp.T1, cp.T2, cp.TM, cp.BusMemOcc, cp.BusCtrlOcc, cp.BusWBOcc)
+	fmt.Fprintf(w, "%-5s %-12s %-7s %-7s %-10s %-10s %-10s %s\n",
+		"cpus", "org", "h1", "h2", "analytic", "measured", "queueing", "buswait/ref")
+	orgs := []system.Organization{system.VR, system.RRInclusion, system.RRNoInclusion}
+	for _, n := range timedCPUCounts {
+		wl := tc
+		wl.CPUs = n
+		engines := make([]*cycles.Engine, len(orgs))
+		scs := make([]system.Config, len(orgs))
+		for i, org := range orgs {
+			engines[i] = cycles.MustNew(cp, nil)
+			scs[i] = machineConfig(wl, p, org)
+			scs[i].Cycles = engines[i]
+		}
+		systems, err := runSweep(wl, scs)
+		if err != nil {
+			return err
+		}
+		for i, org := range orgs {
+			agg := systems[i].Aggregate()
+			analytic := timemodel.AccessTime(timemodel.DefaultParams(agg.H1, agg.H2))
+			measured := engines[i].Tacc()
+			refs := engines[i].TotalRefs()
+			var waitPerRef float64
+			if refs > 0 {
+				waitPerRef = float64(engines[i].BusWait()) / float64(refs)
+			}
+			fmt.Fprintf(w, "%-5d %-12s %-7.3f %-7.3f %-10.4f %-10.4f %-10.4f %.4f\n",
+				n, org, agg.H1, agg.H2, analytic, measured, measured-analytic, waitPerRef)
+		}
+	}
+	return nil
+}
+
+// TimedPops measures access times under bus contention for the pops trace.
+func TimedPops(w io.Writer, scale float64) error {
+	return timed(w, tracegen.PopsLike(), scale)
+}
+
+// TimedThor measures access times under bus contention for the thor trace.
+func TimedThor(w io.Writer, scale float64) error {
+	return timed(w, tracegen.ThorLike(), scale)
+}
+
+// TimedAbaqus measures access times under bus contention for the abaqus
+// trace.
+func TimedAbaqus(w io.Writer, scale float64) error {
+	return timed(w, tracegen.AbaqusLike(), scale)
+}

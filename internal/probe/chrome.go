@@ -64,8 +64,10 @@ func laneOf(k Kind) int {
 		return 5
 	case "dma":
 		return 6
-	default:
+	case "time":
 		return 7
+	default:
+		return 8
 	}
 }
 

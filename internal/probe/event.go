@@ -91,6 +91,16 @@ const (
 	// flush, 2 = no flush needed (physically-addressed or PID-tagged L1).
 	EvCtxSwitch
 
+	// Timing charges from the cycle engine (internal/cycles). Aux carries
+	// the cycles charged; EvTimeAccess additionally sets Access to the
+	// reference class. The sum of a CPU's Aux values per kind equals the
+	// engine's per-CPU breakdown counters exactly.
+	EvTimeAccess
+	EvTimeTLBMiss
+	EvTimeBusWait
+	EvTimeWBStall
+	EvTimeCtxSwitch
+
 	// NumKinds bounds the kind space; it is not a valid event kind.
 	NumKinds
 )
@@ -141,6 +151,11 @@ var kindNames = [NumKinds]string{
 	EvDMARead:             "dma-read",
 	EvDMAWrite:            "dma-write",
 	EvCtxSwitch:           "ctx-switch",
+	EvTimeAccess:          "time-access",
+	EvTimeTLBMiss:         "time-tlb-miss",
+	EvTimeBusWait:         "time-bus-wait",
+	EvTimeWBStall:         "time-wb-stall",
+	EvTimeCtxSwitch:       "time-ctx-switch",
 }
 
 // String returns the kind's stable name (used in JSON reports and event
@@ -153,7 +168,7 @@ func (k Kind) String() string {
 }
 
 // Category groups kinds into the lanes used by exporters and filters:
-// access, tlb, synonym, writebuf, coherence, bus, dma, ctx.
+// access, tlb, synonym, writebuf, coherence, bus, dma, ctx, time.
 func (k Kind) Category() string {
 	switch k {
 	case EvL1Hit, EvL1Miss, EvL2Hit, EvL2Miss:
@@ -173,6 +188,8 @@ func (k Kind) Category() string {
 		return "dma"
 	case EvCtxSwitch:
 		return "ctx"
+	case EvTimeAccess, EvTimeTLBMiss, EvTimeBusWait, EvTimeWBStall, EvTimeCtxSwitch:
+		return "time"
 	default:
 		return "other"
 	}
@@ -199,6 +216,10 @@ func (e Event) String() string {
 	case EvCtxSwitch:
 		mode := [...]string{"lazy", "eager", "none"}[e.Aux]
 		s += fmt.Sprintf(" flush=%s", mode)
+	case EvTimeAccess:
+		s += fmt.Sprintf(" %-11s cycles=%d", e.Access, e.Aux)
+	case EvTimeTLBMiss, EvTimeBusWait, EvTimeWBStall, EvTimeCtxSwitch:
+		s += fmt.Sprintf(" cycles=%d", e.Aux)
 	default:
 		if e.VA != 0 {
 			s += fmt.Sprintf(" va=%#x", uint64(e.VA))

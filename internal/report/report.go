@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/bus"
 	"repro/internal/core"
+	"repro/internal/cycles"
 	"repro/internal/probe"
 	"repro/internal/system"
 )
@@ -55,6 +56,25 @@ type CPUStats struct {
 	CoherenceToL1     uint64 `json:"coherenceMessagesToL1"`
 }
 
+// CPUTiming is one processor's measured timing.
+type CPUTiming struct {
+	CPU  int     `json:"cpu"`
+	Tacc float64 `json:"tacc"`
+	cycles.AgentTiming
+}
+
+// TimingReport carries the cycle engine's measurements when one was
+// attached to the run.
+type TimingReport struct {
+	Params  cycles.Params `json:"params"`
+	Refs    uint64        `json:"refs"`
+	Tacc    float64       `json:"tacc"` // machine average, cycles/reference
+	BusBusy uint64        `json:"busBusyCycles"`
+	BusTxns uint64        `json:"busTimedTxns"`
+	BusWait uint64        `json:"busWaitCycles"`
+	PerCPU  []CPUTiming   `json:"perCPU"`
+}
+
 // ProbeReport carries the observability layer's output when a probe was
 // attached to the run: per-mechanism event totals keyed by event name, and
 // the windowed metrics when a window collector ran.
@@ -65,13 +85,14 @@ type ProbeReport struct {
 
 // Results is a complete run summary.
 type Results struct {
-	Machine Machine      `json:"machine"`
-	Refs    uint64       `json:"references"`
-	L1      HitRatios    `json:"l1"`
-	L2      HitRatios    `json:"l2"`
-	Bus     BusStats     `json:"bus"`
-	PerCPU  []CPUStats   `json:"perCPU"`
-	Probe   *ProbeReport `json:"probe,omitempty"`
+	Machine Machine       `json:"machine"`
+	Refs    uint64        `json:"references"`
+	L1      HitRatios     `json:"l1"`
+	L2      HitRatios     `json:"l2"`
+	Bus     BusStats      `json:"bus"`
+	PerCPU  []CPUStats    `json:"perCPU"`
+	Timing  *TimingReport `json:"timing,omitempty"`
+	Probe   *ProbeReport  `json:"probe,omitempty"`
 }
 
 // AddWindows attaches windowed metrics to the probe section (creating it
@@ -120,6 +141,21 @@ func FromSystem(sys *system.System, cfg system.Config) Results {
 	}
 	if p := sys.Probe(); p != nil {
 		r.Probe = &ProbeReport{Events: p.Counts().Map()}
+	}
+	if eng := sys.Cycles(); eng != nil {
+		tr := &TimingReport{
+			Params:  eng.Params(),
+			Refs:    eng.TotalRefs(),
+			Tacc:    eng.Tacc(),
+			BusBusy: eng.BusBusy(),
+			BusTxns: eng.BusTxns(),
+			BusWait: eng.BusWait(),
+		}
+		for cpu := 0; cpu < sys.CPUs(); cpu++ {
+			at := eng.Agent(cpu)
+			tr.PerCPU = append(tr.PerCPU, CPUTiming{CPU: cpu, Tacc: at.Tacc(), AgentTiming: at})
+		}
+		r.Timing = tr
 	}
 	for cpu := 0; cpu < sys.CPUs(); cpu++ {
 		st := sys.Stats(cpu)

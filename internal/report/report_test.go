@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/cache"
+	"repro/internal/cycles"
 	"repro/internal/probe"
 	"repro/internal/system"
 	"repro/internal/trace"
@@ -83,6 +84,71 @@ func TestJSONRoundTrip(t *testing.T) {
 	}
 	if !reflect.DeepEqual(back, r) {
 		t.Error("JSON round trip lost data")
+	}
+}
+
+func TestTimingSection(t *testing.T) {
+	cfg := system.Config{
+		CPUs:         2,
+		Organization: system.VR,
+		PageSize:     64,
+		L1:           cache.Geometry{Size: 128, Block: 16, Assoc: 1},
+		L2:           cache.Geometry{Size: 512, Block: 32, Assoc: 2},
+		Cycles:       cycles.MustNew(cycles.ContentionParams(), nil),
+	}
+	sys, err := system.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := []trace.Ref{
+		{CPU: 0, Kind: trace.Read, PID: 1, Addr: 0x000},
+		{CPU: 1, Kind: trace.Read, PID: 2, Addr: 0x100},
+		{CPU: 0, Kind: trace.Read, PID: 1, Addr: 0x000},
+	}
+	if err := sys.Run(trace.NewSliceReader(refs)); err != nil {
+		t.Fatal(err)
+	}
+	r := FromSystem(sys, cfg)
+	if r.Timing == nil {
+		t.Fatal("timing section missing with an engine attached")
+	}
+	if r.Timing.Refs != 3 {
+		t.Errorf("timed refs = %d, want 3", r.Timing.Refs)
+	}
+	if r.Timing.Tacc <= 0 {
+		t.Errorf("measured Tacc = %v, want > 0", r.Timing.Tacc)
+	}
+	if len(r.Timing.PerCPU) != 2 {
+		t.Fatalf("timing perCPU = %d entries", len(r.Timing.PerCPU))
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"timing"`) {
+		t.Error("JSON missing timing section")
+	}
+	back, err := ParseJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, r) {
+		t.Error("JSON round trip lost timing data")
+	}
+}
+
+func TestNoTimingOmitted(t *testing.T) {
+	sys, cfg := runSmall(t)
+	r := FromSystem(sys, cfg)
+	if r.Timing != nil {
+		t.Fatal("timing section present without an engine")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `"timing"`) {
+		t.Error("JSON has timing section without an engine")
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"repro/internal/bus"
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/cycles"
 	"repro/internal/memory"
 	"repro/internal/probe"
 	"repro/internal/stats"
@@ -78,6 +79,12 @@ type Config struct {
 	// bus, and any DMA agents (see internal/probe). Nil disables all
 	// emission.
 	Probe *probe.Probe
+	// Cycles, when set, measures per-CPU access times: the system charges
+	// each reference's service time (t1/t2/tm) and context-switch cost,
+	// the hierarchies charge TLB penalties, write-back occupancy and
+	// stalls, and the bus arbitrates timed transactions through it. Nil
+	// disables all cycle accounting.
+	Cycles *cycles.Engine
 
 	// CheckOracle verifies on every read that the newest write to the
 	// physical block is observed. CheckInvariants additionally validates
@@ -104,6 +111,7 @@ type System struct {
 	mem    *memory.Memory
 	tokens *core.TokenSource
 	cpus   []core.Hierarchy
+	cyc    []*cycles.CPU // per-CPU timing handles; nil entries when disabled
 	oracle map[addr.PAddr]uint64
 	refs   uint64
 }
@@ -134,6 +142,9 @@ func New(cfg Config) (*System, error) {
 		tokens: &core.TokenSource{},
 	}
 	s.bus.SetProbe(cfg.Probe)
+	if cfg.Cycles != nil {
+		s.bus.SetTimer(cfg.Cycles)
+	}
 	if cfg.CheckOracle {
 		s.oracle = make(map[addr.PAddr]uint64)
 	}
@@ -158,6 +169,7 @@ func New(cfg Config) (*System, error) {
 			L1WriteThrough:     cfg.L1WriteThrough,
 			Tracer:             cfg.Tracer,
 			Probe:              cfg.Probe,
+			Cycles:             cfg.Cycles,
 		}
 		var h core.Hierarchy
 		switch cfg.Organization {
@@ -174,6 +186,9 @@ func New(cfg Config) (*System, error) {
 			return nil, err
 		}
 		s.cpus = append(s.cpus, h)
+		// Hierarchies attach to the bus in CPU order, so CPU i's snooper
+		// (and timing agent) id is i.
+		s.cyc = append(s.cyc, cfg.Cycles.CPU(i))
 	}
 	return s, nil
 }
@@ -212,6 +227,9 @@ func (s *System) Refs() uint64 { return s.refs }
 // disabled).
 func (s *System) Probe() *probe.Probe { return s.cfg.Probe }
 
+// Cycles returns the machine's cycle engine (nil when timing is disabled).
+func (s *System) Cycles() *cycles.Engine { return s.cfg.Cycles }
+
 // Apply runs one trace record through the machine.
 func (s *System) Apply(ref trace.Ref) (core.AccessResult, error) {
 	if int(ref.CPU) >= len(s.cpus) {
@@ -222,8 +240,11 @@ func (s *System) Apply(ref trace.Ref) (core.AccessResult, error) {
 		s.cfg.Probe.AdvanceRef()
 	}
 	res := s.cpus[ref.CPU].Access(ref)
-	if !res.CtxSwitch {
+	if res.CtxSwitch {
+		s.cyc[ref.CPU].CtxSwitch()
+	} else {
 		s.refs++
+		s.cyc[ref.CPU].EndAccess(res.Kind, res.Level())
 	}
 	if s.oracle != nil && !res.CtxSwitch {
 		if ref.Kind == trace.Write {
@@ -295,6 +316,9 @@ func (s *System) ResetStats() {
 	}
 	s.bus.ResetStats()
 	s.mem.ResetStats()
+	if s.cfg.Cycles != nil {
+		s.cfg.Cycles.Reset()
+	}
 	s.refs = 0
 }
 

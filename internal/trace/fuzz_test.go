@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzBinaryRoundTrip feeds arbitrary bytes to the binary decoder. The
+// decoder must never panic, must reject streams without the magic header,
+// and any stream it fully accepts must survive a decode → encode → decode
+// round trip record-for-record. (Byte-identity is not required: the uvarint
+// reader tolerates non-minimal encodings the writer never produces.)
+func FuzzBinaryRoundTrip(f *testing.F) {
+	// A valid two-record stream, an empty-but-valid stream, a bad magic,
+	// and truncations mid-record.
+	var buf bytes.Buffer
+	bw := NewBinaryWriter(&buf)
+	for _, r := range []Ref{
+		{CPU: 1, Kind: Read, PID: 2, Addr: 0x1000},
+		{CPU: 15, Kind: CtxSwitch, PID: 0xFFFF, Addr: 0},
+	} {
+		if err := bw.Write(r); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("VRT1"))
+	f.Add([]byte("VRT2\x11\x02\x20"))
+	f.Add([]byte("VRT1\x11\x02"))
+	f.Add([]byte("VRT1\x13\x80"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		refs, err := ReadAll(NewBinaryReader(bytes.NewReader(data)))
+		if err != nil {
+			return // rejected input: any error but a panic is acceptable
+		}
+		// Every accepted record must be encodable again: the decoder
+		// enforces the same CPU and PID ranges the writer does.
+		var out bytes.Buffer
+		w := NewBinaryWriter(&out)
+		for _, r := range refs {
+			if r.CPU > 15 {
+				t.Fatalf("decoder accepted CPU %d > 15", r.CPU)
+			}
+			if err := w.Write(r); err != nil {
+				t.Fatalf("re-encoding decoded record %v: %v", r, err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		again, err := ReadAll(NewBinaryReader(bytes.NewReader(out.Bytes())))
+		if err != nil {
+			t.Fatalf("re-decoding re-encoded stream: %v", err)
+		}
+		if len(again) != len(refs) {
+			t.Fatalf("round trip changed record count: %d != %d", len(again), len(refs))
+		}
+		for i := range refs {
+			if again[i] != refs[i] {
+				t.Fatalf("record %d changed in round trip: %v != %v", i, again[i], refs[i])
+			}
+		}
+	})
+}
+
+// FuzzTextParse feeds arbitrary text to the line parser and the streaming
+// text reader. Neither may panic, and any line the parser accepts must
+// render back (Ref.String) to a line that parses to the identical record.
+func FuzzTextParse(f *testing.F) {
+	f.Add("1 R 2 0x1000")
+	f.Add("0 S 3 0x0")
+	f.Add("15 W 65535 0xdeadbeef")
+	f.Add("# comment\n\n2 I 7 0777\n")
+	f.Add("1 R 2")
+	f.Add("1 X 2 0x0")
+	f.Add("256 R 2 0x0")
+
+	f.Fuzz(func(t *testing.T, s string) {
+		// The streaming reader over the whole input must terminate
+		// cleanly (EOF) or with an error, never panic or loop.
+		tr := NewTextReader(strings.NewReader(s))
+		for {
+			if _, err := tr.Next(); err != nil {
+				break
+			}
+		}
+
+		ref, err := ParseLine(s)
+		if err != nil {
+			return
+		}
+		back, err := ParseLine(ref.String())
+		if err != nil {
+			t.Fatalf("Ref.String %q does not re-parse: %v", ref.String(), err)
+		}
+		if back != ref {
+			t.Fatalf("text round trip changed record: %v != %v", back, ref)
+		}
+	})
+}

@@ -22,7 +22,8 @@ import (
 // reference kind and write-backs by their aux flags.
 type cpuTally struct {
 	kinds          [probe.NumKinds]uint64
-	l1Hits, l1Miss [3]uint64 // by stats.AccessKind
+	aux            [probe.NumKinds]uint64 // summed Aux; cycles for timing kinds
+	l1Hits, l1Miss [3]uint64              // by stats.AccessKind
 	l2Hits, l2Miss [3]uint64
 	swapped, eager uint64
 }
@@ -59,6 +60,9 @@ func (t *tallySink) Event(ev probe.Event) {
 		if ev.Aux&probe.WBEager != 0 {
 			c.eager++
 		}
+	case probe.EvTimeAccess, probe.EvTimeTLBMiss, probe.EvTimeBusWait,
+		probe.EvTimeWBStall, probe.EvTimeCtxSwitch:
+		c.aux[ev.Kind] += ev.Aux
 	}
 }
 
@@ -77,12 +81,26 @@ var cohKinds = []probe.Kind{
 	probe.EvInclusionInval,
 }
 
+// timingParams exercises every timing event kind: a contended bus plus
+// non-zero TLB and context-switch penalties.
+func timingParams() vrsim.CycleParams {
+	p := vrsim.ContentionCycleParams()
+	p.TLBMissPenalty = 8
+	p.CtxSwitchCost = 40
+	return p
+}
+
 func checkConsistency(t *testing.T, cfg vrsim.Config) {
 	t.Helper()
 	pr := probe.New(64) // tiny rings force frequent merged flushes
 	sink := &tallySink{cpus: map[int]*cpuTally{}}
 	pr.AddSink(sink)
 	cfg.Probe = pr
+	eng, err := vrsim.NewCycleEngine(timingParams(), pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Cycles = eng
 
 	wl := vrsim.PopsWorkload().Scaled(0.01)
 	cfg.CPUs = wl.CPUs
@@ -132,6 +150,21 @@ func verifyEventsMatchStats(t *testing.T, cfg vrsim.Config, sys *vrsim.System, p
 			coh += c.kinds[k]
 		}
 		eq("coherence messages to L1", coh, st.Coherence.Total())
+
+		// When a cycle engine rode the run, the timing events' durations
+		// must sum to exactly the engine's per-CPU cycle counters.
+		if eng := sys.Cycles(); eng != nil {
+			at := eng.Agent(cpu)
+			eq("access cycles", c.aux[probe.EvTimeAccess], at.Access)
+			eq("TLB penalty cycles", c.aux[probe.EvTimeTLBMiss], at.TLB)
+			eq("bus-wait cycles", c.aux[probe.EvTimeBusWait], at.BusWait)
+			eq("stall cycles", c.aux[probe.EvTimeWBStall], at.Stall)
+			eq("context-switch cycles", c.aux[probe.EvTimeCtxSwitch], at.Ctx)
+			timeSum := c.aux[probe.EvTimeAccess] + c.aux[probe.EvTimeTLBMiss] +
+				c.aux[probe.EvTimeBusWait] + c.aux[probe.EvTimeWBStall] +
+				c.aux[probe.EvTimeCtxSwitch]
+			eq("agent clock", timeSum, at.Clock)
+		}
 	}
 
 	// Bus transactions are attributed to the issuing agent; sum them.
@@ -210,6 +243,11 @@ func TestProbeEventsMatchStatsBatched(t *testing.T) {
 		sink := &tallySink{cpus: map[int]*cpuTally{}}
 		pr.AddSink(sink)
 		cfg.Probe = pr
+		eng, err := vrsim.NewCycleEngine(timingParams(), pr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Cycles = eng
 		return cfg, pr, sink
 	}
 

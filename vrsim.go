@@ -47,6 +47,7 @@ import (
 	"repro/internal/addr"
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/cycles"
 	"repro/internal/probe"
 	"repro/internal/system"
 	"repro/internal/timemodel"
@@ -251,7 +252,40 @@ const (
 	EvDMARead             = probe.EvDMARead
 	EvDMAWrite            = probe.EvDMAWrite
 	EvCtxSwitch           = probe.EvCtxSwitch
+	EvTimeAccess          = probe.EvTimeAccess
+	EvTimeTLBMiss         = probe.EvTimeTLBMiss
+	EvTimeBusWait         = probe.EvTimeBusWait
+	EvTimeWBStall         = probe.EvTimeWBStall
+	EvTimeCtxSwitch       = probe.EvTimeCtxSwitch
 )
+
+// Cycle accounting: a CycleEngine attached through Config.Cycles measures
+// per-CPU access times from the simulation itself — each reference charged
+// its t1/t2/tm service time, TLB misses and context switches their
+// penalties, and the bus arbitrated as a shared timed resource whose
+// queueing delay is charged to the requester (see internal/cycles).
+type (
+	// CycleEngine is the machine-wide cycle accountant.
+	CycleEngine = cycles.Engine
+	// CycleParams are its latency inputs, in integer cycles.
+	CycleParams = cycles.Params
+	// CycleBreakdown partitions an agent's cycles by what they were
+	// spent on.
+	CycleBreakdown = cycles.Breakdown
+	// AgentTiming is one agent's measured clock, references and breakdown.
+	AgentTiming = cycles.AgentTiming
+)
+
+// NewCycleEngine creates a cycle engine; pr may be nil (no timing events).
+func NewCycleEngine(p CycleParams, pr *Probe) (*CycleEngine, error) { return cycles.New(p, pr) }
+
+// DefaultCycleParams returns the paper's latency scaling (t1=1, t2=4,
+// tm=20) with no contention: measurements reproduce the Section 4 closed
+// form exactly.
+func DefaultCycleParams() CycleParams { return cycles.DefaultParams() }
+
+// ContentionCycleParams returns DefaultCycleParams plus a contended bus.
+func ContentionCycleParams() CycleParams { return cycles.ContentionParams() }
 
 // TimeParams are the inputs of the paper's access-time equation.
 type TimeParams = timemodel.Params
