@@ -72,6 +72,65 @@ func TestWarmHitPathAllocationFree(t *testing.T) {
 	}
 }
 
+// observedMachine builds a 1-CPU machine with the full observability stack
+// armed the way a monitored production run carries it: a timed engine with
+// latency histograms attached, and an auditor ticking with a period long
+// enough that no audit fires inside the measured window (audits themselves
+// snapshot and allocate — they are periodic by design, not per-reference).
+func observedMachine(t *testing.T, org vrsim.Organization) *vrsim.System {
+	t.Helper()
+	eng, err := vrsim.NewCycleEngine(vrsim.ContentionCycleParams(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.SetLatencies(vrsim.NewLatencies(1))
+	sys, err := vrsim.New(vrsim.Config{
+		CPUs:         1,
+		Organization: org,
+		L1:           vrsim.Geometry{Size: 4 << 10, Block: 16, Assoc: 1},
+		L2:           vrsim.Geometry{Size: 64 << 10, Block: 32, Assoc: 1},
+		Cycles:       eng,
+		Audit:        vrsim.NewAuditor(1 << 40),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestWarmHitPathWithHistogramsAllocationFree proves enabling latency
+// histograms (fixed buckets, pre-sized per-CPU sets) and arming the auditor
+// keeps the warm hit and miss paths allocation-free: Record is
+// branch-and-increment into fixed arrays, and an idle auditor tick is one
+// counter decrement.
+func TestWarmHitPathWithHistogramsAllocationFree(t *testing.T) {
+	orgs := []struct {
+		name string
+		org  vrsim.Organization
+	}{
+		{"VR", vrsim.VR},
+		{"RRInclusion", vrsim.RRInclusion},
+		{"RRNoInclusion", vrsim.RRNoInclusion},
+	}
+	for _, o := range orgs {
+		t.Run(o.name, func(t *testing.T) {
+			sys := observedMachine(t, o.org)
+			read := vrsim.Ref{CPU: 0, Kind: vrsim.Read, PID: 1, Addr: 0x2000}
+			write := vrsim.Ref{CPU: 0, Kind: vrsim.Write, PID: 1, Addr: 0x2000}
+			// L1-conflicting pair for the miss path (see below).
+			a := vrsim.Ref{CPU: 0, Kind: vrsim.Read, PID: 1, Addr: 0x10000}
+			b := vrsim.Ref{CPU: 0, Kind: vrsim.Read, PID: 1, Addr: 0x11000}
+			mustApply(t, sys, read, write, a, b, a, b)
+			requireZeroAllocs(t, "read hit + histograms", func() { mustApply(t, sys, read) })
+			requireZeroAllocs(t, "write hit + histograms", func() { mustApply(t, sys, write) })
+			requireZeroAllocs(t, "V-miss/R-hit + histograms", func() { mustApply(t, sys, a, b) })
+			if eng := sys.Cycles(); eng.Latencies().Hist(0, vrsim.LatAccess).Count() == 0 {
+				t.Fatal("histograms did not record despite being attached")
+			}
+		})
+	}
+}
+
 // TestWarmMissPathAllocationFree covers the V-miss/R-hit fill path: two
 // addresses that collide in the direct-mapped first level but live in
 // different second-level sets evict each other forever, so every reference

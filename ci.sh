@@ -29,4 +29,16 @@ echo "== fuzz smoke (10s per target)"
 go test -run '^$' -fuzz '^FuzzBinaryRoundTrip$' -fuzztime 10s ./internal/trace
 go test -run '^$' -fuzz '^FuzzTextParse$' -fuzztime 10s ./internal/trace
 
+# Audit under the race detector: run the full invariant auditor against every
+# organization on a real workload and fail on any violation (vrsim exits
+# non-zero when the auditor finds one). No -cpus override: the preset trace
+# carries its own CPU count.
+echo "== invariant audit under race across organizations"
+for org in vr rr rrnoincl; do
+    go run -race ./cmd/vrsim -preset pops -scale 0.02 -audit -audit-every 1000 -org "$org" > /dev/null
+done
+
+echo "== bench guard (sweep throughput vs BENCH_sweep.json baseline)"
+go run ./cmd/benchguard
+
 echo "ci: all checks passed"

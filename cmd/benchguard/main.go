@@ -1,0 +1,132 @@
+// Command benchguard compares the sweep engine's current throughput against
+// the recorded baseline in BENCH_sweep.json and fails on a >10% regression.
+// It runs BenchmarkSweepNConfigs a few times and takes the best run, so a
+// single noisy iteration on a loaded machine does not fail the build; a
+// real regression shows up in every run.
+//
+// Usage (from the repository root, as ci.sh does):
+//
+//	go run ./cmd/benchguard
+//	go run ./cmd/benchguard -count 4 -threshold 0.85
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+)
+
+type options struct {
+	baseline  string
+	config    string
+	count     int
+	threshold float64
+	verbose   bool
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.baseline, "baseline", "BENCH_sweep.json", "baseline file")
+	flag.StringVar(&o.config, "config", "6", "BenchmarkSweepNConfigs sub-benchmark to guard")
+	flag.IntVar(&o.count, "count", 3, "benchmark repetitions (best run wins)")
+	flag.Float64Var(&o.threshold, "threshold", 0.9, "fail below baseline*threshold")
+	flag.BoolVar(&o.verbose, "v", false, "print raw benchmark output")
+	flag.Parse()
+	if err := run(o); err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(1)
+	}
+}
+
+func run(o options) error {
+	want, err := baselineRefsPerSec(o.baseline, o.config)
+	if err != nil {
+		return err
+	}
+	out, err := runBenchmark(o)
+	if err != nil {
+		return err
+	}
+	if o.verbose {
+		fmt.Print(out)
+	}
+	best, runs, err := bestRefsPerSec(out, o.config)
+	if err != nil {
+		return err
+	}
+	floor := want * o.threshold
+	fmt.Printf("benchguard: sweep/%s best of %d runs: %.0f refs/s (baseline %.0f, floor %.0f)\n",
+		o.config, runs, best, want, floor)
+	if best < floor {
+		return fmt.Errorf("throughput regression: %.0f refs/s is below %.0f (%.0f%% of the %.0f baseline)",
+			best, floor, o.threshold*100, want)
+	}
+	return nil
+}
+
+// baselineRefsPerSec reads the recorded aggregate throughput for one
+// sub-benchmark from the baseline file.
+func baselineRefsPerSec(path, config string) (float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var doc struct {
+		Sweep map[string]float64 `json:"BenchmarkSweepNConfigs_aggregate_refs_per_sec"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return 0, fmt.Errorf("%s: %w", path, err)
+	}
+	want, ok := doc.Sweep[config]
+	if !ok || want <= 0 {
+		return 0, fmt.Errorf("%s: no baseline for sweep config %q", path, config)
+	}
+	return want, nil
+}
+
+func runBenchmark(o options) (string, error) {
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", fmt.Sprintf("^BenchmarkSweepNConfigs$/^%s$", o.config),
+		"-benchtime", "1x", "-count", strconv.Itoa(o.count), ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return "", fmt.Errorf("go test -bench: %w\n%s", err, out)
+	}
+	return string(out), nil
+}
+
+// bestRefsPerSec parses `go test -bench` output lines like
+//
+//	BenchmarkSweepNConfigs/6-8   1   170ms/op   6619246 refs/s   0 B/op
+//
+// and returns the best refs/s across repetitions.
+func bestRefsPerSec(out, config string) (best float64, runs int, err error) {
+	prefix := "BenchmarkSweepNConfigs/" + config
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		f := strings.Fields(line)
+		for i := 1; i < len(f); i++ {
+			if f[i] != "refs/s" {
+				continue
+			}
+			v, perr := strconv.ParseFloat(f[i-1], 64)
+			if perr != nil {
+				return 0, 0, fmt.Errorf("bad refs/s value in %q: %v", line, perr)
+			}
+			runs++
+			if v > best {
+				best = v
+			}
+		}
+	}
+	if runs == 0 {
+		return 0, 0, fmt.Errorf("no %s refs/s samples in benchmark output:\n%s", prefix, out)
+	}
+	return best, runs, nil
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkSweepNConfigs/6         	       1	  32134336 ns/op	   6135806 refs/s	 9134168 B/op
+BenchmarkSweepNConfigs/6         	       1	  30087961 ns/op	   6553100 refs/s	 9130808 B/op
+BenchmarkSweepNConfigs/18        	       1	  40087961 ns/op	   5193864 refs/s	 9130808 B/op
+PASS
+`
+
+func TestBestRefsPerSec(t *testing.T) {
+	best, runs, err := bestRefsPerSec(sampleOutput, "6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs != 2 || best != 6553100 {
+		t.Fatalf("best=%v runs=%d, want 6553100 over 2", best, runs)
+	}
+	// The /18 line must not leak into the /6 guard, nor the reverse.
+	best, runs, err = bestRefsPerSec(sampleOutput, "18")
+	if err != nil || runs != 1 || best != 5193864 {
+		t.Fatalf("config 18: best=%v runs=%d err=%v", best, runs, err)
+	}
+	if _, _, err := bestRefsPerSec("PASS\n", "6"); err == nil {
+		t.Fatal("no samples must be an error")
+	}
+	if _, _, err := bestRefsPerSec("BenchmarkSweepNConfigs/6 1 bogus refs/s\n", "6"); err == nil {
+		t.Fatal("unparseable value must be an error")
+	}
+}
+
+func TestBaselineRefsPerSec(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	doc := `{"BenchmarkSweepNConfigs_aggregate_refs_per_sec": {"6": 6619246}}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := baselineRefsPerSec(path, "6")
+	if err != nil || got != 6619246 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+	if _, err := baselineRefsPerSec(path, "99"); err == nil {
+		t.Fatal("missing config must be an error")
+	}
+	if _, err := baselineRefsPerSec(filepath.Join(t.TempDir(), "nope.json"), "6"); err == nil {
+		t.Fatal("missing file must be an error")
+	}
+}
+
+// TestGuardAgainstRealBaseline exercises the full path against the
+// repository baseline without spawning go test: only the parse + compare.
+func TestGuardComparison(t *testing.T) {
+	want := 6619246.0
+	best := 6000000.0
+	if best >= want*0.9 {
+		// 6000000 < 5957321 is false — this is above the floor.
+	} else {
+		t.Fatal("arithmetic sanity")
+	}
+	if 5000000.0 >= want*0.9 {
+		t.Fatal("a 25% regression must be below the floor")
+	}
+}

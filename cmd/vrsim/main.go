@@ -13,15 +13,19 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
+	"repro/internal/audit"
 	"repro/internal/bus"
 	"repro/internal/cache"
 	"repro/internal/cycles"
+	"repro/internal/monitor"
 	"repro/internal/probe"
 	"repro/internal/report"
 	"repro/internal/system"
@@ -48,6 +52,12 @@ type options struct {
 	eventsFilter string // comma-separated kinds/categories for -events
 	chromeTrace  string // write a Chrome trace_event JSON file
 	metricsEvery uint64 // collect windowed metrics every N references
+
+	audit      bool   // verify structural invariants after the run
+	auditEvery uint64 // also audit every N references (implies audit)
+	snapshot   string // write the final state snapshot to this file
+	httpAddr   string // serve live monitoring endpoints on this address
+	hist       bool   // collect per-reference latency histograms (-timed)
 
 	timed      bool   // attach the cycle engine and measure access times
 	t1, t2, tm uint64 // service latencies, cycles
@@ -95,6 +105,16 @@ func main() {
 		"write a Chrome trace_event JSON file (open in chrome://tracing or Perfetto)")
 	flag.Uint64Var(&o.metricsEvery, "metrics-every", 0,
 		"report windowed metrics every N references (text: printed live; -json: embedded)")
+	flag.BoolVar(&o.audit, "audit", false,
+		"verify structural invariants after the run (non-zero exit on violation)")
+	flag.Uint64Var(&o.auditEvery, "audit-every", 0,
+		"also audit every N references while running (implies -audit)")
+	flag.StringVar(&o.snapshot, "snapshot", "",
+		"write the final machine-state snapshot (diffable JSON) to this file")
+	flag.StringVar(&o.httpAddr, "http", "",
+		"serve live monitoring endpoints on this address while running (e.g. 127.0.0.1:8080)")
+	flag.BoolVar(&o.hist, "hist", false,
+		"collect per-reference latency histograms (requires -timed)")
 	flag.BoolVar(&o.timed, "timed", false, "measure access times with the cycle engine")
 	flag.Uint64Var(&o.t1, "t1", 1, "first-level hit time, cycles (-timed)")
 	flag.Uint64Var(&o.t2, "t2", 4, "second-level hit time, cycles (-timed)")
@@ -115,7 +135,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(o); err != nil {
+	if err := run(o, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "vrsim:", err)
 		os.Exit(1)
 	}
@@ -215,7 +235,9 @@ func parseOrg(s string) (system.Organization, error) {
 
 // buildProbe assembles the observability layer requested on the command
 // line; it returns a nil probe (zero overhead) when no flag asks for one.
-func buildProbe(o options) (*probe.Probe, *probe.Windows, error) {
+// Live window lines go to stdout so they share the report's writer (tests
+// capture both), never interleaving with -json, which suppresses them.
+func buildProbe(o options, stdout io.Writer) (*probe.Probe, *probe.Windows, error) {
 	if !o.events && o.chromeTrace == "" && o.metricsEvery == 0 {
 		if o.eventsFilter != "" {
 			return nil, nil, fmt.Errorf("-events-filter requires -events")
@@ -244,7 +266,7 @@ func buildProbe(o options) (*probe.Probe, *probe.Windows, error) {
 		windows = probe.NewWindows(o.metricsEvery)
 		if !o.jsonOut {
 			windows.OnClose = func(w probe.WindowMetrics) {
-				fmt.Printf("refs %d-%d: h1 %.3f, h2 %.3f, syn/ref %.5f, bus/ref %.3f, coh->L1 %d\n",
+				fmt.Fprintf(stdout, "refs %d-%d: h1 %.3f, h2 %.3f, syn/ref %.5f, bus/ref %.3f, coh->L1 %d\n",
 					w.FirstRef, w.LastRef, w.L1Ratio(), w.L2Ratio(),
 					w.SynonymRate(), w.BusOccupancy(), w.CohToL1)
 			}
@@ -254,7 +276,7 @@ func buildProbe(o options) (*probe.Probe, *probe.Windows, error) {
 	return pr, windows, nil
 }
 
-func run(o options) error {
+func run(o options, stdout io.Writer) error {
 	org, err := parseOrg(o.org)
 	if err != nil {
 		return err
@@ -267,7 +289,7 @@ func run(o options) error {
 	if err != nil {
 		return err
 	}
-	pr, windows, err := buildProbe(o)
+	pr, windows, err := buildProbe(o, stdout)
 	if err != nil {
 		return err
 	}
@@ -281,6 +303,13 @@ func run(o options) error {
 		// would be silently ignored, so reject the combination. The zero
 		// struct is also accepted (options built without flag parsing).
 		return fmt.Errorf("latency flags require -timed")
+	}
+	if o.hist && !o.timed {
+		return fmt.Errorf("-hist requires -timed")
+	}
+	var aud *audit.Auditor
+	if o.audit || o.auditEvery > 0 {
+		aud = audit.New(o.auditEvery)
 	}
 
 	var reader trace.Reader
@@ -330,6 +359,9 @@ func run(o options) error {
 			cpus = 1
 		}
 	}
+	if o.hist {
+		eng.SetLatencies(monitor.NewLatencies(cpus))
+	}
 	sc := system.Config{
 		CPUs:         cpus,
 		Organization: org,
@@ -338,6 +370,7 @@ func run(o options) error {
 		L2:           cache.Geometry{Size: l2Size, Block: o.b2, Assoc: o.a2},
 		Probe:        pr,
 		Cycles:       eng,
+		Audit:        aud,
 	}
 	if wlCfg != nil {
 		sc.PageSize = wlCfg.PageSize
@@ -351,6 +384,48 @@ func run(o options) error {
 			return err
 		}
 	}
+
+	// Live monitoring: the server publishes a fresh state copy at startup,
+	// at every closed metrics window, and once more after the run.
+	var srv *monitor.Server
+	var lastWindow *probe.WindowMetrics
+	publish := func() {
+		st := monitor.State{Refs: sys.Refs(), Window: lastWindow}
+		if pr != nil {
+			st.Events = pr.Counts().Map()
+		}
+		if eng != nil {
+			st.Latencies = eng.Latencies().Clone()
+		}
+		st.Audits, st.Violations = aud.Audits(), aud.Total()
+		snap := sys.AuditSnapshot()
+		st.Occupancy = monitor.Occupancy(snap)
+		var buf bytes.Buffer
+		if err := snap.WriteJSON(&buf); err == nil {
+			st.Snapshot = buf.Bytes()
+		}
+		srv.Publish(st)
+	}
+	if o.httpAddr != "" {
+		if srv, err = monitor.Start(o.httpAddr); err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "vrsim: monitoring on http://%s\n", srv.Addr())
+		if windows != nil {
+			prev := windows.OnClose
+			windows.OnClose = func(wm probe.WindowMetrics) {
+				if prev != nil {
+					prev(wm)
+				}
+				wcopy := wm
+				lastWindow = &wcopy
+				publish()
+			}
+		}
+		publish()
+	}
+
 	if err := sys.Run(reader); err != nil {
 		pr.Close()
 		return err
@@ -358,42 +433,69 @@ func run(o options) error {
 	if err := pr.Close(); err != nil {
 		return err
 	}
+	// Always finish with an on-demand audit so -audit alone (no period)
+	// still checks the final state.
+	if aud != nil {
+		aud.Audit(sys)
+	}
+	if o.snapshot != "" {
+		f, err := os.Create(o.snapshot)
+		if err != nil {
+			return err
+		}
+		if err := sys.AuditSnapshot().WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if srv != nil {
+		publish()
+	}
 	if o.jsonOut {
 		res := report.FromSystem(sys, sc)
 		if windows != nil {
 			res.AddWindows(windows.Done())
 		}
-		return res.WriteJSON(os.Stdout)
+		if err := res.WriteJSON(stdout); err != nil {
+			return err
+		}
+	} else {
+		printReport(stdout, sys, sc)
 	}
-	printReport(sys, sc)
+	if n := aud.Total(); n > 0 {
+		return fmt.Errorf("audit: %d violation(s) across %d audits", n, aud.Audits())
+	}
 	return nil
 }
 
-func printReport(sys *system.System, sc system.Config) {
+func printReport(w io.Writer, sys *system.System, sc system.Config) {
 	agg := sys.Aggregate()
-	fmt.Printf("organization: %v, %d CPUs, L1 %v%s, L2 %v\n",
+	fmt.Fprintf(w, "organization: %v, %d CPUs, L1 %v%s, L2 %v\n",
 		sc.Organization, sc.CPUs, sc.L1, splitLabel(sc.Split), sc.L2)
-	fmt.Printf("references:   %d\n", sys.Refs())
-	fmt.Printf("h1 = %.3f (read %.3f, write %.3f, instr %.3f)\n",
+	fmt.Fprintf(w, "references:   %d\n", sys.Refs())
+	fmt.Fprintf(w, "h1 = %.3f (read %.3f, write %.3f, instr %.3f)\n",
 		agg.H1, agg.L1.DataRead, agg.L1.DataWrite, agg.L1.Instr)
-	fmt.Printf("h2 = %.3f\n", agg.H2)
+	fmt.Fprintf(w, "h2 = %.3f\n", agg.H2)
 	bs := sys.Bus().Stats()
-	fmt.Printf("bus: %d read-miss, %d rmw, %d invalidation (%d cache-supplied)\n",
+	fmt.Fprintf(w, "bus: %d read-miss, %d rmw, %d invalidation (%d cache-supplied)\n",
 		bs.Count(bus.Read), bs.Count(bus.ReadMod), bs.Count(bus.Invalidate), bs.Supplies)
 	for cpu := 0; cpu < sys.CPUs(); cpu++ {
 		st := sys.Stats(cpu)
-		fmt.Printf("cpu %d: ctxsw %d, writebacks %d (%d swapped), synonyms %d, "+
+		fmt.Fprintf(w, "cpu %d: ctxsw %d, writebacks %d (%d swapped), synonyms %d, "+
 			"incl-invals %d, tlb-miss %d, coherence msgs to L1: %d",
 			cpu, st.CtxSwitches, st.WriteBacks, st.SwappedWriteBacks,
 			st.SynonymTotal()-st.Synonyms[0], st.InclusionInvals, st.TLB.Misses,
 			st.Coherence.Total())
 		if s := st.Coherence.String(); s != "" {
-			fmt.Printf(" (%s)", s)
+			fmt.Fprintf(w, " (%s)", s)
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 	if p := sys.Probe(); p != nil {
-		fmt.Printf("probe: %d events\n", p.Counts().Total())
+		fmt.Fprintf(w, "probe: %d events\n", p.Counts().Total())
 	}
 	if eng := sys.Cycles(); eng != nil {
 		agg := sys.Aggregate()
@@ -401,14 +503,52 @@ func printReport(sys *system.System, sc system.Config) {
 			T1: float64(eng.Params().T1), T2: float64(eng.Params().T2),
 			TM: float64(eng.Params().TM), H1: agg.H1, H2: agg.H2,
 		})
-		fmt.Printf("timing: measured Tacc %.4f cycles/ref (analytic %.4f), bus busy %d cycles over %d txns\n",
+		fmt.Fprintf(w, "timing: measured Tacc %.4f cycles/ref (analytic %.4f), bus busy %d cycles over %d txns\n",
 			eng.Tacc(), analytic, eng.BusBusy(), eng.BusTxns())
 		for cpu := 0; cpu < sys.CPUs(); cpu++ {
 			at := eng.Agent(cpu)
-			fmt.Printf("cpu %d: %d cycles / %d refs = %.4f (access %d, tlb %d, bus-wait %d, stall %d, ctx %d)\n",
+			fmt.Fprintf(w, "cpu %d: %d cycles / %d refs = %.4f (access %d, tlb %d, bus-wait %d, stall %d, ctx %d)\n",
 				cpu, at.Clock, at.Refs, at.Tacc(),
 				at.Access, at.TLB, at.BusWait, at.Stall, at.Ctx)
 		}
+		if eng.Latencies() != nil {
+			printHistTable(w, eng.Latencies())
+		}
+	}
+	printAuditSummary(w, sys)
+}
+
+// printHistTable renders the machine-wide latency distributions (-hist).
+func printHistTable(w io.Writer, lat *monitor.Latencies) {
+	sums := report.SummarizeLatencies(lat)
+	if len(sums) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "latency distributions (cycles):")
+	fmt.Fprintf(w, "%-10s %-10s %-8s %-8s %-8s %-8s %s\n",
+		"kind", "count", "mean", "p50", "p95", "p99", "max")
+	for _, s := range sums {
+		fmt.Fprintf(w, "%-10s %-10d %-8.2f %-8.1f %-8.1f %-8.1f %d\n",
+			s.Kind, s.Count, s.Mean, s.P50, s.P95, s.P99, s.Max)
+	}
+}
+
+// maxPrintedViolations bounds the text report's finding list; the JSON
+// report carries the auditor's full retained set.
+const maxPrintedViolations = 10
+
+func printAuditSummary(w io.Writer, sys *system.System) {
+	aud := sys.Auditor()
+	if aud == nil {
+		return
+	}
+	fmt.Fprintf(w, "audit: %d audits, %d violations\n", aud.Audits(), aud.Total())
+	for i, v := range aud.Violations() {
+		if i == maxPrintedViolations {
+			fmt.Fprintf(w, "  ... and %d more\n", len(aud.Violations())-maxPrintedViolations)
+			break
+		}
+		fmt.Fprintf(w, "  %s\n", v)
 	}
 }
 

@@ -1,11 +1,16 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
+	"repro/internal/audit"
+	"repro/internal/report"
 	"repro/internal/system"
 	"repro/internal/trace"
 	"repro/internal/tracegen"
@@ -58,7 +63,7 @@ func smallRun() options {
 }
 
 func TestRunPreset(t *testing.T) {
-	if err := run(smallRun()); err != nil {
+	if err := run(smallRun(), io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -66,7 +71,7 @@ func TestRunPreset(t *testing.T) {
 func TestRunPresetJSON(t *testing.T) {
 	o := smallRun()
 	o.preset, o.org, o.jsonOut = "thor", "rr", true
-	if err := run(o); err != nil {
+	if err := run(o, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -75,7 +80,7 @@ func TestRunChromeTrace(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "trace.json")
 	o := smallRun()
 	o.chromeTrace = path
-	if err := run(o); err != nil {
+	if err := run(o, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -101,7 +106,7 @@ func TestRunEventsAndMetrics(t *testing.T) {
 	o.events = true
 	o.eventsFilter = "synonym,coherence"
 	o.metricsEvery = 100
-	if err := run(o); err != nil {
+	if err := run(o, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -110,7 +115,7 @@ func TestRunMetricsJSON(t *testing.T) {
 	o := smallRun()
 	o.jsonOut = true
 	o.metricsEvery = 50
-	if err := run(o); err != nil {
+	if err := run(o, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -143,7 +148,7 @@ func TestRunTraceFile(t *testing.T) {
 	f.Close()
 	o := smallRun()
 	o.preset, o.traceFile, o.tracePreset, o.scale = "", path, "abaqus", 1
-	if err := run(o); err != nil {
+	if err := run(o, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -153,11 +158,11 @@ func TestRunTimed(t *testing.T) {
 	o.timed = true
 	o.t1, o.t2, o.tm = 1, 4, 20
 	o.busMemOcc, o.busWBOcc, o.contention = 12, 4, true
-	if err := run(o); err != nil {
+	if err := run(o, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	o.jsonOut = true
-	if err := run(o); err != nil {
+	if err := run(o, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -184,11 +189,137 @@ func TestRunErrors(t *testing.T) {
 		{"unwritable chrome trace", mod(func(o *options) { o.chromeTrace = "/nonexistent/dir/t.json" })},
 		{"latency flag without -timed", mod(func(o *options) { o.tm = 40 })},
 		{"bad latencies", mod(func(o *options) { o.timed = true; o.t1 = 0 })},
+		{"hist without -timed", mod(func(o *options) { o.hist = true })},
+		{"unwritable snapshot", mod(func(o *options) { o.snapshot = "/nonexistent/dir/s.json" })},
+		{"unusable http address", mod(func(o *options) { o.httpAddr = "256.0.0.1:bad" })},
 	}
 	for _, c := range cases {
-		if err := run(c.o); err == nil {
+		if err := run(c.o, io.Discard); err == nil {
 			t.Errorf("%s: want error", c.name)
 		}
+	}
+}
+
+func TestRunAuditClean(t *testing.T) {
+	for _, org := range []string{"vr", "rr", "rrnoincl"} {
+		o := smallRun()
+		o.org, o.audit, o.auditEvery = org, true, 200
+		var out bytes.Buffer
+		if err := run(o, &out); err != nil {
+			t.Fatalf("%s: clean run reported violations: %v", org, err)
+		}
+		if !strings.Contains(out.String(), "audit:") {
+			t.Fatalf("%s: text report missing audit summary:\n%s", org, out.String())
+		}
+		if !strings.Contains(out.String(), " 0 violations") {
+			t.Fatalf("%s: audit summary not clean:\n%s", org, out.String())
+		}
+	}
+}
+
+func TestRunSnapshotFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.json")
+	o := smallRun()
+	o.snapshot = path
+	if err := run(o, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	snap, err := audit.ParseJSON(f)
+	if err != nil {
+		t.Fatalf("snapshot file not parseable: %v", err)
+	}
+	if snap.Organization != "V-R" && snap.Organization != "vr" {
+		t.Logf("organization label: %q", snap.Organization)
+	}
+	if len(snap.CPUs) == 0 {
+		t.Fatal("snapshot has no CPUs")
+	}
+	if got := snap.Check(); len(got) != 0 {
+		t.Fatalf("snapshot of a clean run has violations: %v", got)
+	}
+}
+
+// TestRunJSONComposes drives every JSON-affecting feature at once and
+// requires stdout to be exactly one well-formed document with the
+// histogram, window, and audit output nested inside it.
+func TestRunJSONComposes(t *testing.T) {
+	o := smallRun()
+	o.jsonOut = true
+	o.metricsEvery = 100
+	o.timed, o.hist = true, true
+	o.t1, o.t2, o.tm = 1, 4, 20
+	o.busMemOcc, o.busWBOcc, o.contention = 12, 4, true
+	o.audit, o.auditEvery = true, 500
+	var out bytes.Buffer
+	if err := run(o, &out); err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(out.Bytes()))
+	var doc map[string]any
+	if err := dec.Decode(&doc); err != nil {
+		t.Fatalf("stdout is not JSON: %v\n%s", err, out.String())
+	}
+	if dec.More() {
+		t.Fatalf("stdout holds more than one JSON document:\n%s", out.String())
+	}
+	res, err := report.ParseJSON(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Probe == nil || len(res.Probe.Windows) == 0 {
+		t.Error("windows not nested in the JSON document")
+	}
+	if res.Monitor == nil || len(res.Monitor.Latency) == 0 {
+		t.Error("latency summaries not nested in the JSON document")
+	}
+	if res.Monitor != nil && len(res.Monitor.Occupancy) == 0 {
+		t.Error("occupancy not nested in the JSON document")
+	}
+	if res.Audit == nil || res.Audit.Audits == 0 {
+		t.Error("audit tally not nested in the JSON document")
+	}
+	if res.Audit != nil && res.Audit.Violations != 0 {
+		t.Errorf("clean run reported %d violations", res.Audit.Violations)
+	}
+	for _, s := range res.Monitor.Latency {
+		if s.Kind == "access" && s.Count == 0 {
+			t.Error("access histogram empty despite -hist")
+		}
+	}
+}
+
+func TestRunHistText(t *testing.T) {
+	o := smallRun()
+	o.timed, o.hist = true, true
+	o.t1, o.t2, o.tm = 1, 4, 20
+	var out bytes.Buffer
+	if err := run(o, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "latency distributions (cycles):") {
+		t.Fatalf("histogram table missing:\n%s", text)
+	}
+	if !strings.Contains(text, "access") {
+		t.Fatalf("access row missing:\n%s", text)
+	}
+}
+
+func TestRunHTTPMonitor(t *testing.T) {
+	// The server lives for the duration of run(): it must bind, publish at
+	// startup and on every window close, and shut down cleanly at the end
+	// (monitor's own tests exercise the endpoints over a live listener).
+	o := smallRun()
+	o.httpAddr = "127.0.0.1:0"
+	o.metricsEvery = 100
+	o.audit = true
+	if err := run(o, io.Discard); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -1,0 +1,117 @@
+// Package audit is the simulator's online self-checking layer: it verifies
+// the structural invariants the paper's correctness argument rests on —
+// R-cache inclusion over the V-cache (Section 2), at most one first-level
+// copy of any physical block (Section 3's synonym guarantee), v-pointer/
+// r-pointer reciprocity (Figure 3), buffer bits in bijection with the write
+// buffer, sv/dirty/vdirty/rdirty consistency, and cross-CPU coherence-state
+// compatibility — against a point-in-time Snapshot of the whole machine.
+//
+// The package is deliberately self-contained (standard library only): the
+// hierarchies in internal/core produce Snapshots, and this package checks
+// pure data. That keeps the dependency arrow pointing one way — core and
+// system import audit, never the reverse — and makes every check unit
+// testable from a hand-built snapshot.
+//
+// An Auditor drives the checks online: attached to a system it re-audits
+// the machine every N references (the nil-check pattern keeps the disabled
+// cost to one branch per reference), accumulates structured Violations, and
+// can dump the snapshot as diffable JSON for debugging.
+package audit
+
+import "fmt"
+
+// Invariant identifies one of the checked structural properties.
+type Invariant int
+
+// The invariant set. Each maps to the paper section that motivates it; see
+// DESIGN.md §12 for the full table.
+const (
+	// InvInclusion: every present first-level line has a present R-cache
+	// parent whose inclusion bit is set, and the machine-wide counts of
+	// inclusion bits and first-level lines agree (Section 2).
+	InvInclusion Invariant = iota
+	// InvUniqueCopy: at most one first-level copy of any physical block
+	// exists across the (possibly split) first level (Section 3).
+	InvUniqueCopy
+	// InvReciprocity: v-pointers and r-pointers round-trip — the subentry's
+	// v-pointer names a present line whose r-pointer points straight back
+	// (Figure 3's reverse-translation linkage).
+	InvReciprocity
+	// InvBufferBit: buffer bits and write-buffer entries are in bijection,
+	// and a subentry never carries inclusion and buffer bits at once
+	// (Section 3's write-back(r-pointer) protocol).
+	InvBufferBit
+	// InvDirtyBits: VDirty equals the child's dirty bit, a buffered copy is
+	// VDirty, and VDirty never dangles without a child or buffered copy
+	// (Figure 3's state encoding).
+	InvDirtyBits
+	// InvSwappedValid: swapped-valid lines appear only in the virtual
+	// organization's lazy-flush mode — eager-flush, PID-tagged and
+	// physically-addressed first levels never mark lines swapped
+	// (Section 2's context-switch scheme).
+	InvSwappedValid
+	// InvCoherence: a modified block is held privately, and no block is
+	// private on one CPU while any other CPU holds a copy (the snooping
+	// protocol of Section 3).
+	InvCoherence
+	// InvTranslation: in the V-R organization, a line's virtual base
+	// translates (per the page tables) to exactly the physical address its
+	// r-pointer names (Section 3's translation agreement).
+	InvTranslation
+	// InvTLB: every resident TLB entry agrees with the page tables.
+	InvTLB
+
+	// NumInvariants bounds the enum for tables indexed by Invariant.
+	NumInvariants
+)
+
+var invariantNames = [NumInvariants]string{
+	InvInclusion:    "inclusion",
+	InvUniqueCopy:   "unique-copy",
+	InvReciprocity:  "reciprocity",
+	InvBufferBit:    "buffer-bit",
+	InvDirtyBits:    "dirty-bits",
+	InvSwappedValid: "swapped-valid",
+	InvCoherence:    "coherence",
+	InvTranslation:  "translation",
+	InvTLB:          "tlb",
+}
+
+// String returns the invariant's stable name (used in reports and JSON).
+func (i Invariant) String() string {
+	if i < 0 || i >= NumInvariants {
+		return fmt.Sprintf("Invariant(%d)", int(i))
+	}
+	return invariantNames[i]
+}
+
+// MarshalText renders the invariant by name in JSON output.
+func (i Invariant) MarshalText() ([]byte, error) { return []byte(i.String()), nil }
+
+// UnmarshalText parses an invariant name (round-trip support for tooling).
+func (i *Invariant) UnmarshalText(b []byte) error {
+	for k, n := range invariantNames {
+		if n == string(b) {
+			*i = Invariant(k)
+			return nil
+		}
+	}
+	return fmt.Errorf("audit: unknown invariant %q", b)
+}
+
+// Violation is one structural inconsistency found by a check.
+type Violation struct {
+	Invariant Invariant `json:"invariant"`
+	CPU       int       `json:"cpu"` // -1 for machine-wide (cross-CPU) findings
+	Location  string    `json:"location"`
+	Detail    string    `json:"detail"`
+}
+
+// String renders the violation for diagnostics.
+func (v Violation) String() string {
+	who := "machine"
+	if v.CPU >= 0 {
+		who = fmt.Sprintf("cpu %d", v.CPU)
+	}
+	return fmt.Sprintf("%s: %s at %s: %s", who, v.Invariant, v.Location, v.Detail)
+}

@@ -1,0 +1,108 @@
+package audit
+
+// Source is anything that can snapshot itself for checking; the system
+// layer implements it. The interface lives here so audit depends on no
+// simulator package.
+type Source interface {
+	AuditSnapshot() *Snapshot
+}
+
+// maxKeptViolations bounds the retained violation list; a corrupt machine
+// can produce one violation per cache line per audit, and keeping them all
+// would turn a diagnostic into a memory leak. The total count keeps
+// counting past the cap.
+const maxKeptViolations = 1000
+
+// Auditor re-checks a machine's invariants as it runs. The zero of every
+// integration point follows the repo's nil-check pattern: a nil *Auditor is
+// a valid no-op receiver, so hierarchies and systems wire it
+// unconditionally and pay one branch per reference when auditing is off.
+type Auditor struct {
+	every     uint64 // audit period in references; 0 = on demand only
+	countdown uint64
+	audits    uint64
+	total     uint64
+	kept      []Violation
+
+	// OnAudit, when set, observes every completed audit with the snapshot
+	// it checked and the violations found (the monitor layer's HTTP
+	// endpoint attaches here). It runs on the simulation goroutine.
+	OnAudit func(snap *Snapshot, found []Violation)
+}
+
+// New returns an auditor that audits every n references driven through
+// Tick. n = 0 disables periodic auditing; Audit still works on demand.
+func New(n uint64) *Auditor {
+	return &Auditor{every: n, countdown: n}
+}
+
+// Every returns the audit period (0 = on demand only).
+func (a *Auditor) Every() uint64 {
+	if a == nil {
+		return 0
+	}
+	return a.every
+}
+
+// Tick advances the reference counter and audits src when the period
+// elapses. It is nil-safe and cheap when disabled: a nil receiver or a zero
+// period costs one predictable branch.
+func (a *Auditor) Tick(src Source) {
+	if a == nil || a.every == 0 {
+		return
+	}
+	a.countdown--
+	if a.countdown > 0 {
+		return
+	}
+	a.countdown = a.every
+	a.Audit(src)
+}
+
+// Audit snapshots src, checks every invariant, records the findings, and
+// returns them (nil for a clean machine).
+func (a *Auditor) Audit(src Source) []Violation {
+	if a == nil {
+		return nil
+	}
+	snap := src.AuditSnapshot()
+	found := snap.Check()
+	a.audits++
+	a.total += uint64(len(found))
+	for _, v := range found {
+		if len(a.kept) >= maxKeptViolations {
+			break
+		}
+		a.kept = append(a.kept, v)
+	}
+	if a.OnAudit != nil {
+		a.OnAudit(snap, found)
+	}
+	return found
+}
+
+// Audits returns the number of completed audits.
+func (a *Auditor) Audits() uint64 {
+	if a == nil {
+		return 0
+	}
+	return a.audits
+}
+
+// Total returns the number of violations found across all audits (it keeps
+// counting past the retention cap).
+func (a *Auditor) Total() uint64 {
+	if a == nil {
+		return 0
+	}
+	return a.total
+}
+
+// Violations returns the retained findings, in discovery order, capped at
+// maxKeptViolations.
+func (a *Auditor) Violations() []Violation {
+	if a == nil {
+		return nil
+	}
+	return a.kept
+}

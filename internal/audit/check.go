@@ -1,0 +1,265 @@
+package audit
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Check verifies every invariant against the snapshot and returns the
+// violations found, per-CPU findings first (in CPU order), then machine-wide
+// coherence findings (in block-address order). A clean machine returns nil.
+func (s *Snapshot) Check() []Violation {
+	c := &checker{}
+	for _, cs := range s.CPUs {
+		c.checkCPU(cs)
+	}
+	c.checkCrossCPU(s)
+	return c.out
+}
+
+type checker struct {
+	out []Violation
+}
+
+func (c *checker) add(inv Invariant, cpu int, loc, format string, args ...any) {
+	c.out = append(c.out, Violation{
+		Invariant: inv,
+		CPU:       cpu,
+		Location:  loc,
+		Detail:    fmt.Sprintf(format, args...),
+	})
+}
+
+func vloc(cache, set, way int) string { return fmt.Sprintf("V%d[%d.%d]", cache, set, way) }
+func rloc(set, way, sub int) string   { return fmt.Sprintf("R[%d.%d.%d]", set, way, sub) }
+
+// checkCPU runs every single-hierarchy invariant.
+func (c *checker) checkCPU(cs *CPUSnapshot) {
+	rIndex := make(map[[2]int]*RLine, len(cs.RLines))
+	for i := range cs.RLines {
+		rl := &cs.RLines[i]
+		rIndex[[2]int{rl.Set, rl.Way}] = rl
+	}
+	if !cs.Inclusive {
+		c.checkNoInclusion(cs)
+		c.checkTLB(cs)
+		return
+	}
+
+	// Forward pass: every first-level line against its R-cache parent.
+	vIndex := make(map[[3]int]*VLine)
+	children := 0
+	seenPA := make(map[uint64]string)
+	for vi := range cs.VCaches {
+		vcs := &cs.VCaches[vi]
+		for li := range vcs.Lines {
+			vl := &vcs.Lines[li]
+			vIndex[[3]int{vcs.Cache, vl.Set, vl.Way}] = vl
+			children++
+			loc := vloc(vcs.Cache, vl.Set, vl.Way)
+			if vl.SV && !cs.LazyFlush {
+				c.add(InvSwappedValid, cs.CPU, loc,
+					"swapped-valid line outside the lazy-flush organization")
+			}
+			rl, ok := rIndex[[2]int{vl.RSet, vl.RWay}]
+			if !ok {
+				c.add(InvInclusion, cs.CPU, loc,
+					"parent %s not present", rloc(vl.RSet, vl.RWay, vl.RSub))
+				continue
+			}
+			if vl.RSub < 0 || vl.RSub >= len(rl.Subs) {
+				c.add(InvReciprocity, cs.CPU, loc,
+					"r-pointer sub %d out of range (%d subentries)", vl.RSub, len(rl.Subs))
+				continue
+			}
+			sub := &rl.Subs[vl.RSub]
+			if !sub.Inclusion {
+				c.add(InvInclusion, cs.CPU, loc,
+					"parent %s inclusion bit clear", rloc(vl.RSet, vl.RWay, vl.RSub))
+			} else if sub.VCache != vcs.Cache || sub.VSet != vl.Set || sub.VWay != vl.Way {
+				c.add(InvReciprocity, cs.CPU, loc,
+					"parent %s v-pointer %s does not point back",
+					rloc(vl.RSet, vl.RWay, vl.RSub), vloc(sub.VCache, sub.VSet, sub.VWay))
+			}
+			if sub.VDirty != vl.Dirty {
+				c.add(InvDirtyBits, cs.CPU, loc,
+					"dirty %v but parent VDirty %v", vl.Dirty, sub.VDirty)
+			}
+			pa := rl.Addr + uint64(vl.RSub)*cs.L1Block
+			if prev, dup := seenPA[pa]; dup {
+				c.add(InvUniqueCopy, cs.CPU, loc,
+					"physical block %#x also held by %s", pa, prev)
+			} else {
+				seenPA[pa] = loc
+			}
+			if cs.Virtual {
+				if !vl.Mapped {
+					c.add(InvTranslation, cs.CPU, loc,
+						"vbase %#x pid %d unmapped", vl.VBase, vl.PID)
+				} else if vl.MMUPA != pa {
+					c.add(InvTranslation, cs.CPU, loc,
+						"vbase %#x translates to %#x but r-pointer says %#x",
+						vl.VBase, vl.MMUPA, pa)
+				}
+			}
+		}
+	}
+
+	// Reverse pass: every subentry's pointers, bits and counts.
+	wbIndex := make(map[[3]int]bool, len(cs.WriteBuffer))
+	for _, e := range cs.WriteBuffer {
+		wbIndex[[3]int{e.RSet, e.RWay, e.RSub}] = true
+	}
+	inclusionBits, bufferBits := 0, 0
+	for i := range cs.RLines {
+		rl := &cs.RLines[i]
+		modified := false
+		for si := range rl.Subs {
+			sub := &rl.Subs[si]
+			loc := rloc(rl.Set, rl.Way, si)
+			if sub.Inclusion {
+				inclusionBits++
+				child, ok := vIndex[[3]int{sub.VCache, sub.VSet, sub.VWay}]
+				if !ok {
+					c.add(InvReciprocity, cs.CPU, loc,
+						"v-pointer %s to absent line", vloc(sub.VCache, sub.VSet, sub.VWay))
+				} else if child.RSet != rl.Set || child.RWay != rl.Way || child.RSub != si {
+					c.add(InvReciprocity, cs.CPU, loc,
+						"child r-pointer %s does not round-trip",
+						rloc(child.RSet, child.RWay, child.RSub))
+				}
+				if sub.Buffer {
+					c.add(InvBufferBit, cs.CPU, loc, "inclusion and buffer bits both set")
+				}
+			}
+			if sub.Buffer {
+				bufferBits++
+				if !wbIndex[[3]int{rl.Set, rl.Way, si}] {
+					c.add(InvBufferBit, cs.CPU, loc, "buffer bit set but nothing buffered")
+				}
+				if !sub.VDirty {
+					c.add(InvDirtyBits, cs.CPU, loc, "buffered but VDirty clear")
+				}
+			}
+			if sub.VDirty && !sub.Inclusion && !sub.Buffer {
+				c.add(InvDirtyBits, cs.CPU, loc, "VDirty without child or buffer")
+			}
+			if sub.VDirty || sub.RDirty || sub.Buffer {
+				modified = true
+			}
+		}
+		if modified && rl.State != StatePrivate {
+			c.add(InvCoherence, cs.CPU, fmt.Sprintf("R[%d.%d]", rl.Set, rl.Way),
+				"modified block %#x held %s", rl.Addr, rl.State)
+		}
+	}
+	if inclusionBits != children {
+		c.add(InvInclusion, cs.CPU, "R-cache",
+			"%d inclusion bits but %d first-level lines", inclusionBits, children)
+	}
+	if bufferBits != len(cs.WriteBuffer) {
+		c.add(InvBufferBit, cs.CPU, "write buffer",
+			"%d buffer bits but %d buffered entries", bufferBits, len(cs.WriteBuffer))
+	}
+	for _, e := range cs.WriteBuffer {
+		rl, ok := rIndex[[2]int{e.RSet, e.RWay}]
+		if !ok || e.RSub < 0 || e.RSub >= len(rl.Subs) || !rl.Subs[e.RSub].Buffer {
+			c.add(InvBufferBit, cs.CPU, rloc(e.RSet, e.RWay, e.RSub),
+				"buffered entry without a matching buffer bit")
+		}
+	}
+	c.checkTLB(cs)
+}
+
+// checkNoInclusion covers the no-inclusion baseline: the subentry inclusion
+// machinery must be unused, and dirty data at either level must be private.
+func (c *checker) checkNoInclusion(cs *CPUSnapshot) {
+	for i := range cs.L1Lines {
+		ll := &cs.L1Lines[i]
+		if ll.Dirty && ll.State != StatePrivate {
+			c.add(InvCoherence, cs.CPU, fmt.Sprintf("L1[%d.%d]", ll.Set, ll.Way),
+				"dirty block %#x held %s", ll.Addr, ll.State)
+		}
+	}
+	for i := range cs.RLines {
+		rl := &cs.RLines[i]
+		for si := range rl.Subs {
+			sub := &rl.Subs[si]
+			loc := rloc(rl.Set, rl.Way, si)
+			if sub.Inclusion || sub.Buffer || sub.VDirty {
+				c.add(InvInclusion, cs.CPU, loc,
+					"inclusion machinery used in the no-inclusion baseline")
+			}
+			if sub.RDirty && rl.State != StatePrivate {
+				c.add(InvCoherence, cs.CPU, loc,
+					"dirty block %#x held %s", rl.Addr+uint64(si)*cs.L1Block, rl.State)
+			}
+		}
+	}
+}
+
+// checkTLB verifies every resident translation against the page tables.
+func (c *checker) checkTLB(cs *CPUSnapshot) {
+	for i := range cs.TLB {
+		e := &cs.TLB[i]
+		loc := fmt.Sprintf("TLB[pid %d page %#x]", e.PID, e.VPage)
+		if !e.Mapped {
+			c.add(InvTLB, cs.CPU, loc, "cached translation for an unmapped page")
+		} else if e.Frame != e.MMUFrame {
+			c.add(InvTLB, cs.CPU, loc,
+				"cached frame %#x but page tables say %#x", e.Frame, e.MMUFrame)
+		}
+	}
+}
+
+// checkCrossCPU verifies the snooping protocol's exclusivity: no block may
+// be private on one CPU while any other CPU holds an overlapping copy.
+// Copies are keyed at L2-block granularity; the no-inclusion baseline's L1
+// lines are aligned down, since its invalidations travel at L2-block size.
+func (c *checker) checkCrossCPU(s *Snapshot) {
+	type holder struct {
+		cpu     int
+		private bool
+		loc     string
+	}
+	blocks := make(map[uint64][]holder)
+	for _, cs := range s.CPUs {
+		for i := range cs.RLines {
+			rl := &cs.RLines[i]
+			blocks[rl.Addr] = append(blocks[rl.Addr], holder{
+				cpu:     cs.CPU,
+				private: rl.State == StatePrivate,
+				loc:     fmt.Sprintf("cpu %d R[%d.%d]", cs.CPU, rl.Set, rl.Way),
+			})
+		}
+		for i := range cs.L1Lines {
+			ll := &cs.L1Lines[i]
+			a := ll.Addr &^ (cs.L2Block - 1)
+			blocks[a] = append(blocks[a], holder{
+				cpu:     cs.CPU,
+				private: ll.State == StatePrivate,
+				loc:     fmt.Sprintf("cpu %d L1[%d.%d]", cs.CPU, ll.Set, ll.Way),
+			})
+		}
+	}
+	addrs := make([]uint64, 0, len(blocks))
+	for a := range blocks {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		hs := blocks[a]
+		for _, h := range hs {
+			if !h.private {
+				continue
+			}
+			for _, o := range hs {
+				if o.cpu != h.cpu {
+					c.add(InvCoherence, -1, h.loc,
+						"block %#x private here but also held by %s", a, o.loc)
+					break
+				}
+			}
+		}
+	}
+}

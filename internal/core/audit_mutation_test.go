@@ -1,0 +1,214 @@
+package core
+
+// Mutation tests for the audit layer against live machines: run real
+// references through a rig, corrupt exactly one tracked bit or pointer in
+// place, and require the auditor to flag the invariant that bit protects.
+// Complementing internal/audit's hand-built-snapshot tests, these prove the
+// snapshot producers carry every audited bit out of the real structures.
+
+import (
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/rcache"
+	"repro/internal/vcache"
+)
+
+// machineSnapshot assembles the cross-CPU snapshot the system layer would.
+func machineSnapshot(r *rig) *audit.Snapshot {
+	s := &audit.Snapshot{Organization: "test"}
+	for _, h := range r.hs {
+		s.CPUs = append(s.CPUs, h.Snapshot())
+	}
+	return s
+}
+
+// requireClean fails if the machine snapshot has any violation.
+func requireClean(t *testing.T, r *rig) {
+	t.Helper()
+	if found := machineSnapshot(r).Check(); len(found) != 0 {
+		t.Fatalf("clean machine reports violations: %v", found)
+	}
+}
+
+// requireFlagged asserts the auditor finds the target invariant. When exact
+// is true, every finding must be of that invariant — the corruption has no
+// legitimate cascade.
+func requireFlagged(t *testing.T, r *rig, want audit.Invariant, exact bool) {
+	t.Helper()
+	found := machineSnapshot(r).Check()
+	if len(found) == 0 {
+		t.Fatalf("corruption of %v went undetected", want)
+	}
+	hit := false
+	for _, v := range found {
+		if v.Invariant == want {
+			hit = true
+		} else if exact {
+			t.Errorf("unexpected %v finding: %s", v.Invariant, v)
+		}
+	}
+	if !hit {
+		t.Fatalf("corruption not attributed to %v; found %v", want, found)
+	}
+}
+
+// vrOf unwraps the rig's hierarchy for in-place corruption.
+func vrOf(t *testing.T, r *rig, cpu int) *VR {
+	t.Helper()
+	h, ok := r.hs[cpu].(*VR)
+	if !ok {
+		t.Fatalf("hierarchy %d is %T, not *VR", cpu, r.hs[cpu])
+	}
+	return h
+}
+
+func TestMutationInclusionBit(t *testing.T) {
+	r := newRig(t, 1, vrMk, nil)
+	r.read(0, 1, 0x100)
+	requireClean(t, r)
+	h := vrOf(t, r, 0)
+	cleared := false
+	h.rc.ForEachValid(func(set, way int, l *rcache.Line) {
+		for i := range l.Subs {
+			if !cleared && l.Subs[i].Inclusion {
+				l.Subs[i].Inclusion = false
+				cleared = true
+			}
+		}
+	})
+	if !cleared {
+		t.Fatal("no inclusion bit to corrupt")
+	}
+	requireFlagged(t, r, audit.InvInclusion, true)
+}
+
+func TestMutationVPointer(t *testing.T) {
+	r := newRig(t, 1, vrMk, nil)
+	r.read(0, 1, 0x100)
+	requireClean(t, r)
+	h := vrOf(t, r, 0)
+	bent := false
+	h.rc.ForEachValid(func(set, way int, l *rcache.Line) {
+		for i := range l.Subs {
+			if !bent && l.Subs[i].Inclusion {
+				// Point at the other way of the same (direct-mapped-empty)
+				// set: no present line can round-trip to it.
+				l.Subs[i].VPtr.Way++
+				bent = true
+			}
+		}
+	})
+	if !bent {
+		t.Fatal("no v-pointer to corrupt")
+	}
+	requireFlagged(t, r, audit.InvReciprocity, true)
+}
+
+func TestMutationBufferBit(t *testing.T) {
+	// Dirty a line, then conflict it out of the direct-mapped L1 so the
+	// write-back sits in the buffer with its buffer bit set.
+	r := newRig(t, 1, vrMk, nil)
+	r.write(0, 1, 0x100)
+	r.read(0, 1, 0x100+128) // same L1 set (128-byte L1), different block
+	h := vrOf(t, r, 0)
+	requireClean(t, r)
+	cleared := false
+	h.rc.ForEachValid(func(set, way int, l *rcache.Line) {
+		for i := range l.Subs {
+			if !cleared && l.Subs[i].Buffer {
+				l.Subs[i].Buffer = false
+				cleared = true
+			}
+		}
+	})
+	if !cleared {
+		t.Fatal("no buffered write-back to corrupt; eviction did not buffer")
+	}
+	// Clearing the buffer bit orphans the write-buffer entry (the target
+	// invariant) and leaves VDirty dangling without child or buffered copy —
+	// an inherent dirty-bit cascade.
+	requireFlagged(t, r, audit.InvBufferBit, false)
+}
+
+func TestMutationSVBit(t *testing.T) {
+	// In the physically-addressed R-R organization no line may ever be
+	// swapped-valid; setting SV is the corruption.
+	r := newRig(t, 1, rrMk, nil)
+	r.read(0, 1, 0x100)
+	requireClean(t, r)
+	h := vrOf(t, r, 0)
+	set := false
+	for _, vc := range h.vcs {
+		vc.ForEachPresent(func(s, w int, l *vcache.Line) {
+			if !set {
+				l.SV = true
+				set = true
+			}
+		})
+	}
+	if !set {
+		t.Fatal("no resident line to corrupt")
+	}
+	requireFlagged(t, r, audit.InvSwappedValid, true)
+}
+
+func TestMutationCoherenceState(t *testing.T) {
+	// Two CPUs read the same shared address; both hold the block shared.
+	// Promoting one copy to private breaks cross-CPU exclusivity.
+	r := newRig(t, 2, vrMk, nil)
+	r.read(0, 1, 0x100)
+	r.read(1, 1, 0x100)
+	requireClean(t, r)
+	h := vrOf(t, r, 0)
+	promoted := false
+	h.rc.ForEachValid(func(set, way int, l *rcache.Line) {
+		if !promoted && l.State == rcache.Shared {
+			l.State = rcache.Private
+			promoted = true
+		}
+	})
+	if !promoted {
+		t.Fatal("no shared line to corrupt")
+	}
+	requireFlagged(t, r, audit.InvCoherence, true)
+}
+
+// TestMutationDetectedInAllOrgs seeds the one corruption every organization
+// shares — a flipped coherence state on a commonly held block — and checks
+// detection across all three hierarchies.
+func TestMutationDetectedInAllOrgs(t *testing.T) {
+	orgs := []struct {
+		name string
+		mk   mkFunc
+	}{{"VR", vrMk}, {"RR", rrMk}, {"NoIncl", niMk}}
+	for _, o := range orgs {
+		t.Run(o.name, func(t *testing.T) {
+			r := newRig(t, 2, o.mk, nil)
+			r.read(0, 1, 0x100)
+			r.read(1, 1, 0x100)
+			requireClean(t, r)
+			promoted := false
+			switch h := r.hs[0].(type) {
+			case *VR:
+				h.rc.ForEachValid(func(set, way int, l *rcache.Line) {
+					if !promoted && l.State == rcache.Shared {
+						l.State = rcache.Private
+						promoted = true
+					}
+				})
+			case *RRNoInclusion:
+				h.l2.ForEachValid(func(set, way int, l *rcache.Line) {
+					if !promoted && l.State == rcache.Shared {
+						l.State = rcache.Private
+						promoted = true
+					}
+				})
+			}
+			if !promoted {
+				t.Fatal("no shared line to corrupt")
+			}
+			requireFlagged(t, r, audit.InvCoherence, true)
+		})
+	}
+}

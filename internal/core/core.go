@@ -25,6 +25,7 @@ import (
 	"fmt"
 
 	"repro/internal/addr"
+	"repro/internal/audit"
 	"repro/internal/bus"
 	"repro/internal/cache"
 	"repro/internal/cycles"
@@ -164,6 +165,9 @@ type Hierarchy interface {
 	// Check validates internal invariants (inclusion, pointer round-trips,
 	// buffer-bit consistency); test harnesses call it after every access.
 	Check() error
+	// Snapshot copies the hierarchy's structural state for the audit
+	// layer's invariant checks and diffable JSON dumps.
+	Snapshot() *audit.CPUSnapshot
 }
 
 // Protocol selects the bus coherence protocol.

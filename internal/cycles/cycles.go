@@ -24,6 +24,7 @@ import (
 	"fmt"
 
 	"repro/internal/bus"
+	"repro/internal/monitor"
 	"repro/internal/probe"
 	"repro/internal/stats"
 )
@@ -125,6 +126,7 @@ type agent struct {
 type Engine struct {
 	p      Params
 	pr     *probe.Probe
+	lat    *monitor.Latencies
 	agents []agent
 
 	busFree uint64 // global cycle at which the bus next falls idle
@@ -154,6 +156,14 @@ func MustNew(p Params, pr *probe.Probe) *Engine {
 
 // Params returns the engine's latency configuration.
 func (e *Engine) Params() Params { return e.p }
+
+// SetLatencies attaches a latency-distribution collector. lat may be nil
+// (the default): every recording site calls the collector's nil-safe Record,
+// so distributions cost one branch per charge when disabled.
+func (e *Engine) SetLatencies(lat *monitor.Latencies) { e.lat = lat }
+
+// Latencies returns the attached collector (nil when distributions are off).
+func (e *Engine) Latencies() *monitor.Latencies { return e.lat }
 
 // Reset zeroes all clocks and counters (steady-state measurement), keeping
 // the parameters and any grown agent table.
@@ -204,6 +214,9 @@ func (e *Engine) OnTxn(t bus.Txn) {
 	grant := a.clock
 	if e.busFree > grant {
 		grant = e.busFree
+	}
+	if e.p.Contention {
+		e.lat.Record(t.From, monitor.LatBusWait, grant-a.clock)
 	}
 	if e.p.Contention && grant > a.clock {
 		wait := grant - a.clock
@@ -304,6 +317,7 @@ func (c *CPU) EndAccess(kind stats.AccessKind, level int) {
 	a.clock += d
 	a.refs++
 	a.bd.Access += d
+	c.e.lat.Record(c.id, monitor.LatAccess, d)
 	c.e.emit(c.id, probe.EvTimeAccess, kind, d)
 }
 
@@ -347,6 +361,7 @@ func (c *CPU) BusWrite() {
 	e.busFree = grant + e.p.BusWBOcc
 	e.busBusy += e.p.BusWBOcc
 	e.busTxns++
+	e.lat.Record(c.id, monitor.LatWBDrain, (grant-at)+e.p.BusWBOcc)
 }
 
 // WBStall stalls the processor until the bus is idle: the write buffer was
@@ -364,5 +379,6 @@ func (c *CPU) WBStall() {
 	wait := e.busFree - a.clock
 	a.clock = e.busFree
 	a.bd.Stall += wait
+	e.lat.Record(c.id, monitor.LatWBStall, wait)
 	e.emit(c.id, probe.EvTimeWBStall, 0, wait)
 }

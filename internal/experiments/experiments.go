@@ -39,6 +39,7 @@ func All() []Experiment {
 		{"timedthor", "Section 4, measured: analytic vs cycle-measured Tacc under bus contention (thor)", TimedThor},
 		{"timedpops", "Section 4, measured: analytic vs cycle-measured Tacc under bus contention (pops)", TimedPops},
 		{"timedabaqus", "Section 4, measured: analytic vs cycle-measured Tacc under bus contention (abaqus)", TimedAbaqus},
+		{"timedhist", "Section 4, measured: latency distributions under bus contention (pops)", TimedHist},
 		{"table8", "Table 8: split vs unified level-1 hit ratios (thor)", Table8},
 		{"table9", "Table 9: split vs unified level-1 hit ratios (pops)", Table9},
 		{"table10", "Table 10: split vs unified level-1 hit ratios (abaqus)", Table10},

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cycles"
+	"repro/internal/monitor"
+	"repro/internal/report"
+	"repro/internal/system"
+	"repro/internal/tracegen"
+)
+
+// TimedHist prints the per-reference latency distributions the cycle engine
+// measures under bus contention: for each organization at 4 CPUs, the
+// access-time, bus-wait and write-back-drain histograms summarized as
+// count/mean/p50/p95/p99/max. The closed form of Section 4 predicts only
+// the mean; the quantile spread is the contention effect the average hides
+// (most references hit at t1, the tail waits on the bus).
+func TimedHist(w io.Writer, scale float64) error {
+	tc := scaled(tracegen.PopsLike(), scale)
+	tc.CPUs = 4
+	p := mainSizePairs()[2] // 16K/256K
+	cp := cycles.ContentionParams()
+	fmt.Fprintf(w, "latency distributions under bus contention (%s, %d CPUs, sizes %s)\n",
+		tc.Name, tc.CPUs, p.label)
+	fmt.Fprintf(w, "latencies t1=%d t2=%d tm=%d; bus occupancy mem=%d ctrl=%d wb=%d cycles\n\n",
+		cp.T1, cp.T2, cp.TM, cp.BusMemOcc, cp.BusCtrlOcc, cp.BusWBOcc)
+	orgs := []system.Organization{system.VR, system.RRInclusion, system.RRNoInclusion}
+	engines := make([]*cycles.Engine, len(orgs))
+	scs := make([]system.Config, len(orgs))
+	for i, org := range orgs {
+		engines[i] = cycles.MustNew(cp, nil)
+		engines[i].SetLatencies(monitor.NewLatencies(tc.CPUs))
+		scs[i] = machineConfig(tc, p, org)
+		scs[i].Cycles = engines[i]
+	}
+	if _, err := runSweep(tc, scs); err != nil {
+		return err
+	}
+	for i, org := range orgs {
+		fmt.Fprintf(w, "%s:\n", org)
+		fmt.Fprintf(w, "  %-10s %-10s %-8s %-8s %-8s %-8s %s\n",
+			"kind", "count", "mean", "p50", "p95", "p99", "max")
+		for _, s := range report.SummarizeLatencies(engines[i].Latencies()) {
+			fmt.Fprintf(w, "  %-10s %-10d %-8.2f %-8.1f %-8.1f %-8.1f %d\n",
+				s.Kind, s.Count, s.Mean, s.P50, s.P95, s.P99, s.Max)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+// Package monitor is the simulator's live introspection layer: fixed-bucket
+// latency histograms fed by the cycle engine (p50/p95/p99 of access,
+// bus-wait and write-back-drain cycles), per-set occupancy summaries
+// computed from audit snapshots, and an optional HTTP server exposing
+// windowed metrics, audit results and Prometheus-style text while a run is
+// in flight.
+//
+// Histograms follow the hot path's zero-allocation discipline: a Histogram
+// is a value type over fixed arrays, Record is branch-and-increment only,
+// and the per-CPU sets are pre-sized, so enabling distributions adds no
+// per-reference allocation (alloc_test.go enforces this).
+package monitor
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Bucketing: cycle latencies cluster at small values (t1 = 1, t2 = 4,
+// tm = 20) with a contention tail, so values below exactBuckets get one
+// bucket each — exact quantiles where precision matters — and the tail
+// falls into one bucket per power of two.
+const (
+	exactBuckets = 64
+	logBuckets   = 58 // bit lengths 7..64: everything up to 1<<64 - 1
+	// NumBuckets is the fixed bucket count of every Histogram.
+	NumBuckets = exactBuckets + logBuckets
+)
+
+// bucketIndex maps a value to its bucket.
+func bucketIndex(v uint64) int {
+	if v < exactBuckets {
+		return int(v)
+	}
+	return exactBuckets + bits.Len64(v) - 7
+}
+
+// bucketLo returns the smallest value bucket i holds.
+func bucketLo(i int) uint64 {
+	if i < exactBuckets {
+		return uint64(i)
+	}
+	return 1 << (i - exactBuckets + 6)
+}
+
+// bucketHi returns the largest value bucket i holds.
+func bucketHi(i int) uint64 {
+	if i < exactBuckets {
+		return uint64(i)
+	}
+	return bucketLo(i)<<1 - 1
+}
+
+// Histogram is a fixed-bucket distribution of uint64 samples (cycle
+// counts). It is a value type: assignment copies it, the zero value is
+// ready to use, and Record never allocates.
+type Histogram struct {
+	buckets [NumBuckets]uint64
+	count   uint64
+	sum     uint64
+	max     uint64
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(v uint64) {
+	h.buckets[bucketIndex(v)]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() uint64 { return h.sum }
+
+// Max returns the largest sample (0 when empty).
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Mean returns the average sample (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) by nearest rank: exact
+// for samples below exactBuckets, linearly interpolated within the
+// power-of-two tail buckets.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	q = math.Min(math.Max(q, 0), 1)
+	rank := uint64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i := 0; i < NumBuckets; i++ {
+		n := h.buckets[i]
+		if n == 0 {
+			continue
+		}
+		cum += n
+		if cum < rank {
+			continue
+		}
+		if i < exactBuckets {
+			return float64(i)
+		}
+		lo, hi := bucketLo(i), bucketHi(i)
+		if hi > h.max {
+			hi = h.max // the tail bucket cannot extend past the largest sample
+		}
+		pos := float64(rank-(cum-n)) / float64(n)
+		return float64(lo) + pos*float64(hi-lo)
+	}
+	return float64(h.max)
+}
+
+// Merge folds another histogram into this one.
+func (h *Histogram) Merge(o *Histogram) {
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// ForEachBucket visits every non-empty bucket in value order with its
+// inclusive bounds (exposition formats want the raw distribution).
+func (h *Histogram) ForEachBucket(fn func(lo, hi, count uint64)) {
+	for i := 0; i < NumBuckets; i++ {
+		if h.buckets[i] != 0 {
+			fn(bucketLo(i), bucketHi(i), h.buckets[i])
+		}
+	}
+}

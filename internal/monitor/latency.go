@@ -1,0 +1,115 @@
+package monitor
+
+import "fmt"
+
+// LatencyKind names one measured per-reference latency distribution.
+type LatencyKind int
+
+// The distributions the cycle engine feeds (see cycles.Engine.SetLatencies).
+const (
+	// LatAccess is the per-reference service time (t1, t2 or tm).
+	LatAccess LatencyKind = iota
+	// LatBusWait is the bus queueing delay charged to a requester per timed
+	// foreground transaction (0 when the bus was free).
+	LatBusWait
+	// LatWBDrain is a background write-back's request-to-clear time on the
+	// bus: queueing plus occupancy.
+	LatWBDrain
+	// LatWBStall is the processor stall on a buffer-full push or coherence
+	// flush, waiting for the pending write-back to clear the bus.
+	LatWBStall
+
+	// NumLatencyKinds bounds the enum for fixed per-CPU tables.
+	NumLatencyKinds
+)
+
+var latencyNames = [NumLatencyKinds]string{
+	LatAccess:  "access",
+	LatBusWait: "bus-wait",
+	LatWBDrain: "wb-drain",
+	LatWBStall: "wb-stall",
+}
+
+// String returns the kind's stable label (used in reports and exposition).
+func (k LatencyKind) String() string {
+	if k < 0 || k >= NumLatencyKinds {
+		return fmt.Sprintf("LatencyKind(%d)", int(k))
+	}
+	return latencyNames[k]
+}
+
+// latencySet is one CPU's histograms, a fixed array so the whole set is one
+// allocation and copies by assignment.
+type latencySet [NumLatencyKinds]Histogram
+
+// Latencies holds per-CPU latency histograms. A nil *Latencies is a valid
+// no-op receiver (the repo's nil-check pattern): the cycle engine records
+// unconditionally and pays one branch when distributions are off.
+type Latencies struct {
+	cpus []latencySet
+}
+
+// NewLatencies pre-sizes a collector for the given CPU count. Recording
+// against a larger id still works (the table grows), but pre-sizing keeps
+// the hot path allocation-free.
+func NewLatencies(cpus int) *Latencies {
+	if cpus < 1 {
+		cpus = 1
+	}
+	return &Latencies{cpus: make([]latencySet, cpus)}
+}
+
+// Record adds one sample for (cpu, kind). Nil-safe and allocation-free for
+// ids within the pre-sized range.
+func (l *Latencies) Record(cpu int, k LatencyKind, v uint64) {
+	if l == nil {
+		return
+	}
+	if cpu < 0 {
+		cpu = 0
+	}
+	for cpu >= len(l.cpus) {
+		l.cpus = append(l.cpus, latencySet{})
+	}
+	l.cpus[cpu][k].Record(v)
+}
+
+// CPUs returns the number of per-CPU slots.
+func (l *Latencies) CPUs() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.cpus)
+}
+
+// Hist returns the histogram for (cpu, kind), nil when out of range.
+func (l *Latencies) Hist(cpu int, k LatencyKind) *Histogram {
+	if l == nil || cpu < 0 || cpu >= len(l.cpus) || k < 0 || k >= NumLatencyKinds {
+		return nil
+	}
+	return &l.cpus[cpu][k]
+}
+
+// Aggregate returns the machine-wide histogram for one kind (a merged
+// copy).
+func (l *Latencies) Aggregate(k LatencyKind) Histogram {
+	var out Histogram
+	if l == nil {
+		return out
+	}
+	for i := range l.cpus {
+		out.Merge(&l.cpus[i][k])
+	}
+	return out
+}
+
+// Clone deep-copies the collector — the publish path hands immutable copies
+// to the HTTP server so handlers never race the simulation.
+func (l *Latencies) Clone() *Latencies {
+	if l == nil {
+		return nil
+	}
+	c := &Latencies{cpus: make([]latencySet, len(l.cpus))}
+	copy(c.cpus, l.cpus)
+	return c
+}

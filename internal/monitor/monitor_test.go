@@ -1,0 +1,357 @@
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/probe"
+)
+
+func TestBucketBoundsRoundTrip(t *testing.T) {
+	for i := 0; i < NumBuckets; i++ {
+		lo, hi := bucketLo(i), bucketHi(i)
+		if bucketIndex(lo) != i {
+			t.Fatalf("bucket %d: lo %d maps to bucket %d", i, lo, bucketIndex(lo))
+		}
+		if bucketIndex(hi) != i {
+			t.Fatalf("bucket %d: hi %d maps to bucket %d", i, hi, bucketIndex(hi))
+		}
+		if i > 0 && bucketLo(i) != bucketHi(i-1)+1 {
+			t.Fatalf("bucket %d: gap between %d and %d", i, bucketHi(i-1), bucketLo(i))
+		}
+	}
+	if got := bucketIndex(math.MaxUint64); got != NumBuckets-1 {
+		t.Fatalf("MaxUint64 maps to bucket %d, want %d", got, NumBuckets-1)
+	}
+}
+
+func TestHistogramExactQuantiles(t *testing.T) {
+	var h Histogram
+	// 100 samples of the service times the engine actually charges.
+	for i := 0; i < 90; i++ {
+		h.Record(1) // t1
+	}
+	for i := 0; i < 8; i++ {
+		h.Record(4) // t2
+	}
+	h.Record(20) // tm
+	h.Record(20)
+
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if want := uint64(90*1 + 8*4 + 2*20); h.Sum() != want {
+		t.Fatalf("sum = %d, want %d", h.Sum(), want)
+	}
+	if h.Max() != 20 {
+		t.Fatalf("max = %d", h.Max())
+	}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0.5, 1}, {0.9, 1}, {0.95, 4}, {0.98, 4}, {0.99, 20}, {1.0, 20},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+}
+
+func TestHistogramTailClampedToMax(t *testing.T) {
+	var h Histogram
+	h.Record(100) // bucket [64,127]
+	// p99 of a single sample must be the sample, not the bucket upper bound.
+	if got := h.Quantile(0.99); got != 100 {
+		t.Fatalf("Quantile(0.99) = %g, want 100", got)
+	}
+	if got := h.Quantile(0.01); got < 64 || got > 100 {
+		t.Fatalf("Quantile(0.01) = %g, outside [64,100]", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Max() != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Record(1)
+	a.Record(2)
+	b.Record(300)
+	a.Merge(&b)
+	if a.Count() != 3 || a.Sum() != 303 || a.Max() != 300 {
+		t.Fatalf("merge: count=%d sum=%d max=%d", a.Count(), a.Sum(), a.Max())
+	}
+	var buckets int
+	a.ForEachBucket(func(lo, hi, n uint64) { buckets++ })
+	if buckets != 3 {
+		t.Fatalf("non-empty buckets = %d, want 3", buckets)
+	}
+}
+
+func TestLatenciesNilSafe(t *testing.T) {
+	var l *Latencies
+	l.Record(0, LatAccess, 5) // must not panic
+	if l.CPUs() != 0 {
+		t.Fatal("nil CPUs")
+	}
+	if l.Hist(0, LatAccess) != nil {
+		t.Fatal("nil Hist must be nil")
+	}
+	if h := l.Aggregate(LatAccess); h.Count() != 0 {
+		t.Fatal("nil Aggregate must be empty")
+	}
+	if l.Clone() != nil {
+		t.Fatal("nil Clone must be nil")
+	}
+}
+
+func TestLatenciesRecordAndAggregate(t *testing.T) {
+	l := NewLatencies(2)
+	l.Record(0, LatAccess, 1)
+	l.Record(1, LatAccess, 4)
+	l.Record(1, LatBusWait, 7)
+	l.Record(3, LatWBDrain, 9) // beyond pre-size: grows
+
+	if l.CPUs() != 4 {
+		t.Fatalf("CPUs = %d, want 4", l.CPUs())
+	}
+	if h := l.Hist(1, LatAccess); h == nil || h.Count() != 1 || h.Sum() != 4 {
+		t.Fatal("Hist(1, access) wrong")
+	}
+	agg := l.Aggregate(LatAccess)
+	if agg.Count() != 2 || agg.Sum() != 5 {
+		t.Fatalf("aggregate access: count=%d sum=%d", agg.Count(), agg.Sum())
+	}
+
+	c := l.Clone()
+	c.Record(0, LatAccess, 100)
+	if after := l.Aggregate(LatAccess); after.Count() != 2 {
+		t.Fatal("Clone must not share storage")
+	}
+}
+
+func TestLatencyKindStrings(t *testing.T) {
+	want := []string{"access", "bus-wait", "wb-drain", "wb-stall"}
+	for k := LatencyKind(0); k < NumLatencyKinds; k++ {
+		if k.String() != want[k] {
+			t.Fatalf("kind %d = %q, want %q", k, k.String(), want[k])
+		}
+	}
+	if !strings.Contains(LatencyKind(99).String(), "99") {
+		t.Fatal("out-of-range String must include the value")
+	}
+}
+
+func testSnapshot() *audit.Snapshot {
+	return &audit.Snapshot{
+		Organization: "vr",
+		Refs:         1000,
+		CPUs: []*audit.CPUSnapshot{{
+			CPU: 0, Virtual: true, Inclusive: true,
+			L1Block: 16, L2Block: 32,
+			RSets: 2, RWays: 2,
+			VCaches: []audit.VCacheSnapshot{{
+				Cache: 0, Sets: 2, Ways: 2,
+				Lines: []audit.VLine{
+					{Set: 0, Way: 0}, {Set: 0, Way: 1}, {Set: 1, Way: 0},
+				},
+			}},
+			RLines: []audit.RLine{
+				{Set: 0, Way: 0, State: audit.StatePrivate},
+				{Set: 1, Way: 0, State: "shared"},
+			},
+		}},
+	}
+}
+
+func TestOccupancy(t *testing.T) {
+	if Occupancy(nil) != nil {
+		t.Fatal("nil snapshot must yield nil")
+	}
+	occ := Occupancy(testSnapshot())
+	if len(occ) != 2 {
+		t.Fatalf("summaries = %d, want 2 (V0, R)", len(occ))
+	}
+	v0 := occ[0]
+	if v0.Level != "V0" || v0.Lines != 3 || v0.FullSets != 1 || v0.MeanSet != 1.5 {
+		t.Fatalf("V0 summary wrong: %+v", v0)
+	}
+	r := occ[1]
+	if r.Level != "R" || r.Lines != 2 || r.FullSets != 0 || r.MeanSet != 1.0 {
+		t.Fatalf("R summary wrong: %+v", r)
+	}
+}
+
+func TestOccupancyNoInclusionLevels(t *testing.T) {
+	snap := &audit.Snapshot{CPUs: []*audit.CPUSnapshot{{
+		CPU: 1, L1Sets: 4, L1Ways: 1, RSets: 4, RWays: 2,
+		L1Lines: []audit.L1Line{{Set: 0, Way: 0}, {Set: 2, Way: 0}},
+	}}}
+	occ := Occupancy(snap)
+	if len(occ) != 2 || occ[0].Level != "L1" || occ[1].Level != "R" {
+		t.Fatalf("levels wrong: %+v", occ)
+	}
+	if occ[0].Lines != 2 || occ[0].FullSets != 2 {
+		t.Fatalf("L1 summary wrong: %+v", occ[0])
+	}
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	srv, err := Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	// Before any Publish: metrics is empty but OK, snapshot/state are 503.
+	if code, _ := get(t, base+"/state"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/state before publish: %d", code)
+	}
+	if code, _ := get(t, base+"/snapshot"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/snapshot before publish: %d", code)
+	}
+
+	lat := NewLatencies(1)
+	for i := 0; i < 100; i++ {
+		lat.Record(0, LatAccess, 1)
+	}
+	lat.Record(0, LatBusWait, 12)
+	snap := testSnapshot()
+	var sb strings.Builder
+	if err := snap.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	srv.Publish(State{
+		Refs:   1000,
+		Events: map[string]uint64{"l1-hit": 900, "l1-miss": 100},
+		Window: &probe.WindowMetrics{
+			Index: 3, L1Hits: 90, L1Misses: 10, BusTxns: 12,
+			FirstRef: 900, LastRef: 999,
+		},
+		Latencies:  lat.Clone(),
+		Occupancy:  Occupancy(snap),
+		Audits:     4,
+		Violations: 0,
+		Snapshot:   []byte(sb.String()),
+	})
+
+	code, metrics := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: %d", code)
+	}
+	for _, want := range []string{
+		"vrsim_references 1000",
+		`vrsim_events_total{kind="l1-hit"} 900`,
+		`vrsim_latency_cycles{kind="access",quantile="0.5"} 1`,
+		`vrsim_latency_cycles_count{kind="access"} 100`,
+		`vrsim_latency_cycles{kind="bus-wait",quantile="0.99"} 12`,
+		`vrsim_occupancy_lines{cpu="0",level="V0"} 3`,
+		"vrsim_audit_audits_total 4",
+		"vrsim_audit_violations_total 0",
+		"vrsim_window_l1_hit_ratio 0.9",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q\n%s", want, metrics)
+		}
+	}
+
+	code, body := get(t, base+"/snapshot")
+	if code != http.StatusOK {
+		t.Fatalf("/snapshot: %d", code)
+	}
+	if _, err := audit.ParseJSON(strings.NewReader(body)); err != nil {
+		t.Fatalf("/snapshot not a parseable snapshot: %v", err)
+	}
+
+	code, body = get(t, base+"/state")
+	if code != http.StatusOK {
+		t.Fatalf("/state: %d", code)
+	}
+	var st map[string]any
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("/state not JSON: %v", err)
+	}
+	if st["references"] != float64(1000) {
+		t.Fatalf("/state references = %v", st["references"])
+	}
+
+	if code, body := get(t, base+"/debug/vars"); code != http.StatusOK ||
+		!strings.Contains(body, "vrsim") {
+		t.Fatalf("/debug/vars: %d, vrsim published = %v", code,
+			strings.Contains(body, "vrsim"))
+	}
+	if code, _ := get(t, base+"/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline: %d", code)
+	}
+	if code, body := get(t, base+"/"); code != http.StatusOK ||
+		!strings.Contains(body, "/metrics") {
+		t.Fatalf("index: %d", code)
+	}
+	if code, _ := get(t, base+"/no-such"); code != http.StatusNotFound {
+		t.Fatal("unknown path must 404")
+	}
+}
+
+func TestMetricsSortedDeterministic(t *testing.T) {
+	srv, err := Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.Publish(State{
+		Refs:   1,
+		Events: map[string]uint64{"b": 2, "a": 1, "c": 3},
+	})
+	base := "http://" + srv.Addr()
+	_, first := get(t, base+"/metrics")
+	for i := 0; i < 5; i++ {
+		if _, again := get(t, base+"/metrics"); again != first {
+			t.Fatalf("iteration %d: /metrics output not deterministic", i)
+		}
+	}
+	ia := strings.Index(first, `kind="a"`)
+	ib := strings.Index(first, `kind="b"`)
+	ic := strings.Index(first, `kind="c"`)
+	if ia < 0 || ib < 0 || ic < 0 || !(ia < ib && ib < ic) {
+		t.Fatalf("event keys not sorted: a=%d b=%d c=%d", ia, ib, ic)
+	}
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(uint64(i & 0xff))
+	}
+	if h.Count() == 0 {
+		b.Fatal("no samples")
+	}
+	_ = fmt.Sprintf("%d", h.Sum())
+}

@@ -1,0 +1,73 @@
+package monitor
+
+import (
+	"fmt"
+
+	"repro/internal/audit"
+)
+
+// OccupancySummary describes how full one cache's sets are at snapshot
+// time: total resident lines, the mean per set, and how many sets are
+// completely full (replacement pressure).
+type OccupancySummary struct {
+	CPU      int     `json:"cpu"`
+	Level    string  `json:"level"` // "V0", "V1", "L1", "R"
+	Sets     int     `json:"sets"`
+	Ways     int     `json:"ways"`
+	Lines    int     `json:"lines"`
+	MeanSet  float64 `json:"meanPerSet"`
+	FullSets int     `json:"fullSets"`
+}
+
+func summarize(cpu int, level string, sets, ways int, lineSets []int) OccupancySummary {
+	s := OccupancySummary{CPU: cpu, Level: level, Sets: sets, Ways: ways, Lines: len(lineSets)}
+	if sets <= 0 || ways <= 0 {
+		return s
+	}
+	perSet := make([]int, sets)
+	for _, set := range lineSets {
+		if set >= 0 && set < sets {
+			perSet[set]++
+		}
+	}
+	for _, n := range perSet {
+		if n >= ways {
+			s.FullSets++
+		}
+	}
+	s.MeanSet = float64(len(lineSets)) / float64(sets)
+	return s
+}
+
+// Occupancy computes per-cache occupancy summaries from an audit snapshot —
+// one entry per cache per CPU, in CPU order.
+func Occupancy(snap *audit.Snapshot) []OccupancySummary {
+	if snap == nil {
+		return nil
+	}
+	var out []OccupancySummary
+	for _, cs := range snap.CPUs {
+		for vi := range cs.VCaches {
+			vc := &cs.VCaches[vi]
+			sets := make([]int, 0, len(vc.Lines))
+			for i := range vc.Lines {
+				sets = append(sets, vc.Lines[i].Set)
+			}
+			out = append(out, summarize(cs.CPU, fmt.Sprintf("V%d", vc.Cache),
+				vc.Sets, vc.Ways, sets))
+		}
+		if len(cs.L1Lines) > 0 || cs.L1Sets > 0 {
+			sets := make([]int, 0, len(cs.L1Lines))
+			for i := range cs.L1Lines {
+				sets = append(sets, cs.L1Lines[i].Set)
+			}
+			out = append(out, summarize(cs.CPU, "L1", cs.L1Sets, cs.L1Ways, sets))
+		}
+		rsets := make([]int, 0, len(cs.RLines))
+		for i := range cs.RLines {
+			rsets = append(rsets, cs.RLines[i].Set)
+		}
+		out = append(out, summarize(cs.CPU, "R", cs.RSets, cs.RWays, rsets))
+	}
+	return out
+}

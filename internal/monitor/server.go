@@ -1,0 +1,208 @@
+package monitor
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"sync"
+
+	"repro/internal/probe"
+)
+
+// State is one published view of a running simulation. The simulation
+// goroutine builds a State from immutable copies (cloned histograms,
+// marshaled snapshot bytes) and hands it to Publish; HTTP handlers only
+// ever read published States, so introspection never races the hot path.
+type State struct {
+	Refs      uint64               `json:"references"`
+	Events    map[string]uint64    `json:"events,omitempty"`
+	Window    *probe.WindowMetrics `json:"window,omitempty"`
+	Latencies *Latencies           `json:"-"`
+	Occupancy []OccupancySummary   `json:"occupancy,omitempty"`
+
+	Audits     uint64 `json:"audits,omitempty"`
+	Violations uint64 `json:"violations,omitempty"`
+	// Snapshot is the latest audit snapshot, already marshaled to JSON.
+	Snapshot []byte `json:"-"`
+}
+
+// expvar's registry is process-global and rejects duplicate names, so the
+// published state lives in one package-level slot no matter how many
+// servers a process (or test) starts.
+var (
+	expvarMu    sync.Mutex
+	expvarSt    *State
+	expvarSetup sync.Once
+)
+
+func publishExpvar(st *State) {
+	expvarSetup.Do(func() {
+		expvar.Publish("vrsim", expvar.Func(func() any {
+			expvarMu.Lock()
+			defer expvarMu.Unlock()
+			return expvarSt
+		}))
+	})
+	expvarMu.Lock()
+	expvarSt = st
+	expvarMu.Unlock()
+}
+
+// Server exposes a running simulation over HTTP: a Prometheus-style text
+// exposition at /metrics, the latest audit snapshot at /snapshot, the raw
+// published state at /state, plus the standard expvar and pprof debug
+// endpoints.
+type Server struct {
+	mu    sync.Mutex
+	state *State
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Start listens on addr ("host:port"; ":0" picks a free port) and serves
+// until Close. The returned server has no state until the first Publish.
+func Start(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("monitor: %w", err)
+	}
+	s := &Server{ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/state", s.handleState)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return s, nil
+}
+
+// Addr returns the server's bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Publish replaces the served state. The caller must not mutate st or
+// anything it references afterwards; build it from clones.
+func (s *Server) Publish(st State) {
+	s.mu.Lock()
+	s.state = &st
+	s.mu.Unlock()
+	publishExpvar(&st)
+}
+
+// Close stops the server.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func (s *Server) snapshotState() *State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	fmt.Fprint(w, `vrsim monitor
+/metrics     Prometheus-style text exposition
+/snapshot    latest audit state snapshot (JSON)
+/state       latest published state (JSON)
+/debug/vars  expvar
+/debug/pprof profiling
+`)
+}
+
+func (s *Server) handleState(w http.ResponseWriter, _ *http.Request) {
+	st := s.snapshotState()
+	if st == nil {
+		http.Error(w, "no state published yet", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(st) //nolint:errcheck // best-effort write to a live client
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	st := s.snapshotState()
+	if st == nil || len(st.Snapshot) == 0 {
+		http.Error(w, "no snapshot published yet", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(st.Snapshot) //nolint:errcheck
+}
+
+// quantiles exposed per latency kind.
+var exportQuantiles = []float64{0.5, 0.95, 0.99}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := s.snapshotState()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if st == nil {
+		return
+	}
+	fmt.Fprintf(w, "# TYPE vrsim_references counter\nvrsim_references %d\n", st.Refs)
+	if len(st.Events) > 0 {
+		keys := make([]string, 0, len(st.Events))
+		for k := range st.Events {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprint(w, "# TYPE vrsim_events_total counter\n")
+		for _, k := range keys {
+			fmt.Fprintf(w, "vrsim_events_total{kind=%q} %d\n", k, st.Events[k])
+		}
+	}
+	if win := st.Window; win != nil {
+		fmt.Fprint(w, "# TYPE vrsim_window_l1_hit_ratio gauge\n")
+		fmt.Fprintf(w, "vrsim_window_l1_hit_ratio %g\n", win.L1Ratio())
+		fmt.Fprint(w, "# TYPE vrsim_window_l2_hit_ratio gauge\n")
+		fmt.Fprintf(w, "vrsim_window_l2_hit_ratio %g\n", win.L2Ratio())
+		fmt.Fprint(w, "# TYPE vrsim_window_synonym_rate gauge\n")
+		fmt.Fprintf(w, "vrsim_window_synonym_rate %g\n", win.SynonymRate())
+		fmt.Fprint(w, "# TYPE vrsim_window_bus_txns_per_ref gauge\n")
+		fmt.Fprintf(w, "vrsim_window_bus_txns_per_ref %g\n", win.BusOccupancy())
+	}
+	if l := st.Latencies; l != nil {
+		fmt.Fprint(w, "# TYPE vrsim_latency_cycles summary\n")
+		for k := LatencyKind(0); k < NumLatencyKinds; k++ {
+			h := l.Aggregate(k)
+			if h.Count() == 0 {
+				continue
+			}
+			for _, q := range exportQuantiles {
+				fmt.Fprintf(w, "vrsim_latency_cycles{kind=%q,quantile=\"%g\"} %g\n",
+					k.String(), q, h.Quantile(q))
+			}
+			fmt.Fprintf(w, "vrsim_latency_cycles_sum{kind=%q} %d\n", k.String(), h.Sum())
+			fmt.Fprintf(w, "vrsim_latency_cycles_count{kind=%q} %d\n", k.String(), h.Count())
+		}
+	}
+	if len(st.Occupancy) > 0 {
+		fmt.Fprint(w, "# TYPE vrsim_occupancy_lines gauge\n")
+		for _, o := range st.Occupancy {
+			fmt.Fprintf(w, "vrsim_occupancy_lines{cpu=\"%d\",level=%q} %d\n",
+				o.CPU, o.Level, o.Lines)
+		}
+		fmt.Fprint(w, "# TYPE vrsim_occupancy_full_sets gauge\n")
+		for _, o := range st.Occupancy {
+			fmt.Fprintf(w, "vrsim_occupancy_full_sets{cpu=\"%d\",level=%q} %d\n",
+				o.CPU, o.Level, o.FullSets)
+		}
+	}
+	fmt.Fprintf(w, "# TYPE vrsim_audit_audits_total counter\nvrsim_audit_audits_total %d\n", st.Audits)
+	fmt.Fprintf(w, "# TYPE vrsim_audit_violations_total counter\nvrsim_audit_violations_total %d\n", st.Violations)
+}

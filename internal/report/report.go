@@ -7,9 +7,11 @@ import (
 	"encoding/json"
 	"io"
 
+	"repro/internal/audit"
 	"repro/internal/bus"
 	"repro/internal/core"
 	"repro/internal/cycles"
+	"repro/internal/monitor"
 	"repro/internal/probe"
 	"repro/internal/system"
 )
@@ -83,16 +85,47 @@ type ProbeReport struct {
 	Windows []probe.WindowMetrics `json:"windows,omitempty"`
 }
 
+// AuditReport carries the invariant auditor's tally when one was attached:
+// how many audits ran, how many violations they found, and the retained
+// findings (capped — Violations keeps counting past the cap).
+type AuditReport struct {
+	Every      uint64            `json:"every,omitempty"` // audit period, references
+	Audits     uint64            `json:"audits"`
+	Violations uint64            `json:"violations"`
+	Findings   []audit.Violation `json:"findings,omitempty"`
+}
+
+// LatencySummary is one latency distribution's headline numbers, in cycles.
+type LatencySummary struct {
+	Kind  string  `json:"kind"`
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Max   uint64  `json:"max"`
+}
+
+// MonitorReport carries the live-monitoring layer's output: machine-wide
+// latency distribution summaries (fed by the cycle engine) and per-cache
+// occupancy at the end of the run.
+type MonitorReport struct {
+	Latency   []LatencySummary           `json:"latency,omitempty"`
+	Occupancy []monitor.OccupancySummary `json:"occupancy,omitempty"`
+}
+
 // Results is a complete run summary.
 type Results struct {
-	Machine Machine       `json:"machine"`
-	Refs    uint64        `json:"references"`
-	L1      HitRatios     `json:"l1"`
-	L2      HitRatios     `json:"l2"`
-	Bus     BusStats      `json:"bus"`
-	PerCPU  []CPUStats    `json:"perCPU"`
-	Timing  *TimingReport `json:"timing,omitempty"`
-	Probe   *ProbeReport  `json:"probe,omitempty"`
+	Machine Machine        `json:"machine"`
+	Refs    uint64         `json:"references"`
+	L1      HitRatios      `json:"l1"`
+	L2      HitRatios      `json:"l2"`
+	Bus     BusStats       `json:"bus"`
+	PerCPU  []CPUStats     `json:"perCPU"`
+	Timing  *TimingReport  `json:"timing,omitempty"`
+	Probe   *ProbeReport   `json:"probe,omitempty"`
+	Audit   *AuditReport   `json:"audit,omitempty"`
+	Monitor *MonitorReport `json:"monitor,omitempty"`
 }
 
 // AddWindows attaches windowed metrics to the probe section (creating it
@@ -105,6 +138,31 @@ func (r *Results) AddWindows(ws []probe.WindowMetrics) {
 		r.Probe = &ProbeReport{}
 	}
 	r.Probe.Windows = ws
+}
+
+// SummarizeLatencies reduces per-CPU latency histograms to machine-wide
+// summaries, one per kind that recorded any sample, in kind order.
+func SummarizeLatencies(lat *monitor.Latencies) []LatencySummary {
+	if lat == nil {
+		return nil
+	}
+	var out []LatencySummary
+	for k := monitor.LatencyKind(0); k < monitor.NumLatencyKinds; k++ {
+		h := lat.Aggregate(k)
+		if h.Count() == 0 {
+			continue
+		}
+		out = append(out, LatencySummary{
+			Kind:  k.String(),
+			Count: h.Count(),
+			Mean:  h.Mean(),
+			P50:   h.Quantile(0.50),
+			P95:   h.Quantile(0.95),
+			P99:   h.Quantile(0.99),
+			Max:   h.Max(),
+		})
+	}
+	return out
 }
 
 // FromSystem gathers a Results from a finished run.
@@ -156,6 +214,20 @@ func FromSystem(sys *system.System, cfg system.Config) Results {
 			tr.PerCPU = append(tr.PerCPU, CPUTiming{CPU: cpu, Tacc: at.Tacc(), AgentTiming: at})
 		}
 		r.Timing = tr
+	}
+	if aud := sys.Auditor(); aud != nil {
+		r.Audit = &AuditReport{
+			Every:      aud.Every(),
+			Audits:     aud.Audits(),
+			Violations: aud.Total(),
+			Findings:   aud.Violations(),
+		}
+	}
+	if eng := sys.Cycles(); eng != nil && eng.Latencies() != nil {
+		r.Monitor = &MonitorReport{
+			Latency:   SummarizeLatencies(eng.Latencies()),
+			Occupancy: monitor.Occupancy(sys.AuditSnapshot()),
+		}
 	}
 	for cpu := 0; cpu < sys.CPUs(); cpu++ {
 		st := sys.Stats(cpu)

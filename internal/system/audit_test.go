@@ -1,0 +1,101 @@
+package system
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/cache"
+	"repro/internal/tracegen"
+)
+
+// TestAuditCleanAcrossConfigs runs every preset through every organization
+// at several CPU counts with the auditor ticking, and requires zero
+// violations: the real machine never breaks its own invariants, so any
+// auditor finding on these runs is an auditor bug (or a real one).
+func TestAuditCleanAcrossConfigs(t *testing.T) {
+	presets := []func() tracegen.Config{
+		tracegen.PopsLike, tracegen.ThorLike, tracegen.AbaqusLike,
+	}
+	orgs := []Organization{VR, RRInclusion, RRNoInclusion}
+	for _, preset := range presets {
+		for _, org := range orgs {
+			for _, cpus := range []int{1, 2, 4} {
+				tc := preset().Scaled(0.01)
+				tc.CPUs = cpus
+				t.Run(fmt.Sprintf("%s/%v/%dcpu", tc.Name, org, cpus), func(t *testing.T) {
+					aud := audit.New(500)
+					sys, err := New(Config{
+						CPUs:         cpus,
+						Organization: org,
+						PageSize:     tc.PageSize,
+						L1:           cache.Geometry{Size: 4 << 10, Block: 16, Assoc: 1},
+						L2:           cache.Geometry{Size: 64 << 10, Block: 32, Assoc: 1},
+						Audit:        aud,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := tc.SetupSharedMappings(sys.MMU()); err != nil {
+						t.Fatal(err)
+					}
+					gen, err := tracegen.New(tc)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := sys.Run(gen); err != nil {
+						t.Fatal(err)
+					}
+					aud.Audit(sys) // final on-demand audit of the end state
+					if aud.Audits() < 2 {
+						t.Fatalf("auditor barely ran: %d audits", aud.Audits())
+					}
+					if n := aud.Total(); n != 0 {
+						t.Fatalf("%d violations on a clean run:\n%v", n, aud.Violations())
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestAuditSnapshotDeterministic runs the same workload twice and requires
+// byte-identical snapshot dumps — the diffable-dump guarantee.
+func TestAuditSnapshotDeterministic(t *testing.T) {
+	dump := func() string {
+		tc := tracegen.PopsLike().Scaled(0.005)
+		sys, err := New(Config{
+			CPUs:         tc.CPUs,
+			Organization: VR,
+			PageSize:     tc.PageSize,
+			L1:           cache.Geometry{Size: 4 << 10, Block: 16, Assoc: 1},
+			L2:           cache.Geometry{Size: 64 << 10, Block: 32, Assoc: 1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tc.SetupSharedMappings(sys.MMU()); err != nil {
+			t.Fatal(err)
+		}
+		gen, err := tracegen.New(tc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Run(gen); err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		if err := sys.AuditSnapshot().WriteJSON(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	a, b := dump(), dump()
+	if a != b {
+		t.Fatal("identical runs produced different snapshot dumps")
+	}
+	if len(a) == 0 {
+		t.Fatal("empty snapshot dump")
+	}
+}

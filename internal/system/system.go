@@ -11,6 +11,7 @@ import (
 	"io"
 
 	"repro/internal/addr"
+	"repro/internal/audit"
 	"repro/internal/bus"
 	"repro/internal/cache"
 	"repro/internal/core"
@@ -86,6 +87,14 @@ type Config struct {
 	// disables all cycle accounting.
 	Cycles *cycles.Engine
 
+	// Audit, when set, re-verifies the machine's structural invariants
+	// online: the auditor snapshots every hierarchy and checks inclusion,
+	// copy uniqueness, pointer reciprocity, buffer-bit bijection, dirty-bit
+	// consistency and cross-CPU coherence every N references (see
+	// internal/audit). Nil disables auditing; the hot path then pays only a
+	// nil check.
+	Audit *audit.Auditor
+
 	// CheckOracle verifies on every read that the newest write to the
 	// physical block is observed. CheckInvariants additionally validates
 	// every hierarchy's structural invariants after every reference (slow;
@@ -111,7 +120,8 @@ type System struct {
 	mem    *memory.Memory
 	tokens *core.TokenSource
 	cpus   []core.Hierarchy
-	cyc    []*cycles.CPU // per-CPU timing handles; nil entries when disabled
+	cyc    []*cycles.CPU  // per-CPU timing handles; nil entries when disabled
+	aud    *audit.Auditor // nil when auditing is disabled
 	oracle map[addr.PAddr]uint64
 	refs   uint64
 }
@@ -140,6 +150,7 @@ func New(cfg Config) (*System, error) {
 		bus:    bus.New(),
 		mem:    memory.MustNew(cfg.L1.Block),
 		tokens: &core.TokenSource{},
+		aud:    cfg.Audit,
 	}
 	s.bus.SetProbe(cfg.Probe)
 	if cfg.Cycles != nil {
@@ -261,7 +272,28 @@ func (s *System) Apply(ref trace.Ref) (core.AccessResult, error) {
 			}
 		}
 	}
+	if s.aud != nil {
+		s.aud.Tick(s)
+	}
 	return res, nil
+}
+
+// Auditor returns the machine's online auditor (nil when auditing is
+// disabled).
+func (s *System) Auditor() *audit.Auditor { return s.aud }
+
+// AuditSnapshot implements audit.Source: a point-in-time copy of every
+// hierarchy's structural state, in CPU order.
+func (s *System) AuditSnapshot() *audit.Snapshot {
+	snap := &audit.Snapshot{
+		Organization: s.cfg.Organization.String(),
+		Protocol:     s.cfg.Protocol.String(),
+		Refs:         s.refs,
+	}
+	for _, h := range s.cpus {
+		snap.CPUs = append(snap.CPUs, h.Snapshot())
+	}
+	return snap
 }
 
 // ApplyBatch runs a slice of trace records through the machine. It is the

@@ -121,3 +121,15 @@ func (t *TLB) FlushPID(pid addr.PID) {
 
 // Resident returns the number of valid entries, for tests.
 func (t *TLB) Resident() int { return t.tags.CountValid() }
+
+// ForEachResident visits every cached translation in (set, way) order —
+// the audit layer re-verifies them against the page tables. The virtual
+// page number is reconstructed from the stored tag (the PID occupies the
+// tag's low 16 bits, see Translate).
+func (t *TLB) ForEachResident(fn func(pid addr.PID, vpage, frame uint64)) {
+	t.tags.ForEachValid(func(set, w int) {
+		e := t.tags.Line(set, w)
+		vpage := t.tags.BlockAddr(set, t.tags.TagAt(set, w)>>16)
+		fn(e.pid, vpage, e.frame)
+	})
+}

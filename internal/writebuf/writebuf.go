@@ -163,6 +163,14 @@ func (b *Buffer) DrainAll() []Entry {
 	return out
 }
 
+// ForEach visits every buffered entry, oldest first, without disturbing
+// the buffer (the audit layer's snapshot walk).
+func (b *Buffer) ForEach(fn func(e Entry)) {
+	for i := 0; i < b.count; i++ {
+		fn(*b.at(i))
+	}
+}
+
 // Find returns the entry for rptr, if buffered.
 func (b *Buffer) Find(rptr vcache.RPtr) (Entry, bool) {
 	for i := 0; i < b.count; i++ {

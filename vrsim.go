@@ -45,9 +45,11 @@ import (
 	"io"
 
 	"repro/internal/addr"
+	"repro/internal/audit"
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/cycles"
+	"repro/internal/monitor"
 	"repro/internal/probe"
 	"repro/internal/system"
 	"repro/internal/timemodel"
@@ -286,6 +288,65 @@ func DefaultCycleParams() CycleParams { return cycles.DefaultParams() }
 
 // ContentionCycleParams returns DefaultCycleParams plus a contended bus.
 func ContentionCycleParams() CycleParams { return cycles.ContentionParams() }
+
+// Online auditing: an Auditor attached through Config.Audit snapshots the
+// whole machine every N references (and on demand) and re-verifies the
+// structural invariants the paper's correctness argument rests on —
+// inclusion, single first-level copy per physical block, pointer
+// reciprocity, buffer-bit bijection, dirty-bit consistency, swapped-valid
+// legality, coherence exclusivity, and translation agreement. A nil Auditor
+// in Config disables auditing; the hot path then pays one branch.
+type (
+	// Auditor drives periodic and on-demand invariant checks.
+	Auditor = audit.Auditor
+	// AuditSnapshot is a diffable point-in-time copy of the machine state.
+	AuditSnapshot = audit.Snapshot
+	// AuditViolation is one structural inconsistency found by a check.
+	AuditViolation = audit.Violation
+	// AuditInvariant identifies which checked property a violation breaks.
+	AuditInvariant = audit.Invariant
+)
+
+// NewAuditor creates an auditor that audits every n references; n = 0
+// audits on demand only (Auditor.Audit).
+func NewAuditor(n uint64) *Auditor { return audit.New(n) }
+
+// Live monitoring: latency histograms fed by the cycle engine
+// (CycleEngine.SetLatencies), occupancy summaries computed from audit
+// snapshots, and an HTTP server exposing both while a run is in flight.
+type (
+	// LatencyHistogram is a fixed-bucket distribution of cycle counts.
+	LatencyHistogram = monitor.Histogram
+	// Latencies holds per-CPU latency histograms, one set per kind.
+	Latencies = monitor.Latencies
+	// LatencyKind names one measured distribution ("access", "bus-wait",
+	// "wb-drain", "wb-stall").
+	LatencyKind = monitor.LatencyKind
+	// MonitorServer serves /metrics, /snapshot, /state, expvar and pprof.
+	MonitorServer = monitor.Server
+	// MonitorState is one published view of a running simulation.
+	MonitorState = monitor.State
+	// OccupancySummary describes how full one cache's sets are.
+	OccupancySummary = monitor.OccupancySummary
+)
+
+// The measured latency distributions.
+const (
+	LatAccess  = monitor.LatAccess
+	LatBusWait = monitor.LatBusWait
+	LatWBDrain = monitor.LatWBDrain
+	LatWBStall = monitor.LatWBStall
+)
+
+// NewLatencies pre-sizes a latency collector for the given CPU count.
+func NewLatencies(cpus int) *Latencies { return monitor.NewLatencies(cpus) }
+
+// StartMonitor serves live monitoring endpoints on addr (":0" picks a
+// port); publish states with MonitorServer.Publish.
+func StartMonitor(addr string) (*MonitorServer, error) { return monitor.Start(addr) }
+
+// Occupancy computes per-cache occupancy summaries from an audit snapshot.
+func Occupancy(snap *AuditSnapshot) []OccupancySummary { return monitor.Occupancy(snap) }
 
 // TimeParams are the inputs of the paper's access-time equation.
 type TimeParams = timemodel.Params
