@@ -28,6 +28,33 @@ go test -run '^$' -bench . -benchtime 1x ./...
 echo "== fuzz smoke (10s per target)"
 go test -run '^$' -fuzz '^FuzzBinaryRoundTrip$' -fuzztime 10s ./internal/trace
 go test -run '^$' -fuzz '^FuzzTextParse$' -fuzztime 10s ./internal/trace
+go test -run '^$' -fuzz '^FuzzCheckpointRoundTrip$' -fuzztime 10s ./internal/checkpoint
+
+echo "== coverage floors (internal/checkpoint, internal/stats)"
+for pkg in internal/checkpoint internal/stats; do
+    pct=$(go test -cover "./$pkg" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
+    if [ -z "$pct" ]; then
+        echo "coverage: no figure reported for $pkg" >&2
+        exit 1
+    fi
+    if [ "$(printf '%.0f' "$pct")" -lt 70 ]; then
+        echo "coverage: $pkg at $pct%, floor is 70%" >&2
+        exit 1
+    fi
+    echo "$pkg: $pct%"
+done
+
+# Sharded execution must agree with the sequential run: exact mode is
+# byte-identical (every boundary checkpoint-verified inside vrsim), and a
+# save/restore split run must reproduce the uninterrupted report exactly.
+echo "== checkpoint/shard vs sequential smoke"
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+go run ./cmd/vrsim -preset pops -scale 0.01 -json > "$tmp/seq.json"
+go run ./cmd/vrsim -preset pops -scale 0.01 -checkpoint "$tmp/ck.bin" -checkpoint-at 2000 > /dev/null
+go run ./cmd/vrsim -preset pops -scale 0.01 -restore "$tmp/ck.bin" -json > "$tmp/restored.json"
+cmp "$tmp/seq.json" "$tmp/restored.json"
+go run ./cmd/vrsim -preset pops -scale 0.01 -shards 4 -shard-mode exact > /dev/null
 
 # Audit under the race detector: run the full invariant auditor against every
 # organization on a real workload and fail on any violation (vrsim exits

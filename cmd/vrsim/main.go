@@ -24,6 +24,7 @@ import (
 	"repro/internal/audit"
 	"repro/internal/bus"
 	"repro/internal/cache"
+	"repro/internal/checkpoint"
 	"repro/internal/cycles"
 	"repro/internal/monitor"
 	"repro/internal/probe"
@@ -67,6 +68,13 @@ type options struct {
 	busCtrlOcc uint64 // bus occupancy per invalidate/update broadcast
 	busWBOcc   uint64 // bus occupancy per background write-back
 	contention bool   // charge bus queueing delay to the requester
+
+	checkpointFile string // save a checkpoint here after -checkpoint-at records
+	checkpointAt   uint64 // trace records to run before saving
+	restoreFile    string // resume a run from this checkpoint
+	shards         int    // time-sharded run with this many windows
+	shardMode      string // exact | approx
+	warmup         uint64 // approximate-shard warm-up, references
 }
 
 // cycleParams assembles the engine's latency inputs from the flags.
@@ -125,6 +133,15 @@ func main() {
 	flag.Uint64Var(&o.busCtrlOcc, "bus-ctrl-occ", 0, "bus occupancy per invalidate/update, cycles (-timed)")
 	flag.Uint64Var(&o.busWBOcc, "bus-wb-occ", 0, "bus occupancy per write-back, cycles (-timed)")
 	flag.BoolVar(&o.contention, "contention", true, "charge bus queueing to the requester (-timed)")
+	flag.StringVar(&o.checkpointFile, "checkpoint", "",
+		"save a checkpoint to this file after -checkpoint-at records and exit")
+	flag.Uint64Var(&o.checkpointAt, "checkpoint-at", 0,
+		"trace records to simulate before saving the -checkpoint file")
+	flag.StringVar(&o.restoreFile, "restore", "", "resume the run from this checkpoint file")
+	flag.IntVar(&o.shards, "shards", 0, "split the run into this many time shards and simulate them in parallel")
+	flag.StringVar(&o.shardMode, "shard-mode", "approx",
+		"sharded-run mode: approx (warm-up windows) or exact (checkpoint-verified)")
+	flag.Uint64Var(&o.warmup, "warmup", 65536, "warm-up references per approximate shard (-shards)")
 	compare := flag.Bool("compare", false, "run all three organizations on the same workload and compare")
 	flag.Parse()
 
@@ -307,6 +324,9 @@ func run(o options, stdout io.Writer) error {
 	if o.hist && !o.timed {
 		return fmt.Errorf("-hist requires -timed")
 	}
+	if err := validateCheckpointFlags(o); err != nil {
+		return err
+	}
 	var aud *audit.Auditor
 	if o.audit || o.auditEvery > 0 {
 		aud = audit.New(o.auditEvery)
@@ -375,12 +395,48 @@ func run(o options, stdout io.Writer) error {
 	if wlCfg != nil {
 		sc.PageSize = wlCfg.PageSize
 	}
+	if o.shards > 0 {
+		return runSharded(o, stdout, sc, *wlCfg)
+	}
 	sys, err := system.New(sc)
 	if err != nil {
 		return err
 	}
 	if wlCfg != nil {
 		if err := wlCfg.SetupSharedMappings(sys.MMU()); err != nil {
+			return err
+		}
+	}
+	if o.checkpointFile != "" {
+		n, err := sys.RunRecords(reader, o.checkpointAt)
+		if err != nil {
+			return err
+		}
+		if n < o.checkpointAt {
+			return fmt.Errorf("trace ended after %d records; cannot checkpoint at %d", n, o.checkpointAt)
+		}
+		ck, err := checkpoint.Capture(sys, runSignature(sc, wlCfg, o), n)
+		if err != nil {
+			return err
+		}
+		if err := checkpoint.WriteFile(o.checkpointFile, ck); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "checkpoint: %d records saved to %s\n", n, o.checkpointFile)
+		return nil
+	}
+	if o.restoreFile != "" {
+		ck, err := checkpoint.ReadFile(o.restoreFile)
+		if err != nil {
+			return err
+		}
+		if err := checkpoint.Restore(sys, ck, runSignature(sc, wlCfg, o)); err != nil {
+			return err
+		}
+		// The fresh generator built above replays from record zero; skip it
+		// forward to the checkpoint's cursor and continue from there.
+		fresh := reader
+		if reader, err = checkpoint.ResumeReader(func() (trace.Reader, error) { return fresh, nil }, ck); err != nil {
 			return err
 		}
 	}
@@ -467,6 +523,147 @@ func run(o options, stdout io.Writer) error {
 	}
 	if n := aud.Total(); n > 0 {
 		return fmt.Errorf("audit: %d violation(s) across %d audits", n, aud.Audits())
+	}
+	return nil
+}
+
+// validateCheckpointFlags rejects flag combinations the checkpoint and
+// shard machinery cannot honor: both need a trace that is regenerable from
+// its seed (so only -preset runs qualify), and neither can serialize a
+// probe's event cursors, a periodic auditor's schedule, or the monitoring
+// server's live state.
+func validateCheckpointFlags(o options) error {
+	active := 0
+	for _, on := range []bool{o.checkpointFile != "", o.restoreFile != "", o.shards > 0} {
+		if on {
+			active++
+		}
+	}
+	if active == 0 {
+		if o.checkpointAt > 0 {
+			return fmt.Errorf("-checkpoint-at needs -checkpoint FILE")
+		}
+		return nil
+	}
+	if active > 1 {
+		return fmt.Errorf("-checkpoint, -restore and -shards are mutually exclusive")
+	}
+	if o.preset == "" {
+		return fmt.Errorf("-checkpoint/-restore/-shards need -preset: the trace must be regenerable from its seed")
+	}
+	if o.events || o.chromeTrace != "" || o.metricsEvery > 0 {
+		return fmt.Errorf("event probes cannot be checkpointed or sharded; drop -events/-chrome-trace/-metrics-every")
+	}
+	if o.auditEvery > 0 {
+		return fmt.Errorf("periodic audits cannot be checkpointed or sharded; use final-only -audit")
+	}
+	if o.httpAddr != "" {
+		return fmt.Errorf("-http is not supported with -checkpoint/-restore/-shards")
+	}
+	if o.hist {
+		return fmt.Errorf("-hist is not supported with -checkpoint/-restore/-shards")
+	}
+	if o.checkpointFile != "" && o.checkpointAt == 0 {
+		return fmt.Errorf("-checkpoint needs -checkpoint-at N")
+	}
+	if o.shards > 0 && o.shardMode != "approx" && o.shardMode != "exact" {
+		return fmt.Errorf("unknown -shard-mode %q (want approx or exact)", o.shardMode)
+	}
+	return nil
+}
+
+// runSignature fingerprints a deterministic run: the workload generator's
+// identity plus every machine parameter that shapes simulated state. A
+// checkpoint taken under one signature refuses to restore under another.
+func runSignature(sc system.Config, wl *tracegen.Config, o options) string {
+	s := sc
+	s.Probe, s.Cycles, s.Audit, s.Tracer = nil, nil, nil, nil
+	return fmt.Sprintf("%s|machine=%+v|timed=%v|cycles=%+v",
+		wl.Signature(), s, o.timed, o.cycleParams())
+}
+
+// runSharded splits the preset trace into -shards windows and simulates
+// them in parallel, then reports on the stitched result. Approximate mode
+// warms each shard with -warmup references; exact mode replays from
+// checkpoints of a sequential prior pass and byte-verifies every boundary.
+func runSharded(o options, stdout io.Writer, sc system.Config, wl tracegen.Config) error {
+	opts := checkpoint.ShardOptions{
+		Shards:    o.shards,
+		Warmup:    o.warmup,
+		TotalRefs: uint64(wl.TotalRefs),
+		Exact:     o.shardMode == "exact",
+		Signature: runSignature(sc, &wl, o),
+		NewSystem: func() (*system.System, error) {
+			scc := sc
+			scc.Probe, scc.Cycles, scc.Audit = nil, nil, nil
+			if o.timed {
+				eng, err := cycles.New(o.cycleParams(), nil)
+				if err != nil {
+					return nil, err
+				}
+				scc.Cycles = eng
+			}
+			if o.audit {
+				scc.Audit = audit.New(0)
+			}
+			sys, err := system.New(scc)
+			if err != nil {
+				return nil, err
+			}
+			if err := wl.SetupSharedMappings(sys.MMU()); err != nil {
+				return nil, err
+			}
+			return sys, nil
+		},
+		Source: func() (trace.Reader, error) {
+			g, err := tracegen.New(wl)
+			if err != nil {
+				return nil, err
+			}
+			return g, nil
+		},
+	}
+	sys, outcome, err := checkpoint.ShardedRun(opts)
+	if err != nil {
+		return err
+	}
+	aud := sys.Auditor()
+	if aud != nil {
+		aud.Audit(sys)
+	}
+	if o.snapshot != "" {
+		f, err := os.Create(o.snapshot)
+		if err != nil {
+			return err
+		}
+		if err := sys.AuditSnapshot().WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if o.jsonOut {
+		res := report.FromSystem(sys, sc)
+		res.Sharding = &report.ShardingInfo{
+			Mode:     outcome.Mode,
+			Shards:   outcome.Shards,
+			Warmup:   outcome.Warmup,
+			Verified: outcome.Verified,
+		}
+		if err := res.WriteJSON(stdout); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintf(stdout, "sharded: mode=%s, shards=%d, warmup=%d, verified boundaries=%d\n",
+			outcome.Mode, outcome.Shards, outcome.Warmup, outcome.Verified)
+		printReport(stdout, sys, sc)
+	}
+	if aud != nil {
+		if n := aud.Total(); n > 0 {
+			return fmt.Errorf("audit: %d violation(s) across %d audits", n, aud.Audits())
+		}
 	}
 	return nil
 }

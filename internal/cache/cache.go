@@ -117,6 +117,21 @@ type way[L any] struct {
 	line  L
 }
 
+// countingSource wraps a rand source and counts the values drawn from it,
+// so a restored cache can fast-forward a fresh source to the same position
+// regardless of how many draws each Intn call consumed internally.
+type countingSource struct {
+	src rand.Source
+	n   uint64
+}
+
+func (s *countingSource) Int63() int64 {
+	s.n++
+	return s.src.Int63()
+}
+
+func (s *countingSource) Seed(seed int64) { s.src.Seed(seed) }
+
 // Cache is a generic set-associative tag store.
 type Cache[L any] struct {
 	geom   Geometry
@@ -124,6 +139,8 @@ type Cache[L any] struct {
 	sets   [][]way[L]
 	clock  uint64
 	rng    *rand.Rand
+	rngSrc *countingSource
+	seed   int64
 
 	// Shift/mask fields derived from geom at construction, so the
 	// per-access Locate/BlockNum arithmetic never recomputes a logarithm.
@@ -143,11 +160,14 @@ func New[L any](g Geometry, policy Policy, seed int64) (*Cache[L], error) {
 	for i := range sets {
 		sets[i], backing = backing[:g.Assoc:g.Assoc], backing[g.Assoc:]
 	}
+	src := &countingSource{src: rand.NewSource(seed)}
 	return &Cache[L]{
 		geom:      g,
 		policy:    policy,
 		sets:      sets,
-		rng:       rand.New(rand.NewSource(seed)),
+		rng:       rand.New(src),
+		rngSrc:    src,
+		seed:      seed,
 		blockBits: g.BlockBits(),
 		setBits:   g.SetBits(),
 		setMask:   uint64(g.Sets() - 1),
@@ -348,4 +368,70 @@ func (c *Cache[L]) CountValid() int {
 	n := 0
 	c.ForEachValid(func(int, int) { n++ })
 	return n
+}
+
+// Entry is one way's serializable state (checkpoint support).
+type Entry[L any] struct {
+	Tag   uint64
+	Valid bool
+	Stamp uint64
+	Line  L
+}
+
+// State is a tag store's serializable state: the recency clock, the rng
+// draw count (Random replacement only), and every way in (set, way) order.
+// The payloads are shallow copies; callers whose payload holds reference
+// types deep-copy around Export/Restore.
+type State[L any] struct {
+	Clock uint64
+	Draws uint64
+	Ways  []Entry[L]
+}
+
+// ExportState captures the tag store's full contents, walking ways in
+// deterministic (set, way) order so identical caches export identical
+// states.
+func (c *Cache[L]) ExportState() State[L] {
+	s := State[L]{Clock: c.clock, Draws: c.rngSrc.n, Ways: make([]Entry[L], 0, len(c.sets)*c.geom.Assoc)}
+	for _, ws := range c.sets {
+		for i := range ws {
+			w := &ws[i]
+			s.Ways = append(s.Ways, Entry[L]{Tag: w.tag, Valid: w.valid, Stamp: w.stamp, Line: w.line})
+		}
+	}
+	return s
+}
+
+// RestoreState replaces the tag store's contents with a previously exported
+// state. The way count must match the cache's geometry, and no stamp may be
+// ahead of the recency clock; the rng is rewound to the construction seed
+// and the recorded draws are replayed so Random replacement continues
+// identically.
+func (c *Cache[L]) RestoreState(s State[L]) error {
+	if len(s.Ways) != len(c.sets)*c.geom.Assoc {
+		return fmt.Errorf("cache: state has %d ways, geometry %v needs %d",
+			len(s.Ways), c.geom, len(c.sets)*c.geom.Assoc)
+	}
+	for i := range s.Ways {
+		if s.Ways[i].Stamp > s.Clock {
+			return fmt.Errorf("cache: state way %d stamp %d is ahead of clock %d",
+				i, s.Ways[i].Stamp, s.Clock)
+		}
+	}
+	c.clock = s.Clock
+	c.rngSrc = &countingSource{src: rand.NewSource(c.seed)}
+	c.rng = rand.New(c.rngSrc)
+	for d := uint64(0); d < s.Draws; d++ {
+		c.rngSrc.Int63()
+	}
+	c.rngSrc.n = s.Draws
+	k := 0
+	for _, ws := range c.sets {
+		for i := range ws {
+			e := &s.Ways[k]
+			ws[i] = way[L]{tag: e.Tag, valid: e.Valid, stamp: e.Stamp, line: e.Line}
+			k++
+		}
+	}
+	return nil
 }

@@ -1,0 +1,278 @@
+package checkpoint
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/cycles"
+	"repro/internal/report"
+	"repro/internal/system"
+	"repro/internal/trace"
+	"repro/internal/tracegen"
+)
+
+// testMachine is a small machine exercising every organization's moving
+// parts (split V-cache, write buffer, TLB) without making the differential
+// matrix slow.
+func testMachine(org system.Organization, cpus int) system.Config {
+	return system.Config{
+		CPUs:         cpus,
+		Organization: org,
+		L1:           cache.Geometry{Size: 4096, Block: 16, Assoc: 1},
+		L2:           cache.Geometry{Size: 16384, Block: 32, Assoc: 2},
+	}
+}
+
+// testWorkload scales a preset down and pins its CPU count.
+func testWorkload(t *testing.T, preset string, scale float64, cpus int) tracegen.Config {
+	t.Helper()
+	tc, err := tracegen.PresetByName(preset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc = tc.Scaled(scale)
+	tc.CPUs = cpus
+	return tc
+}
+
+// build assembles a cold machine with the workload's shared mappings.
+func build(t *testing.T, cfg system.Config, tc tracegen.Config) *system.System {
+	t.Helper()
+	sys, err := system.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.SetupSharedMappings(sys.MMU()); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// reportJSON finishes a report for comparison.
+func reportJSON(t *testing.T, sys *system.System, cfg system.Config) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := report.FromSystem(sys, cfg).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// signature fingerprints a test scenario.
+func signature(cfg system.Config, tc tracegen.Config) string {
+	return tc.Signature() + "|" + cfg.Organization.String()
+}
+
+// runUninterrupted simulates the whole trace in one go.
+func runUninterrupted(t *testing.T, cfg system.Config, tc tracegen.Config) []byte {
+	t.Helper()
+	sys := build(t, cfg, tc)
+	if err := sys.Run(tracegen.MustNew(tc)); err != nil {
+		t.Fatal(err)
+	}
+	return reportJSON(t, sys, cfg)
+}
+
+// runInterrupted simulates half the records, saves a checkpoint through a
+// full encode/decode cycle, restores it into a brand-new machine, and
+// finishes the trace there.
+func runInterrupted(t *testing.T, cfg system.Config, tc tracegen.Config) []byte {
+	t.Helper()
+	sig := signature(cfg, tc)
+
+	first := build(t, cfg, tc)
+	r := &countingReader{r: tracegen.MustNew(tc)}
+	if _, err := first.RunRecords(r, uint64(tc.TotalRefs)/2); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := Capture(first, sig, r.n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-trip the bytes, as a save-to-disk-and-reload would.
+	ck2, err := Decode(ck.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	second := build(t, cfg, tc)
+	if err := Restore(second, ck2, sig); err != nil {
+		t.Fatal(err)
+	}
+	rr, err := ResumeReader(func() (trace.Reader, error) { return tracegen.MustNew(tc), nil }, ck2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := second.Run(rr); err != nil {
+		t.Fatal(err)
+	}
+	return reportJSON(t, second, cfg)
+}
+
+// TestSaveRestoreByteIdentical is the differential equivalence matrix: for
+// every preset, organization and CPU count, a run interrupted by a
+// checkpoint-save-restore cycle must produce a byte-identical full JSON
+// report to the run that was never interrupted.
+func TestSaveRestoreByteIdentical(t *testing.T) {
+	for _, preset := range []string{"pops", "thor", "abaqus"} {
+		for _, org := range []system.Organization{system.VR, system.RRInclusion, system.RRNoInclusion} {
+			for _, cpus := range []int{1, 2, 4} {
+				preset, org, cpus := preset, org, cpus
+				t.Run(preset+"/"+org.String()+"/"+itoa(cpus), func(t *testing.T) {
+					t.Parallel()
+					cfg := testMachine(org, cpus)
+					tc := testWorkload(t, preset, 0.003, cpus)
+					want := runUninterrupted(t, cfg, tc)
+					got := runInterrupted(t, cfg, tc)
+					if !bytes.Equal(want, got) {
+						t.Errorf("restored run's report diverges:\nuninterrupted:\n%s\nrestored:\n%s", want, got)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestSaveRestoreWithTimingAndOracle covers the optional machine state the
+// plain matrix leaves off: cycle clocks and the consistency oracle.
+func TestSaveRestoreWithTimingAndOracle(t *testing.T) {
+	tc := testWorkload(t, "pops", 0.003, 2)
+	cfg := testMachine(system.VR, 2)
+	cfg.CheckOracle = true
+
+	mk := func() system.Config {
+		c := cfg
+		c.Cycles = cycles.MustNew(cycles.ContentionParams(), nil)
+		return c
+	}
+	cfgA := mk()
+	sysA := build(t, cfgA, tc)
+	if err := sysA.Run(tracegen.MustNew(tc)); err != nil {
+		t.Fatal(err)
+	}
+	want := reportJSON(t, sysA, cfgA)
+
+	sig := signature(cfg, tc)
+	cfgB := mk()
+	first := build(t, cfgB, tc)
+	r := &countingReader{r: tracegen.MustNew(tc)}
+	if _, err := first.RunRecords(r, uint64(tc.TotalRefs)/3); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := Capture(first, sig, r.n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err = Decode(ck.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgC := mk()
+	second := build(t, cfgC, tc)
+	if err := Restore(second, ck, sig); err != nil {
+		t.Fatal(err)
+	}
+	rr, err := ResumeReader(func() (trace.Reader, error) { return tracegen.MustNew(tc), nil }, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := second.Run(rr); err != nil {
+		t.Fatal(err)
+	}
+	if got := reportJSON(t, second, cfgC); !bytes.Equal(want, got) {
+		t.Errorf("restored timed run diverges:\nuninterrupted:\n%s\nrestored:\n%s", want, got)
+	}
+}
+
+// TestRestoreRejectsMismatches exercises the validation paths a wrong
+// resume must hit instead of corrupting a simulation.
+func TestRestoreRejectsMismatches(t *testing.T) {
+	tc := testWorkload(t, "pops", 0.002, 1)
+	cfg := testMachine(system.VR, 1)
+	sig := signature(cfg, tc)
+	sys := build(t, cfg, tc)
+	if _, err := sys.RunRecords(tracegen.MustNew(tc), 500); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := Capture(sys, sig, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := Restore(build(t, cfg, tc), ck, "other-signature"); err == nil {
+		t.Error("restore with a mismatched signature succeeded")
+	}
+	if err := Restore(build(t, cfg, tc), &Checkpoint{Signature: sig}, sig); err == nil {
+		t.Error("restore with no machine state succeeded")
+	}
+	wrongOrg := testMachine(system.RRNoInclusion, 1)
+	if err := Restore(build(t, wrongOrg, tc), ck, sig); err == nil {
+		t.Error("restore into the wrong organization succeeded")
+	}
+	wrongCPUs := testMachine(system.VR, 2)
+	tc2 := tc
+	tc2.CPUs = 2
+	if err := Restore(build(t, wrongCPUs, tc2), ck, sig); err == nil {
+		t.Error("restore into the wrong CPU count succeeded")
+	}
+}
+
+// TestCodecRoundTrip checks Encode/Decode on a real machine state: decode
+// must reproduce the value exactly and re-encode to the same bytes.
+func TestCodecRoundTrip(t *testing.T) {
+	tc := testWorkload(t, "thor", 0.002, 2)
+	cfg := testMachine(system.RRInclusion, 2)
+	sys := build(t, cfg, tc)
+	if _, err := sys.RunRecords(tracegen.MustNew(tc), 2000); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := Capture(sys, signature(cfg, tc), 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := ck.Encode()
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ck, back) {
+		t.Error("decode(encode(c)) != c")
+	}
+	if !bytes.Equal(back.Encode(), data) {
+		t.Error("encode(decode(data)) != data")
+	}
+}
+
+// TestDecodeRejectsMalformed spot-checks the decoder's defenses; the fuzz
+// target explores far more.
+func TestDecodeRejectsMalformed(t *testing.T) {
+	good := (&Checkpoint{Signature: "s", Cursor: 7}).Encode()
+	cases := map[string][]byte{
+		"empty":        {},
+		"bad magic":    {'X', 'R', 'C', 'K', 1},
+		"bad version":  {'V', 'R', 'C', 'K', 99},
+		"truncated":    good[:len(good)-1],
+		"trailing":     append(append([]byte{}, good...), 0),
+		"huge string":  {'V', 'R', 'C', 'K', 1, 0xff, 0xff, 0xff, 0xff, 0x7f},
+		"bad ptr flag": func() []byte { b := append([]byte{}, good...); b[len(b)-1] = 9; return b }(),
+	}
+	for name, data := range cases {
+		if _, err := Decode(data); err == nil {
+			t.Errorf("%s: decode succeeded", name)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}

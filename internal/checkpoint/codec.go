@@ -1,0 +1,273 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"reflect"
+)
+
+// The checkpoint file format, version 1:
+//
+//	"VRCK"            4-byte magic
+//	uvarint           format version
+//	value             the Checkpoint struct, canonically encoded
+//
+// The value encoding walks the Go value by reflection, in declared field
+// order, with no self-description:
+//
+//	bool              1 byte, 0 or 1
+//	intN              zigzag uvarint
+//	uintN             uvarint
+//	float64           uvarint of the IEEE 754 bits
+//	string            uvarint length + bytes
+//	pointer, slice    1-byte nil flag (0 = nil), then (for slices) a
+//	                  uvarint length, then the elements
+//	array, struct     elements / exported fields in order
+//
+// Canonical means equal values encode to equal bytes: every aggregate in a
+// MachineState is a struct or a sorted slice (never a map), so the byte
+// stream is a fingerprint of the machine — the differential harness
+// compares checkpoints with bytes.Equal. The decoder is defensive: every
+// length is bounds-checked against the remaining input before allocation,
+// so arbitrary bytes produce an error, never a panic or a huge allocation.
+// It is strict — trailing bytes and non-minimal encodings are the only
+// latitude varints allow, and decode→encode restores minimality.
+
+var magic = [4]byte{'V', 'R', 'C', 'K'}
+
+// Version is the current checkpoint format version.
+const Version = 1
+
+// encoder accumulates the canonical byte stream.
+type encoder struct {
+	buf []byte
+}
+
+func (e *encoder) uvarint(u uint64) {
+	e.buf = binary.AppendUvarint(e.buf, u)
+}
+
+func (e *encoder) value(v reflect.Value) {
+	switch v.Kind() {
+	case reflect.Bool:
+		b := byte(0)
+		if v.Bool() {
+			b = 1
+		}
+		e.buf = append(e.buf, b)
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		n := v.Int()
+		e.uvarint(uint64(n)<<1 ^ uint64(n>>63)) // zigzag
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		e.uvarint(v.Uint())
+	case reflect.Float64:
+		e.uvarint(math.Float64bits(v.Float()))
+	case reflect.String:
+		s := v.String()
+		e.uvarint(uint64(len(s)))
+		e.buf = append(e.buf, s...)
+	case reflect.Ptr:
+		if v.IsNil() {
+			e.buf = append(e.buf, 0)
+			return
+		}
+		e.buf = append(e.buf, 1)
+		e.value(v.Elem())
+	case reflect.Slice:
+		if v.IsNil() {
+			e.buf = append(e.buf, 0)
+			return
+		}
+		e.buf = append(e.buf, 1)
+		e.uvarint(uint64(v.Len()))
+		for i := 0; i < v.Len(); i++ {
+			e.value(v.Index(i))
+		}
+	case reflect.Array:
+		for i := 0; i < v.Len(); i++ {
+			e.value(v.Index(i))
+		}
+	case reflect.Struct:
+		t := v.Type()
+		for i := 0; i < t.NumField(); i++ {
+			if !t.Field(i).IsExported() {
+				panic(fmt.Sprintf("checkpoint: unexported field %s.%s", t, t.Field(i).Name))
+			}
+			e.value(v.Field(i))
+		}
+	default:
+		panic(fmt.Sprintf("checkpoint: cannot encode %s", v.Kind()))
+	}
+}
+
+// decoder consumes the canonical byte stream.
+type decoder struct {
+	buf []byte
+	off int
+}
+
+func (d *decoder) remaining() int { return len(d.buf) - d.off }
+
+func (d *decoder) uvarint() (uint64, error) {
+	u, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("checkpoint: bad varint at offset %d", d.off)
+	}
+	d.off += n
+	return u, nil
+}
+
+func (d *decoder) byte() (byte, error) {
+	if d.remaining() < 1 {
+		return 0, fmt.Errorf("checkpoint: truncated at offset %d", d.off)
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b, nil
+}
+
+func (d *decoder) value(v reflect.Value) error {
+	switch v.Kind() {
+	case reflect.Bool:
+		b, err := d.byte()
+		if err != nil {
+			return err
+		}
+		if b > 1 {
+			return fmt.Errorf("checkpoint: bad bool %d at offset %d", b, d.off-1)
+		}
+		v.SetBool(b == 1)
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		u, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		n := int64(u>>1) ^ -int64(u&1) // un-zigzag
+		if v.OverflowInt(n) {
+			return fmt.Errorf("checkpoint: %d overflows %s", n, v.Type())
+		}
+		v.SetInt(n)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		u, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		if v.OverflowUint(u) {
+			return fmt.Errorf("checkpoint: %d overflows %s", u, v.Type())
+		}
+		v.SetUint(u)
+	case reflect.Float64:
+		u, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		v.SetFloat(math.Float64frombits(u))
+	case reflect.String:
+		n, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		if n > uint64(d.remaining()) {
+			return fmt.Errorf("checkpoint: string length %d exceeds %d remaining bytes", n, d.remaining())
+		}
+		v.SetString(string(d.buf[d.off : d.off+int(n)]))
+		d.off += int(n)
+	case reflect.Ptr:
+		b, err := d.byte()
+		if err != nil {
+			return err
+		}
+		switch b {
+		case 0:
+			v.Set(reflect.Zero(v.Type()))
+		case 1:
+			v.Set(reflect.New(v.Type().Elem()))
+			return d.value(v.Elem())
+		default:
+			return fmt.Errorf("checkpoint: bad pointer flag %d at offset %d", b, d.off-1)
+		}
+	case reflect.Slice:
+		b, err := d.byte()
+		if err != nil {
+			return err
+		}
+		switch b {
+		case 0:
+			v.Set(reflect.Zero(v.Type()))
+		case 1:
+			n, err := d.uvarint()
+			if err != nil {
+				return err
+			}
+			// Every element occupies at least one byte, so a length beyond
+			// the remaining input is malformed; checking before allocating
+			// keeps hostile input from forcing huge slices.
+			if n > uint64(d.remaining()) {
+				return fmt.Errorf("checkpoint: slice length %d exceeds %d remaining bytes", n, d.remaining())
+			}
+			s := reflect.MakeSlice(v.Type(), int(n), int(n))
+			for i := 0; i < int(n); i++ {
+				if err := d.value(s.Index(i)); err != nil {
+					return err
+				}
+			}
+			v.Set(s)
+		default:
+			return fmt.Errorf("checkpoint: bad slice flag %d at offset %d", b, d.off-1)
+		}
+	case reflect.Array:
+		for i := 0; i < v.Len(); i++ {
+			if err := d.value(v.Index(i)); err != nil {
+				return err
+			}
+		}
+	case reflect.Struct:
+		t := v.Type()
+		for i := 0; i < t.NumField(); i++ {
+			if !t.Field(i).IsExported() {
+				return fmt.Errorf("checkpoint: unexported field %s.%s", t, t.Field(i).Name)
+			}
+			if err := d.value(v.Field(i)); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("checkpoint: cannot decode %s", v.Kind())
+	}
+	return nil
+}
+
+// Encode serializes c into the versioned binary format. Equal checkpoints
+// encode to equal bytes.
+func (c *Checkpoint) Encode() []byte {
+	e := &encoder{buf: make([]byte, 0, 1<<16)}
+	e.buf = append(e.buf, magic[:]...)
+	e.uvarint(Version)
+	e.value(reflect.ValueOf(c).Elem())
+	return e.buf
+}
+
+// Decode parses a checkpoint from the versioned binary format. Malformed
+// input of any shape returns an error; Decode never panics.
+func Decode(data []byte) (*Checkpoint, error) {
+	if len(data) < len(magic) || [4]byte(data[:4]) != magic {
+		return nil, fmt.Errorf("checkpoint: bad magic")
+	}
+	d := &decoder{buf: data, off: len(magic)}
+	ver, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if ver != Version {
+		return nil, fmt.Errorf("checkpoint: format version %d, this build reads %d", ver, Version)
+	}
+	c := &Checkpoint{}
+	if err := d.value(reflect.ValueOf(c).Elem()); err != nil {
+		return nil, err
+	}
+	if d.remaining() != 0 {
+		return nil, fmt.Errorf("checkpoint: %d trailing bytes", d.remaining())
+	}
+	return c, nil
+}

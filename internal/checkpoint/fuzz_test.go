@@ -1,0 +1,71 @@
+package checkpoint
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/system"
+	"repro/internal/tracegen"
+)
+
+// FuzzCheckpointRoundTrip feeds arbitrary bytes to the checkpoint decoder.
+// Malformed input must be rejected with an error — never a panic and never
+// a huge allocation — and anything that decodes must re-encode canonically:
+// decode(encode(c)) == c exactly, and the re-encoding is a fixed point.
+// (encode(decode(data)) may differ from data itself: varints admit
+// non-minimal forms, which re-encoding normalizes.)
+func FuzzCheckpointRoundTrip(f *testing.F) {
+	// A minimal checkpoint and a real mid-run machine state.
+	f.Add((&Checkpoint{Signature: "seed", Cursor: 42}).Encode())
+	f.Add(realCheckpoint(f).Encode())
+	// Structurally hostile variants.
+	f.Add([]byte{})
+	f.Add([]byte("VRCK"))
+	f.Add([]byte{'V', 'R', 'C', 'K', 1, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := Decode(data)
+		if err != nil {
+			return // rejected without panicking: fine
+		}
+		enc := c.Encode()
+		back, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-decoding our own encoding failed: %v", err)
+		}
+		if !reflect.DeepEqual(c, back) {
+			t.Fatalf("decode(encode(c)) != c:\n%+v\n%+v", c, back)
+		}
+		if again := back.Encode(); !bytes.Equal(again, enc) {
+			t.Fatalf("encoding is not a fixed point:\n% x\n% x", enc, again)
+		}
+	})
+}
+
+// realCheckpoint captures a small machine mid-run so the corpus starts
+// from a structurally complete state (all hierarchy components populated).
+func realCheckpoint(f *testing.F) *Checkpoint {
+	f.Helper()
+	tc, err := tracegen.PresetByName("pops")
+	if err != nil {
+		f.Fatal(err)
+	}
+	tc = tc.Scaled(0.0005)
+	tc.CPUs = 2
+	sys, err := system.New(testMachine(system.VR, 2))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := tc.SetupSharedMappings(sys.MMU()); err != nil {
+		f.Fatal(err)
+	}
+	if _, err := sys.RunRecords(tracegen.MustNew(tc), 800); err != nil {
+		f.Fatal(err)
+	}
+	ck, err := Capture(sys, "fuzz-seed", 800)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return ck
+}

@@ -50,6 +50,10 @@ func (t *TokenSource) Next() uint64 {
 // Last returns the most recently issued token.
 func (t *TokenSource) Last() uint64 { return t.n }
 
+// RestoreLast rewinds (or advances) the source so that Last() == n
+// (checkpoint support).
+func (t *TokenSource) RestoreLast(n uint64) { t.n = n }
+
 // SynonymKind classifies how a first-level miss found its data already at
 // the first level under another address.
 type SynonymKind int
@@ -168,6 +172,14 @@ type Hierarchy interface {
 	// Snapshot copies the hierarchy's structural state for the audit
 	// layer's invariant checks and diffable JSON dumps.
 	Snapshot() *audit.CPUSnapshot
+	// ExportState copies the hierarchy's complete state — tags, stamps,
+	// recency clocks, buffers and counters — for checkpointing. Unlike
+	// Snapshot it loses nothing: a restore continues byte-identically.
+	ExportState() *HierarchyState
+	// RestoreState replaces the hierarchy's state with a previously
+	// exported one. The receiving hierarchy must have the same geometry
+	// and organization as the exporter.
+	RestoreState(*HierarchyState) error
 }
 
 // Protocol selects the bus coherence protocol.

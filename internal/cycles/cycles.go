@@ -292,6 +292,68 @@ func (e *Engine) BusWait() uint64 {
 	return w
 }
 
+// State is the engine's serializable state (checkpoint support): every
+// agent's timing plus the shared bus horizon.
+type State struct {
+	Agents  []AgentTiming
+	BusFree uint64
+	BusBusy uint64
+	BusTxns uint64
+}
+
+// ExportState captures the engine's clocks and counters.
+func (e *Engine) ExportState() State {
+	st := State{BusFree: e.busFree, BusBusy: e.busBusy, BusTxns: e.busTxns}
+	for i := range e.agents {
+		st.Agents = append(st.Agents, e.Agent(i))
+	}
+	return st
+}
+
+// RestoreState replaces the engine's clocks and counters. Each agent's
+// clock must equal its breakdown total — the invariant every charge site
+// maintains.
+func (e *Engine) RestoreState(st State) error {
+	for i, a := range st.Agents {
+		if a.Clock != a.Breakdown.Total() {
+			return fmt.Errorf("cycles: state agent %d clock %d != breakdown total %d",
+				i, a.Clock, a.Breakdown.Total())
+		}
+	}
+	e.agents = e.agents[:0]
+	for _, a := range st.Agents {
+		e.agents = append(e.agents, agent{clock: a.Clock, refs: a.Refs, bd: a.Breakdown})
+	}
+	e.busFree, e.busBusy, e.busTxns = st.BusFree, st.BusBusy, st.BusTxns
+	return nil
+}
+
+// Merge folds another engine's measurements into this one (the shard
+// stitcher's merge path): per-agent clocks, references and breakdowns add,
+// as do the bus occupancy totals; the busy horizon becomes the larger of
+// the two, since merged shards never overlapped on a real bus.
+func (e *Engine) Merge(o *Engine) {
+	if o == nil {
+		return
+	}
+	for i := range o.agents {
+		a := e.agentFor(i)
+		oa := &o.agents[i]
+		a.clock += oa.clock
+		a.refs += oa.refs
+		a.bd.Access += oa.bd.Access
+		a.bd.TLB += oa.bd.TLB
+		a.bd.BusWait += oa.bd.BusWait
+		a.bd.Stall += oa.bd.Stall
+		a.bd.Ctx += oa.bd.Ctx
+	}
+	if o.busFree > e.busFree {
+		e.busFree = o.busFree
+	}
+	e.busBusy += o.busBusy
+	e.busTxns += o.busTxns
+}
+
 // CPU is one agent's nil-safe charging handle, held by its hierarchy.
 type CPU struct {
 	e  *Engine

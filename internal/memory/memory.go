@@ -7,6 +7,9 @@
 package memory
 
 import (
+	"fmt"
+	"sort"
+
 	"repro/internal/addr"
 )
 
@@ -73,3 +76,48 @@ func (m *Memory) Write(pa addr.PAddr, token uint64) {
 // BlocksWritten returns the number of distinct blocks ever written, for
 // tests.
 func (m *Memory) BlocksWritten() int { return len(m.data) }
+
+// AddStats folds another memory's traffic counters into this one (the
+// shard stitcher's merge path).
+func (m *Memory) AddStats(o Stats) {
+	m.stats.BlockReads += o.BlockReads
+	m.stats.BlockWrites += o.BlockWrites
+}
+
+// BlockToken is one written block's serializable form.
+type BlockToken struct {
+	Block uint64
+	Token uint64
+}
+
+// State is the memory's serializable state (checkpoint support), sorted by
+// block number so identical memories export identical states.
+type State struct {
+	Stats  Stats
+	Blocks []BlockToken
+}
+
+// ExportState captures the token store and counters.
+func (m *Memory) ExportState() State {
+	st := State{Stats: m.stats, Blocks: make([]BlockToken, 0, len(m.data))}
+	for b, t := range m.data {
+		st.Blocks = append(st.Blocks, BlockToken{Block: b, Token: t})
+	}
+	sort.Slice(st.Blocks, func(i, j int) bool { return st.Blocks[i].Block < st.Blocks[j].Block })
+	return st
+}
+
+// RestoreState replaces the token store and counters. Duplicate block
+// numbers are rejected.
+func (m *Memory) RestoreState(st State) error {
+	data := make(map[uint64]uint64, len(st.Blocks))
+	for _, bt := range st.Blocks {
+		if _, dup := data[bt.Block]; dup {
+			return fmt.Errorf("memory: state repeats block %d", bt.Block)
+		}
+		data[bt.Block] = bt.Token
+	}
+	m.stats = st.Stats
+	m.data = data
+	return nil
+}

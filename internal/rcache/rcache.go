@@ -246,6 +246,32 @@ func (r *RCache) Invalidate(set, way int) {
 // CountValid returns the number of valid lines.
 func (r *RCache) CountValid() int { return r.tags.CountValid() }
 
+// ExportState captures the tag store (checkpoint support). Line payloads
+// hold a subentry slice, so each exported line gets its own deep copy — the
+// state stays stable if the cache keeps running afterwards.
+func (r *RCache) ExportState() cache.State[Line] {
+	s := r.tags.ExportState()
+	for i := range s.Ways {
+		s.Ways[i].Line.Subs = append([]SubEntry(nil), s.Ways[i].Line.Subs...)
+	}
+	return s
+}
+
+// RestoreState replaces the tag store's contents. Each restored line's
+// subentry slice must be empty (never-touched payload) or exactly
+// SubsPerLine long; the cache takes deep copies.
+func (r *RCache) RestoreState(s cache.State[Line]) error {
+	for i := range s.Ways {
+		if n := len(s.Ways[i].Line.Subs); n != 0 && n != r.subs {
+			return fmt.Errorf("rcache: state way %d has %d subentries, want 0 or %d", i, n, r.subs)
+		}
+	}
+	for i := range s.Ways {
+		s.Ways[i].Line.Subs = append([]SubEntry(nil), s.Ways[i].Line.Subs...)
+	}
+	return r.tags.RestoreState(s)
+}
+
 // ForEachValid visits every valid line.
 func (r *RCache) ForEachValid(fn func(set, way int, l *Line)) {
 	r.tags.ForEachValid(func(set, way int) {

@@ -114,18 +114,30 @@ type MonitorReport struct {
 	Occupancy []monitor.OccupancySummary `json:"occupancy,omitempty"`
 }
 
+// ShardingInfo records that the run was time-sharded (see
+// internal/checkpoint): statistics were stitched from Shards windows of
+// the trace, each warmed with Warmup references (approximate mode) or
+// resumed from a verified checkpoint (exact mode).
+type ShardingInfo struct {
+	Mode     string `json:"mode"`
+	Shards   int    `json:"shards"`
+	Warmup   uint64 `json:"warmupRefs,omitempty"`
+	Verified int    `json:"verifiedBoundaries,omitempty"`
+}
+
 // Results is a complete run summary.
 type Results struct {
-	Machine Machine        `json:"machine"`
-	Refs    uint64         `json:"references"`
-	L1      HitRatios      `json:"l1"`
-	L2      HitRatios      `json:"l2"`
-	Bus     BusStats       `json:"bus"`
-	PerCPU  []CPUStats     `json:"perCPU"`
-	Timing  *TimingReport  `json:"timing,omitempty"`
-	Probe   *ProbeReport   `json:"probe,omitempty"`
-	Audit   *AuditReport   `json:"audit,omitempty"`
-	Monitor *MonitorReport `json:"monitor,omitempty"`
+	Machine  Machine        `json:"machine"`
+	Refs     uint64         `json:"references"`
+	L1       HitRatios      `json:"l1"`
+	L2       HitRatios      `json:"l2"`
+	Bus      BusStats       `json:"bus"`
+	PerCPU   []CPUStats     `json:"perCPU"`
+	Timing   *TimingReport  `json:"timing,omitempty"`
+	Probe    *ProbeReport   `json:"probe,omitempty"`
+	Audit    *AuditReport   `json:"audit,omitempty"`
+	Monitor  *MonitorReport `json:"monitor,omitempty"`
+	Sharding *ShardingInfo  `json:"sharding,omitempty"`
 }
 
 // AddWindows attaches windowed metrics to the probe section (creating it

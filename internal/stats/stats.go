@@ -74,13 +74,83 @@ func (h *Histogram) Mean() float64 {
 }
 
 // WriteTable renders the histogram in the paper's two-column style, starting
-// at the given minimum value (e.g. 1 for inter-write intervals).
+// at the given minimum value (e.g. 1 for inter-write intervals). A negative
+// minimum is clamped to 0, mirroring Observe's clamp.
 func (h *Histogram) WriteTable(w io.Writer, min int) {
+	if min < 0 {
+		min = 0
+	}
 	fmt.Fprintf(w, "%-16s %s\n", "value", "count")
 	for v := min; v < h.cap; v++ {
 		fmt.Fprintf(w, "%-16d %d\n", v, h.buckets[v])
 	}
 	fmt.Fprintf(w, "%-16s %d\n", fmt.Sprintf("%d and larger", h.cap), h.over)
+}
+
+// Merge adds another histogram's observations into h. The two histograms
+// must share a bucket cap so per-bucket counts line up; names may differ
+// (h keeps its own). Merging is the bucket-wise sum, so it is commutative
+// and associative, and a fresh histogram is its identity.
+func (h *Histogram) Merge(o *Histogram) error {
+	if o == nil {
+		return nil
+	}
+	if h.cap != o.cap {
+		return fmt.Errorf("stats: merging histogram with cap %d into cap %d", o.cap, h.cap)
+	}
+	for i, v := range o.buckets {
+		h.buckets[i] += v
+	}
+	h.over += o.over
+	h.total += o.total
+	h.sum += o.sum
+	return nil
+}
+
+// HistogramState is a Histogram's serializable contents (checkpoint
+// support).
+type HistogramState struct {
+	Name    string
+	Cap     int
+	Buckets []uint64
+	Over    uint64
+	Total   uint64
+	Sum     uint64
+}
+
+// ExportState returns a copy of the histogram's contents.
+func (h *Histogram) ExportState() HistogramState {
+	return HistogramState{
+		Name:    h.name,
+		Cap:     h.cap,
+		Buckets: append([]uint64(nil), h.buckets...),
+		Over:    h.over,
+		Total:   h.total,
+		Sum:     h.sum,
+	}
+}
+
+// RestoreState replaces the histogram's contents. The state's bucket count
+// must match its cap; the receiver's identity (name, cap) is overwritten.
+func (h *Histogram) RestoreState(s HistogramState) error {
+	if s.Cap < 1 || len(s.Buckets) != s.Cap {
+		return fmt.Errorf("stats: histogram state has %d buckets for cap %d", len(s.Buckets), s.Cap)
+	}
+	var inBuckets uint64
+	for _, v := range s.Buckets {
+		inBuckets += v
+	}
+	if inBuckets+s.Over != s.Total {
+		return fmt.Errorf("stats: histogram state total %d != bucket sum %d + overflow %d",
+			s.Total, inBuckets, s.Over)
+	}
+	h.name = s.Name
+	h.cap = s.Cap
+	h.buckets = append([]uint64(nil), s.Buckets...)
+	h.over = s.Over
+	h.total = s.Total
+	h.sum = s.Sum
+	return nil
 }
 
 // Ratio is a hit/total pair that formats as a 3-decimal hit ratio.
@@ -290,3 +360,44 @@ func (t *IntervalTracker) Reset() { t.seen = false }
 
 // Histogram returns the interval histogram.
 func (t *IntervalTracker) Histogram() *Histogram { return t.hist }
+
+// Merge folds another tracker's interval histogram into t. The receiver
+// keeps its own clock and last-event position: intervals spanning the
+// boundary between two merged trackers were never observed by either, so
+// the merged histogram is exactly the union of both observation sets.
+func (t *IntervalTracker) Merge(o *IntervalTracker) error {
+	if o == nil {
+		return nil
+	}
+	return t.hist.Merge(o.hist)
+}
+
+// IntervalTrackerState is an IntervalTracker's serializable contents
+// (checkpoint support).
+type IntervalTrackerState struct {
+	Hist  HistogramState
+	Last  uint64
+	Seen  bool
+	Clock uint64
+}
+
+// ExportState returns a copy of the tracker's contents.
+func (t *IntervalTracker) ExportState() IntervalTrackerState {
+	return IntervalTrackerState{
+		Hist:  t.hist.ExportState(),
+		Last:  t.last,
+		Seen:  t.seen,
+		Clock: t.clock,
+	}
+}
+
+// RestoreState replaces the tracker's contents.
+func (t *IntervalTracker) RestoreState(s IntervalTrackerState) error {
+	if err := t.hist.RestoreState(s.Hist); err != nil {
+		return err
+	}
+	t.last = s.Last
+	t.seen = s.Seen
+	t.clock = s.Clock
+	return nil
+}

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -48,6 +49,45 @@ func (o *Options) applyDefaults() {
 	if o.QueueDepth <= 0 {
 		o.QueueDepth = 4
 	}
+}
+
+// Parallel runs jobs 0..n-1 on at most workers goroutines (GOMAXPROCS when
+// workers <= 0) and waits for all of them. Every job runs even after a
+// failure; the error of the lowest-indexed failing job is returned, so the
+// result is deterministic regardless of scheduling. The sweep engine's
+// fan-out covers many systems on one trace; Parallel is the complementary
+// primitive — independent jobs, each with its own trace — used by the
+// time-sharded runner in internal/checkpoint.
+func Parallel(n, workers int, job func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = job(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("sweep: job %d: %w", i, err)
+		}
+	}
+	return nil
 }
 
 // batch is one broadcast unit: a shared read-only slice of records and the

@@ -133,3 +133,39 @@ func (t *TLB) ForEachResident(fn func(pid addr.PID, vpage, frame uint64)) {
 		fn(e.pid, vpage, e.frame)
 	})
 }
+
+// EntryState is one TLB entry's serializable payload (checkpoint support;
+// the internal payload type stays unexported).
+type EntryState struct {
+	PID   addr.PID
+	Frame uint64
+}
+
+// ExportState captures the tag store and counters.
+func (t *TLB) ExportState() (cache.State[EntryState], Stats) {
+	in := t.tags.ExportState()
+	out := cache.State[EntryState]{Clock: in.Clock, Draws: in.Draws, Ways: make([]cache.Entry[EntryState], len(in.Ways))}
+	for i, e := range in.Ways {
+		out.Ways[i] = cache.Entry[EntryState]{
+			Tag: e.Tag, Valid: e.Valid, Stamp: e.Stamp,
+			Line: EntryState{PID: e.Line.pid, Frame: e.Line.frame},
+		}
+	}
+	return out, t.stats
+}
+
+// RestoreState replaces the tag store's contents and counters.
+func (t *TLB) RestoreState(s cache.State[EntryState], st Stats) error {
+	in := cache.State[entry]{Clock: s.Clock, Draws: s.Draws, Ways: make([]cache.Entry[entry], len(s.Ways))}
+	for i, e := range s.Ways {
+		in.Ways[i] = cache.Entry[entry]{
+			Tag: e.Tag, Valid: e.Valid, Stamp: e.Stamp,
+			Line: entry{pid: e.Line.PID, frame: e.Line.Frame},
+		}
+	}
+	if err := t.tags.RestoreState(in); err != nil {
+		return fmt.Errorf("tlb: %w", err)
+	}
+	t.stats = st
+	return nil
+}

@@ -94,6 +94,50 @@ func (c *Counting) Next() (Ref, error) {
 // Characteristics returns the summary of records read so far.
 func (c *Counting) Characteristics() Characteristics { return c.chars }
 
+// Skip discards exactly n records (memory references and context switches
+// both count) from r, batched to amortize interface dispatch. It returns
+// the number discarded, short only when the trace ends first — the shard
+// runner uses it to position a regenerated trace at a checkpoint's cursor.
+func Skip(r Reader, n uint64) (uint64, error) {
+	var done uint64
+	buf := make([]Ref, 4096)
+	for done < n {
+		want := n - done
+		if want > uint64(len(buf)) {
+			want = uint64(len(buf))
+		}
+		got, err := FillBatch(r, buf[:want])
+		done += uint64(got)
+		if err == io.EOF {
+			return done, nil
+		}
+		if err != nil {
+			return done, err
+		}
+	}
+	return done, nil
+}
+
+// SkipRefs discards records from r until n memory references have passed
+// (context switches are discarded but not counted). It returns the number
+// of memory references counted, short only when the trace ends first.
+func SkipRefs(r Reader, n uint64) (uint64, error) {
+	var done uint64
+	for done < n {
+		ref, err := r.Next()
+		if err == io.EOF {
+			return done, nil
+		}
+		if err != nil {
+			return done, err
+		}
+		if ref.Kind != CtxSwitch {
+			done++
+		}
+	}
+	return done, nil
+}
+
 // gzipMagic is the 2-byte gzip stream header.
 var gzipMagic = [2]byte{0x1f, 0x8b}
 

@@ -198,6 +198,15 @@ func (c *Config) SetupSharedMappings(mmu *vm.MMU) error {
 	return nil
 }
 
+// Signature returns a stable fingerprint of the (default-applied)
+// configuration. Checkpoints store it so a restore can verify it is
+// resuming the same deterministic workload the checkpoint came from.
+func (c *Config) Signature() string {
+	cc := *c
+	cc.applyDefaults()
+	return fmt.Sprintf("tracegen/v1:%+v", cc)
+}
+
 // mtfStack is an approximate LRU stack of block numbers (most recent
 // first), the substrate of the stack-distance locality model.
 type mtfStack struct {

@@ -297,3 +297,10 @@ func (v *VCache) ForEachPresent(fn func(set, way int, l *Line)) {
 		fn(set, way, v.tags.Line(set, way))
 	})
 }
+
+// ExportState captures the tag store (checkpoint support). Line payloads
+// are value types, so the shallow copy is a full copy.
+func (v *VCache) ExportState() cache.State[Line] { return v.tags.ExportState() }
+
+// RestoreState replaces the tag store's contents.
+func (v *VCache) RestoreState(s cache.State[Line]) error { return v.tags.RestoreState(s) }

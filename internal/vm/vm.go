@@ -204,3 +204,67 @@ type SynonymSite struct {
 	PID   addr.PID
 	VPage uint64
 }
+
+// PageMapping is one page-table entry's serializable form.
+type PageMapping struct {
+	VPage uint64
+	Frame uint64
+}
+
+// SpaceState is one address space's serializable page table, sorted by
+// virtual page number.
+type SpaceState struct {
+	PID   addr.PID
+	Pages []PageMapping
+}
+
+// State is the MMU's serializable state (checkpoint support), with spaces
+// sorted by PID so identical MMUs export identical states.
+type State struct {
+	NextFrame uint64
+	Stats     Stats
+	Spaces    []SpaceState
+}
+
+// ExportState captures the page tables and counters.
+func (m *MMU) ExportState() State {
+	st := State{NextFrame: m.nextFrame, Stats: m.stats}
+	pids := make([]addr.PID, 0, len(m.spaces))
+	for pid := range m.spaces {
+		pids = append(pids, pid)
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+	for _, pid := range pids {
+		ss := SpaceState{PID: pid}
+		for _, vpage := range m.MappedPages(pid) {
+			ss.Pages = append(ss.Pages, PageMapping{VPage: vpage, Frame: m.spaces[pid].pages[vpage]})
+		}
+		st.Spaces = append(st.Spaces, ss)
+	}
+	return st
+}
+
+// RestoreState replaces the page tables and counters. Every mapped frame
+// must lie below NextFrame, the allocation horizon.
+func (m *MMU) RestoreState(st State) error {
+	for _, ss := range st.Spaces {
+		if ss.PID == addr.NoPID {
+			return fmt.Errorf("vm: state maps pages for NoPID")
+		}
+		for _, pm := range ss.Pages {
+			if pm.Frame >= st.NextFrame {
+				return fmt.Errorf("vm: state maps frame %d at or beyond horizon %d", pm.Frame, st.NextFrame)
+			}
+		}
+	}
+	m.nextFrame = st.NextFrame
+	m.stats = st.Stats
+	m.spaces = make(map[addr.PID]*space, len(st.Spaces))
+	for _, ss := range st.Spaces {
+		s := m.spaceFor(ss.PID)
+		for _, pm := range ss.Pages {
+			s.pages[pm.VPage] = pm.Frame
+		}
+	}
+	return nil
+}

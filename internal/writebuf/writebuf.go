@@ -205,6 +205,57 @@ func (b *Buffer) Update(rptr vcache.RPtr, token uint64) bool {
 	return false
 }
 
+// EntryState is one buffered write-back's serializable state, drain
+// deadline included (checkpoint support).
+type EntryState struct {
+	RPtr  vcache.RPtr
+	Token uint64
+	Due   uint64
+}
+
+// State is the buffer's serializable state: the clock, the counters, and
+// every entry oldest-first.
+type State struct {
+	Clock   uint64
+	Stats   Stats
+	Entries []EntryState
+}
+
+// ExportState captures the buffer's contents.
+func (b *Buffer) ExportState() State {
+	s := State{Clock: b.clock, Stats: b.stats, Entries: make([]EntryState, 0, b.count)}
+	b.ForEach(func(e Entry) {
+		s.Entries = append(s.Entries, EntryState{RPtr: e.RPtr, Token: e.Token, Due: e.due})
+	})
+	return s
+}
+
+// RestoreState replaces the buffer's contents. The entry count must fit the
+// buffer's depth and every deadline must be within one latency of the
+// restored clock, oldest first.
+func (b *Buffer) RestoreState(s State) error {
+	if len(s.Entries) > b.depth {
+		return fmt.Errorf("writebuf: state has %d entries, depth %d", len(s.Entries), b.depth)
+	}
+	for i, e := range s.Entries {
+		if e.Due > s.Clock+b.latency {
+			return fmt.Errorf("writebuf: state entry %d due %d beyond clock %d + latency %d",
+				i, e.Due, s.Clock, b.latency)
+		}
+		if i > 0 && e.Due < s.Entries[i-1].Due {
+			return fmt.Errorf("writebuf: state entries out of FIFO deadline order at %d", i)
+		}
+	}
+	b.clock = s.Clock
+	b.stats = s.Stats
+	b.head = 0
+	b.count = len(s.Entries)
+	for i, e := range s.Entries {
+		b.ring[i] = Entry{RPtr: e.RPtr, Token: e.Token, due: e.Due}
+	}
+	return nil
+}
+
 func (b *Buffer) remove(rptr vcache.RPtr, counter *uint64, op Op) (Entry, bool) {
 	for i := 0; i < b.count; i++ {
 		if e := *b.at(i); e.RPtr == rptr {
