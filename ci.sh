@@ -65,6 +65,20 @@ for org in vr rr rrnoincl; do
     go run -race ./cmd/vrsim -preset pops -scale 0.02 -audit -audit-every 1000 -org "$org" > /dev/null
 done
 
+# Telemetry: the tracing/attribution layer under the race detector (its
+# on-demand dump path crosses goroutines), then an end-to-end flight-recorder
+# smoke — a run with an injected audit violation must exit non-zero and leave
+# a parseable post-mortem bundle behind.
+echo "== telemetry tests under race + flight recorder smoke"
+go test -race ./internal/telemetry
+if go run ./cmd/vrsim -preset pops -scale 0.02 -timed -tlb-penalty 8 \
+    -audit-every 1000 -inject-violation -flightrec "$tmp/fr" -attr > "$tmp/fr.out" 2>&1; then
+    echo "flightrec smoke: injected violation did not fail the run" >&2
+    exit 1
+fi
+bundle=$(ls "$tmp"/fr/flightrec-*-audit-violation.json)
+go run ./cmd/vrsim -verify-bundle "$bundle"
+
 echo "== bench guard (sweep throughput vs BENCH_sweep.json baseline)"
 go run ./cmd/benchguard
 

@@ -4,10 +4,14 @@
 // single noisy iteration on a loaded machine does not fail the build; a
 // real regression shows up in every run.
 //
+// Besides the pass/fail gate, every run is appended to a trajectory file
+// (BENCH_history.json by default) so throughput trends across PRs stay
+// visible instead of collapsing into a single boolean.
+//
 // Usage (from the repository root, as ci.sh does):
 //
 //	go run ./cmd/benchguard
-//	go run ./cmd/benchguard -count 4 -threshold 0.85
+//	go run ./cmd/benchguard -count 4 -threshold 0.85 -history ""
 package main
 
 import (
@@ -16,21 +20,60 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"runtime"
 	"strconv"
 	"strings"
+	"time"
 )
 
 type options struct {
 	baseline  string
+	history   string
 	config    string
 	count     int
 	threshold float64
 	verbose   bool
 }
 
+// historyEntry is one appended BENCH_history.json record.
+type historyEntry struct {
+	Time       string  `json:"time"` // RFC 3339, UTC
+	Config     string  `json:"config"`
+	RefsPerSec float64 `json:"refsPerSec"` // best of -count runs
+	Baseline   float64 `json:"baseline"`
+	Threshold  float64 `json:"threshold"`
+	Pass       bool    `json:"pass"`
+	GoVersion  string  `json:"goVersion"`
+}
+
+// appendHistory adds one entry to the trajectory file (created on first
+// use). The file is a plain JSON array so it stays trivially parseable and
+// diffable.
+func appendHistory(path string, e historyEntry) error {
+	var entries []historyEntry
+	data, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(data, &entries); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	case os.IsNotExist(err):
+	default:
+		return err
+	}
+	entries = append(entries, e)
+	out, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
 func main() {
 	var o options
 	flag.StringVar(&o.baseline, "baseline", "BENCH_sweep.json", "baseline file")
+	flag.StringVar(&o.history, "history", "BENCH_history.json",
+		"append each run to this trajectory file (\"\" disables)")
 	flag.StringVar(&o.config, "config", "6", "BenchmarkSweepNConfigs sub-benchmark to guard")
 	flag.IntVar(&o.count, "count", 3, "benchmark repetitions (best run wins)")
 	flag.Float64Var(&o.threshold, "threshold", 0.9, "fail below baseline*threshold")
@@ -61,6 +104,22 @@ func run(o options) error {
 	floor := want * o.threshold
 	fmt.Printf("benchguard: sweep/%s best of %d runs: %.0f refs/s (baseline %.0f, floor %.0f)\n",
 		o.config, runs, best, want, floor)
+	if o.history != "" {
+		// A failing run is recorded too: the trajectory must show the dip,
+		// not just the runs that survived the gate.
+		e := historyEntry{
+			Time:       time.Now().UTC().Format(time.RFC3339),
+			Config:     o.config,
+			RefsPerSec: best,
+			Baseline:   want,
+			Threshold:  o.threshold,
+			Pass:       best >= floor,
+			GoVersion:  runtime.Version(),
+		}
+		if err := appendHistory(o.history, e); err != nil {
+			return err
+		}
+	}
 	if best < floor {
 		return fmt.Errorf("throughput regression: %.0f refs/s is below %.0f (%.0f%% of the %.0f baseline)",
 			best, floor, o.threshold*100, want)

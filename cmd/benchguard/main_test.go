@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -51,6 +52,39 @@ func TestBaselineRefsPerSec(t *testing.T) {
 	}
 	if _, err := baselineRefsPerSec(filepath.Join(t.TempDir(), "nope.json"), "6"); err == nil {
 		t.Fatal("missing file must be an error")
+	}
+}
+
+func TestAppendHistory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.json")
+	e1 := historyEntry{Time: "2026-08-08T00:00:00Z", Config: "6",
+		RefsPerSec: 6500000, Baseline: 6619246, Threshold: 0.9, Pass: true, GoVersion: "go1.24.0"}
+	if err := appendHistory(path, e1); err != nil {
+		t.Fatal(err)
+	}
+	e2 := e1
+	e2.RefsPerSec, e2.Pass = 1000, false
+	if err := appendHistory(path, e2); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []historyEntry
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != e1 || got[1] != e2 {
+		t.Fatalf("trajectory mismatch: %+v", got)
+	}
+	// Corrupt file: the append must fail loudly, not silently truncate the
+	// trajectory.
+	if err := os.WriteFile(path, []byte("{not an array"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := appendHistory(path, e1); err == nil {
+		t.Fatal("append to a corrupt trajectory must error")
 	}
 }
 

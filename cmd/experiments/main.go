@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 )
 
 // selectExperiments resolves a -run argument ("all", a comma-separated id
@@ -70,7 +71,12 @@ func main() {
 	shards := flag.Int("shards", 0,
 		"split each sweep's run into this many parallel time shards (approximate; hit ratios agree within ~1e-3)")
 	warmup := flag.Uint64("warmup", 65536, "warm-up references per time shard (-shards)")
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println("experiments", telemetry.Build())
+		return
+	}
 	experiments.SetSharding(*shards, *warmup)
 
 	if *list {
@@ -111,6 +117,7 @@ func runAll(selected []experiments.Experiment, scale float64, parallel int) erro
 		took time.Duration
 		err  error
 	}
+	fmt.Println("build:", telemetry.Build())
 	results := make([]result, len(selected))
 	sem := make(chan struct{}, parallel)
 	var wg sync.WaitGroup

@@ -20,6 +20,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/audit"
 	"repro/internal/bus"
@@ -30,6 +31,7 @@ import (
 	"repro/internal/probe"
 	"repro/internal/report"
 	"repro/internal/system"
+	"repro/internal/telemetry"
 	"repro/internal/timemodel"
 	"repro/internal/trace"
 	"repro/internal/tracegen"
@@ -75,6 +77,24 @@ type options struct {
 	shards         int    // time-sharded run with this many windows
 	shardMode      string // exact | approx
 	warmup         uint64 // approximate-shard warm-up, references
+
+	traceSpans      string // write sampled causal spans as an OTLP-style JSON file (-timed)
+	spanChrome      string // write sampled causal spans as nested Chrome trace events (-timed)
+	spanEvery       uint64 // span sampling interval, references
+	flightrec       string // arm the flight recorder, bundles into this directory
+	flightrecLat    uint64 // also dump when an access takes this many cycles (-timed)
+	flightrecEvents int    // flight-recorder ring size per CPU
+	attr            bool   // cycle-attribution profile (-timed)
+	attrOut         string // also write the attribution text report here ("-" = stdout)
+	attrTopK        int    // heavy-hitter sketch size
+	injectViolation bool   // inject a synthetic audit violation (CI smoke)
+}
+
+// telemetryActive reports whether any flag needs the telemetry layer (and
+// therefore an event probe).
+func (o options) telemetryActive() bool {
+	return o.traceSpans != "" || o.spanChrome != "" || o.attr ||
+		o.flightrec != "" || o.flightrecLat > 0
 }
 
 // cycleParams assembles the engine's latency inputs from the flags.
@@ -142,8 +162,42 @@ func main() {
 	flag.StringVar(&o.shardMode, "shard-mode", "approx",
 		"sharded-run mode: approx (warm-up windows) or exact (checkpoint-verified)")
 	flag.Uint64Var(&o.warmup, "warmup", 65536, "warm-up references per approximate shard (-shards)")
+	flag.StringVar(&o.traceSpans, "trace-spans", "",
+		"write sampled causal span trees to this OTLP-style JSON file (requires -timed)")
+	flag.StringVar(&o.spanChrome, "trace-spans-chrome", "",
+		"write sampled causal span trees as nested Chrome trace events (requires -timed)")
+	flag.Uint64Var(&o.spanEvery, "span-every", telemetry.DefaultSpanSample,
+		"sample one reference in every N for span tracing")
+	flag.StringVar(&o.flightrec, "flightrec", "",
+		"arm the flight recorder: write post-mortem bundles into this directory")
+	flag.Uint64Var(&o.flightrecLat, "flightrec-latency", 0,
+		"also dump a bundle when a reference takes this many cycles (requires -timed)")
+	flag.IntVar(&o.flightrecEvents, "flightrec-events", telemetry.DefaultRecEventsPerCPU,
+		"flight-recorder ring size, events per CPU")
+	flag.BoolVar(&o.attr, "attr", false,
+		"profile cycle attribution by mechanism and heavy hitters (requires -timed)")
+	flag.StringVar(&o.attrOut, "attr-out", "",
+		"also write the attribution text report to this file (\"-\" = stdout)")
+	flag.IntVar(&o.attrTopK, "attr-topk", telemetry.DefaultAttrTopK,
+		"heavy-hitter sketch size for -attr")
+	flag.BoolVar(&o.injectViolation, "inject-violation", false,
+		"inject one synthetic audit violation (exercises the failure path; requires -audit)")
 	compare := flag.Bool("compare", false, "run all three organizations on the same workload and compare")
+	version := flag.Bool("version", false, "print build information and exit")
+	verifyBundle := flag.String("verify-bundle", "", "parse a flight-recorder bundle file, print its summary, and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println("vrsim", telemetry.Build())
+		return
+	}
+	if *verifyBundle != "" {
+		if err := printBundle(os.Stdout, *verifyBundle); err != nil {
+			fmt.Fprintln(os.Stderr, "vrsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *compare {
 		if err := runCompare(o.preset, o.l1, o.l2, o.b1, o.b2, o.a1, o.a2, o.cpus, o.scale); err != nil {
@@ -310,6 +364,14 @@ func run(o options, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if pr == nil && o.telemetryActive() {
+		// The telemetry layer rides the probe event stream; arm a probe
+		// even when no event flag asked for one.
+		pr = probe.New(0)
+	}
+	if err := validateTelemetryFlags(o); err != nil {
+		return err
+	}
 	var eng *cycles.Engine
 	if o.timed {
 		if eng, err = cycles.New(o.cycleParams(), pr); err != nil {
@@ -441,6 +503,61 @@ func run(o options, stdout io.Writer) error {
 		}
 	}
 
+	// The telemetry layer (ISSUE 6): span tracer, cycle-attribution
+	// profiler, and flight recorder, all riding the probe stream.
+	var tracer *telemetry.Tracer
+	if o.traceSpans != "" || o.spanChrome != "" {
+		var exps []telemetry.SpanExporter
+		if o.traceSpans != "" {
+			f, err := os.Create(o.traceSpans)
+			if err != nil {
+				return err
+			}
+			exps = append(exps, telemetry.NewOTLPWriter(f))
+		}
+		if o.spanChrome != "" {
+			f, err := os.Create(o.spanChrome)
+			if err != nil {
+				return err
+			}
+			exps = append(exps, telemetry.NewChromeSpanWriter(f))
+		}
+		tracer = telemetry.NewTracer(o.spanEvery, exps...)
+		pr.AddSink(tracer)
+	}
+	var attrProf *telemetry.Attribution
+	if o.attr {
+		mc := sys.Config()
+		attrProf = telemetry.NewAttribution(telemetry.AttrConfig{
+			TopK: o.attrTopK, PageSize: mc.PageSize,
+			L2Sets: mc.L2.Sets(), L2Block: mc.L2.Block,
+		})
+		pr.AddSink(attrProf)
+	}
+	var rec *telemetry.Recorder
+	if o.flightrec != "" || o.flightrecLat > 0 {
+		rec = telemetry.NewRecorder(telemetry.RecorderConfig{
+			Dir:              o.flightrec,
+			EventsPerCPU:     o.flightrecEvents,
+			LatencyThreshold: o.flightrecLat,
+			Label: fmt.Sprintf("%v %dcpu l1=%v l2=%v",
+				sc.Organization, sc.CPUs, sc.L1, sc.L2),
+			Snapshot: sys.AuditSnapshot,
+			Probe:    pr,
+		})
+		pr.AddSink(rec)
+		aud.AddOnAudit(rec.OnAudit)
+	}
+	if o.injectViolation {
+		if aud == nil {
+			return fmt.Errorf("-inject-violation requires -audit or -audit-every")
+		}
+		aud.InjectOnce(audit.Violation{
+			Invariant: audit.InvInclusion, CPU: -1, Location: "injected",
+			Detail: "synthetic violation injected by -inject-violation",
+		})
+	}
+
 	// Live monitoring: the server publishes a fresh state copy at startup,
 	// at every closed metrics window, and once more after the run.
 	var srv *monitor.Server
@@ -454,6 +571,13 @@ func run(o options, stdout io.Writer) error {
 			st.Latencies = eng.Latencies().Clone()
 		}
 		st.Audits, st.Violations = aud.Audits(), aud.Total()
+		if attrProf != nil {
+			rep := attrProf.Report()
+			st.Blame, st.TopK = rep.BlameMetrics(), rep.TopMetrics()
+		}
+		if rec != nil {
+			st.FlightDumps = rec.Dumps()
+		}
 		snap := sys.AuditSnapshot()
 		st.Occupancy = monitor.Occupancy(snap)
 		var buf bytes.Buffer
@@ -467,6 +591,11 @@ func run(o options, stdout io.Writer) error {
 			return err
 		}
 		defer srv.Close()
+		if rec != nil {
+			srv.SetFlightDump(func() ([]byte, error) {
+				return rec.RequestDump("http /flightrec", 5*time.Second)
+			})
+		}
 		fmt.Fprintf(os.Stderr, "vrsim: monitoring on http://%s\n", srv.Addr())
 		if windows != nil {
 			prev := windows.OnClose
@@ -486,13 +615,18 @@ func run(o options, stdout io.Writer) error {
 		pr.Close()
 		return err
 	}
+	// Always finish with an on-demand audit so -audit alone (no period)
+	// still checks the final state. It runs before the probe closes so an
+	// armed flight recorder can flush the stream and bundle the events
+	// leading up to any final-state violation.
+	if aud != nil {
+		aud.Audit(sys)
+	}
 	if err := pr.Close(); err != nil {
 		return err
 	}
-	// Always finish with an on-demand audit so -audit alone (no period)
-	// still checks the final state.
-	if aud != nil {
-		aud.Audit(sys)
+	if rec != nil && rec.Err() != nil {
+		return fmt.Errorf("flight recorder: %w", rec.Err())
 	}
 	if o.snapshot != "" {
 		f, err := os.Create(o.snapshot)
@@ -510,19 +644,102 @@ func run(o options, stdout io.Writer) error {
 	if srv != nil {
 		publish()
 	}
+	var attrRep *telemetry.AttributionReport
+	if attrProf != nil {
+		// The blame split must agree with the engine's books to the cycle;
+		// a mismatch is a bug worth failing the run over.
+		if err := attrProf.Reconcile(eng); err != nil {
+			return err
+		}
+		attrRep = attrProf.Report()
+	}
 	if o.jsonOut {
 		res := report.FromSystem(sys, sc)
 		if windows != nil {
 			res.AddWindows(windows.Done())
 		}
+		res.Attribution = attrRep
 		if err := res.WriteJSON(stdout); err != nil {
 			return err
 		}
 	} else {
 		printReport(stdout, sys, sc)
+		if attrRep != nil && o.attrOut != "-" {
+			if err := attrRep.WriteText(stdout); err != nil {
+				return err
+			}
+		}
+	}
+	if attrRep != nil && o.attrOut != "" {
+		if err := writeAttrText(o.attrOut, attrRep, stdout); err != nil {
+			return err
+		}
 	}
 	if n := aud.Total(); n > 0 {
 		return fmt.Errorf("audit: %d violation(s) across %d audits", n, aud.Audits())
+	}
+	return nil
+}
+
+// writeAttrText writes the diffable attribution text report to path ("-"
+// selects stdout).
+func writeAttrText(path string, rep *telemetry.AttributionReport, stdout io.Writer) error {
+	if path == "-" {
+		return rep.WriteText(stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteText(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// printBundle summarizes a flight-recorder bundle (-verify-bundle): it
+// fails on unparseable files, so CI can assert a dump is well-formed.
+func printBundle(w io.Writer, path string) error {
+	b, err := telemetry.ReadBundle(path)
+	if err != nil {
+		return err
+	}
+	snap := "no"
+	if b.Snapshot != nil {
+		snap = fmt.Sprintf("yes (%d CPUs)", len(b.Snapshot.CPUs))
+	}
+	fmt.Fprintf(w, "bundle: trigger=%s ref=%d events=%d violations=%d snapshot=%s\n",
+		b.Trigger, b.Ref, len(b.Events), len(b.Violations), snap)
+	fmt.Fprintf(w, "build:  %s\n", b.Build)
+	if b.Label != "" {
+		fmt.Fprintf(w, "label:  %s\n", b.Label)
+	}
+	if b.Detail != "" {
+		fmt.Fprintf(w, "detail: %s\n", b.Detail)
+	}
+	return nil
+}
+
+// validateTelemetryFlags rejects telemetry flag combinations that cannot
+// work: span tracing, attribution and the latency tripwire all consume the
+// cycle engine's timing events, so they need -timed.
+func validateTelemetryFlags(o options) error {
+	if !o.timed {
+		switch {
+		case o.traceSpans != "" || o.spanChrome != "":
+			return fmt.Errorf("-trace-spans needs -timed: span boundaries come from the cycle engine")
+		case o.attr:
+			return fmt.Errorf("-attr needs -timed: attribution splits the measured cycles")
+		case o.flightrecLat > 0:
+			return fmt.Errorf("-flightrec-latency needs -timed")
+		}
+	}
+	if o.attrOut != "" && !o.attr {
+		return fmt.Errorf("-attr-out requires -attr")
+	}
+	if o.attrOut == "-" && o.jsonOut {
+		return fmt.Errorf("-attr-out - would interleave text with -json output; use a file path")
 	}
 	return nil
 }
@@ -553,6 +770,10 @@ func validateCheckpointFlags(o options) error {
 	}
 	if o.events || o.chromeTrace != "" || o.metricsEvery > 0 {
 		return fmt.Errorf("event probes cannot be checkpointed or sharded; drop -events/-chrome-trace/-metrics-every")
+	}
+	if o.telemetryActive() || o.injectViolation {
+		return fmt.Errorf("the telemetry layer cannot be checkpointed or sharded; " +
+			"drop -trace-spans/-attr/-flightrec/-inject-violation")
 	}
 	if o.auditEvery > 0 {
 		return fmt.Errorf("periodic audits cannot be checkpointed or sharded; use final-only -audit")
@@ -670,6 +891,7 @@ func runSharded(o options, stdout io.Writer, sc system.Config, wl tracegen.Confi
 
 func printReport(w io.Writer, sys *system.System, sc system.Config) {
 	agg := sys.Aggregate()
+	fmt.Fprintf(w, "build:        vrsim %v\n", telemetry.Build())
 	fmt.Fprintf(w, "organization: %v, %d CPUs, L1 %v%s, L2 %v\n",
 		sc.Organization, sc.CPUs, sc.L1, splitLabel(sc.Split), sc.L2)
 	fmt.Fprintf(w, "references:   %d\n", sys.Refs())

@@ -12,6 +12,7 @@ import (
 	"repro/internal/audit"
 	"repro/internal/report"
 	"repro/internal/system"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/tracegen"
 )
@@ -338,5 +339,147 @@ func TestRunCompareErrors(t *testing.T) {
 	}
 	if err := runCompare("pops", "4Q", "64K", 16, 32, 1, 1, 0, 1); err == nil {
 		t.Error("bad size accepted")
+	}
+}
+
+// timedRun is smallRun with the cycle engine armed (telemetry needs it).
+func timedRun() options {
+	o := smallRun()
+	o.timed = true
+	o.t1, o.t2, o.tm = 1, 4, 20
+	o.tlbPenalty = 8
+	return o
+}
+
+func TestRunTelemetryErrors(t *testing.T) {
+	mod := func(f func(*options)) options {
+		o := smallRun()
+		f(&o)
+		return o
+	}
+	cases := []struct {
+		name string
+		o    options
+	}{
+		{"trace-spans without -timed", mod(func(o *options) { o.traceSpans = "x.json" })},
+		{"attr without -timed", mod(func(o *options) { o.attr = true })},
+		{"flightrec-latency without -timed", mod(func(o *options) { o.flightrecLat = 100 })},
+		{"attr-out without -attr", mod(func(o *options) { o.attrOut = "x.txt" })},
+		{"attr-out stdout with -json", mod(func(o *options) {
+			o.timed, o.t1, o.t2, o.tm = true, 1, 4, 20
+			o.attr, o.attrOut, o.jsonOut = true, "-", true
+		})},
+		{"inject-violation without audit", mod(func(o *options) { o.injectViolation = true })},
+		{"telemetry with -checkpoint", mod(func(o *options) {
+			o.timed, o.t1, o.t2, o.tm = true, 1, 4, 20
+			o.attr = true
+			o.checkpointFile, o.checkpointAt = "x.bin", 10
+		})},
+		{"telemetry with -shards", mod(func(o *options) {
+			o.timed, o.t1, o.t2, o.tm = true, 1, 4, 20
+			o.traceSpans, o.shards = "x.json", 2
+		})},
+		{"unwritable span file", mod(func(o *options) {
+			o.timed, o.t1, o.t2, o.tm = true, 1, 4, 20
+			o.traceSpans = "/nonexistent/dir/spans.json"
+		})},
+	}
+	for _, c := range cases {
+		if err := run(c.o, io.Discard); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}
+
+// TestRunTelemetryJSON runs the full telemetry stack on a tiny timed
+// workload: span files must be valid JSON, the JSON report must carry the
+// build header and the reconciled attribution, and the diffable text report
+// must land in -attr-out.
+func TestRunTelemetryJSON(t *testing.T) {
+	dir := t.TempDir()
+	o := timedRun()
+	o.jsonOut = true
+	o.attr = true
+	o.attrOut = filepath.Join(dir, "attr.txt")
+	o.traceSpans = filepath.Join(dir, "spans.otlp.json")
+	o.spanChrome = filepath.Join(dir, "spans.chrome.json")
+	o.spanEvery = 64
+	var out bytes.Buffer
+	if err := run(o, &out); err != nil {
+		t.Fatal(err)
+	}
+
+	var res report.Results
+	if err := json.Unmarshal(out.Bytes(), &res); err != nil {
+		t.Fatalf("JSON report: %v", err)
+	}
+	if res.Build == nil || res.Build.GoVersion == "" {
+		t.Fatal("JSON report missing build info")
+	}
+	if res.Attribution == nil || res.Attribution.Refs == 0 {
+		t.Fatalf("JSON report missing attribution: %+v", res.Attribution)
+	}
+	if res.Attribution.TotalCycles == 0 {
+		t.Fatal("attribution counted no cycles")
+	}
+
+	attrText, err := os.ReadFile(o.attrOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(attrText), "cycle attribution:") {
+		t.Fatalf("-attr-out content:\n%s", attrText)
+	}
+
+	for _, span := range []string{o.traceSpans, o.spanChrome} {
+		data, err := os.ReadFile(span)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc map[string]any
+		if err := json.Unmarshal(data, &doc); err != nil {
+			t.Fatalf("%s is not valid JSON: %v", span, err)
+		}
+	}
+}
+
+// TestRunInjectedViolation is the flight-recorder acceptance path: a run
+// with a synthetic violation must fail, and the recorder must leave a
+// parseable bundle with the event ring and the machine snapshot behind.
+func TestRunInjectedViolation(t *testing.T) {
+	dir := t.TempDir()
+	o := timedRun()
+	o.audit = true
+	o.injectViolation = true
+	o.flightrec = filepath.Join(dir, "fr")
+	if err := run(o, io.Discard); err == nil {
+		t.Fatal("injected violation must fail the run")
+	}
+	bundles, err := filepath.Glob(filepath.Join(o.flightrec, "flightrec-*-audit-violation.json"))
+	if err != nil || len(bundles) != 1 {
+		t.Fatalf("bundles: %v, %v", bundles, err)
+	}
+	b, err := telemetry.ReadBundle(bundles[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Violations) != 1 || b.Violations[0].Location != "injected" {
+		t.Fatalf("violations: %+v", b.Violations)
+	}
+	if b.Snapshot == nil || len(b.Snapshot.CPUs) == 0 {
+		t.Fatal("bundle missing machine snapshot")
+	}
+	if len(b.Events) == 0 {
+		t.Fatal("bundle missing event ring")
+	}
+	var buf bytes.Buffer
+	if err := printBundle(&buf, bundles[0]); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "trigger=audit-violation") {
+		t.Fatalf("-verify-bundle output:\n%s", buf.String())
+	}
+	if err := printBundle(io.Discard, filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("-verify-bundle on a missing file must error")
 	}
 }

@@ -1,6 +1,7 @@
 package vrsim_test
 
 import (
+	"bytes"
 	"testing"
 
 	vrsim "repro"
@@ -110,4 +111,58 @@ func TestPublicInvalidConfigRejected(t *testing.T) {
 	if _, err := vrsim.New(cfg); err == nil {
 		t.Error("bad block size accepted")
 	}
+}
+
+// TestPublicTelemetry drives the telemetry re-exports end-to-end: a timed
+// workload with a span tracer, a flight recorder and an attribution
+// profiler on the probe, reconciled against the cycle engine.
+func TestPublicTelemetry(t *testing.T) {
+	if b := vrsim.Build(); b.GoVersion == "" {
+		t.Fatalf("incomplete build info: %+v", b)
+	}
+	pr := vrsim.NewProbe(0)
+	eng, err := vrsim.NewCycleEngine(vrsim.ContentionCycleParams(), pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallConfig(vrsim.VR)
+	cfg.Probe, cfg.Cycles = pr, eng
+	sys, err := vrsim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spans bytes.Buffer
+	tracer := vrsim.NewSpanTracer(64, vrsim.NewChromeSpanWriter(&spans))
+	attr := vrsim.NewAttributionProfiler(vrsim.AttributionConfig{})
+	rec := vrsim.NewFlightRecorder(vrsim.FlightRecorderConfig{EventsPerCPU: 128})
+	pr.AddSink(tracer)
+	pr.AddSink(attr)
+	pr.AddSink(rec)
+
+	wl := vrsim.PopsWorkload().Scaled(0.002)
+	wl.CPUs = 2
+	if err := vrsim.RunWorkload(sys, wl); err != nil {
+		t.Fatal(err)
+	}
+	if err := pr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := attr.Reconcile(eng); err != nil {
+		t.Fatal(err)
+	}
+	if tracer.Spans() == 0 {
+		t.Error("tracer sampled no references")
+	}
+	data, err := rec.Dump("facade test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := telemetryParse(data); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// telemetryParse round-trips a bundle through the public parser.
+func telemetryParse(data []byte) (*vrsim.FlightBundle, error) {
+	return vrsim.ParseFlightBundle(bytes.NewReader(data))
 }

@@ -27,7 +27,12 @@ type Auditor struct {
 	// OnAudit, when set, observes every completed audit with the snapshot
 	// it checked and the violations found (the monitor layer's HTTP
 	// endpoint attaches here). It runs on the simulation goroutine.
+	// Multiple observers chain via AddOnAudit.
 	OnAudit func(snap *Snapshot, found []Violation)
+
+	// inject holds synthetic violations appended to the next audit's
+	// findings (see InjectOnce).
+	inject []Violation
 }
 
 // New returns an auditor that audits every n references driven through
@@ -67,6 +72,10 @@ func (a *Auditor) Audit(src Source) []Violation {
 	}
 	snap := src.AuditSnapshot()
 	found := snap.Check()
+	if len(a.inject) > 0 {
+		found = append(found, a.inject...)
+		a.inject = nil
+	}
 	a.audits++
 	a.total += uint64(len(found))
 	for _, v := range found {
@@ -79,6 +88,35 @@ func (a *Auditor) Audit(src Source) []Violation {
 		a.OnAudit(snap, found)
 	}
 	return found
+}
+
+// AddOnAudit chains fn after any observer already attached, so multiple
+// consumers (monitor state, flight recorder, tests) can watch audits
+// without clobbering each other.
+func (a *Auditor) AddOnAudit(fn func(snap *Snapshot, found []Violation)) {
+	if a == nil || fn == nil {
+		return
+	}
+	if prev := a.OnAudit; prev != nil {
+		a.OnAudit = func(snap *Snapshot, found []Violation) {
+			prev(snap, found)
+			fn(snap, found)
+		}
+		return
+	}
+	a.OnAudit = fn
+}
+
+// InjectOnce appends v to the next completed audit's findings, then clears
+// it. The machine itself is untouched — this exercises the full
+// violation-reporting path (counters, observers, flight-recorder dumps)
+// without corrupting simulated state, which is what CI's post-mortem smoke
+// needs.
+func (a *Auditor) InjectOnce(v Violation) {
+	if a == nil {
+		return
+	}
+	a.inject = append(a.inject, v)
 }
 
 // Audits returns the number of completed audits.

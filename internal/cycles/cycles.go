@@ -94,6 +94,15 @@ func (b Breakdown) Total() uint64 {
 	return b.Access + b.TLB + b.BusWait + b.Stall + b.Ctx
 }
 
+// Add accumulates o into b field-wise.
+func (b *Breakdown) Add(o Breakdown) {
+	b.Access += o.Access
+	b.TLB += o.TLB
+	b.BusWait += o.BusWait
+	b.Stall += o.Stall
+	b.Ctx += o.Ctx
+}
+
 // AgentTiming is one agent's measured state: its cycle clock, the memory
 // references it completed, and where the cycles went.
 type AgentTiming struct {
@@ -275,6 +284,17 @@ func (e *Engine) TotalRefs() uint64 {
 		refs += a.refs
 	}
 	return refs
+}
+
+// TotalBreakdown returns the machine-wide cycle breakdown: the field-wise
+// sum over all agents. Its Total() equals the sum of the agent clocks — the
+// figure the telemetry layer's attribution must reconcile against.
+func (e *Engine) TotalBreakdown() Breakdown {
+	var bd Breakdown
+	for _, a := range e.agents {
+		bd.Add(a.bd)
+	}
+	return bd
 }
 
 // BusBusy returns the total cycles of bus occupancy.

@@ -61,6 +61,7 @@ func All() []Experiment {
 		{"assocsweep", "Sensitivity: associativity beyond the paper's direct-mapped caches (pops)", AssocSweep},
 		{"pagesize", "Sensitivity: page size and the synonym resolution mix (pops)", PageSize},
 		{"tlb", "Section 4: TLB pressure, V-R vs R-R (pops)", TLBPressure},
+		{"attr", "Telemetry: cycle attribution by mechanism, V-R vs R-R (pops)", Attribution},
 	}
 }
 

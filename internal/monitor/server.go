@@ -28,6 +28,28 @@ type State struct {
 	Violations uint64 `json:"violations,omitempty"`
 	// Snapshot is the latest audit snapshot, already marshaled to JSON.
 	Snapshot []byte `json:"-"`
+
+	// Cycle-attribution metrics published by the telemetry layer (plain
+	// local types: monitor must stay importable by the packages telemetry
+	// builds on).
+	Blame       []BlameMetric `json:"blame,omitempty"`
+	TopK        []HeavyHitter `json:"topK,omitempty"`
+	FlightDumps uint64        `json:"flightDumps,omitempty"`
+}
+
+// BlameMetric is one mechanism's share of the measured cycles, as exported
+// to Prometheus (vrsim_attr_cycles_total).
+type BlameMetric struct {
+	Mechanism string `json:"mechanism"`
+	Cycles    uint64 `json:"cycles"`
+}
+
+// HeavyHitter is one entry of a heavy-hitter sketch, as exported to
+// Prometheus (vrsim_attr_top_weight).
+type HeavyHitter struct {
+	Dimension string `json:"dimension"`
+	Key       string `json:"key"`
+	Weight    uint64 `json:"weight"`
 }
 
 // expvar's registry is process-global and rejects duplicate names, so the
@@ -57,8 +79,9 @@ func publishExpvar(st *State) {
 // published state at /state, plus the standard expvar and pprof debug
 // endpoints.
 type Server struct {
-	mu    sync.Mutex
-	state *State
+	mu       sync.Mutex
+	state    *State
+	flightFn func() ([]byte, error)
 
 	ln  net.Listener
 	srv *http.Server
@@ -77,6 +100,7 @@ func Start(addr string) (*Server, error) {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/snapshot", s.handleSnapshot)
 	mux.HandleFunc("/state", s.handleState)
+	mux.HandleFunc("/flightrec", s.handleFlightrec)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -100,6 +124,32 @@ func (s *Server) Publish(st State) {
 	publishExpvar(&st)
 }
 
+// SetFlightDump installs the on-demand flight-recorder dump used by the
+// /flightrec endpoint. The function is called on an HTTP goroutine and must
+// be safe for that (the telemetry recorder's RequestDump is).
+func (s *Server) SetFlightDump(fn func() ([]byte, error)) {
+	s.mu.Lock()
+	s.flightFn = fn
+	s.mu.Unlock()
+}
+
+func (s *Server) handleFlightrec(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	fn := s.flightFn
+	s.mu.Unlock()
+	if fn == nil {
+		http.Error(w, "no flight recorder attached (-flightrec)", http.StatusServiceUnavailable)
+		return
+	}
+	data, err := fn()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data) //nolint:errcheck
+}
+
 // Close stops the server.
 func (s *Server) Close() error { return s.srv.Close() }
 
@@ -118,6 +168,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 /metrics     Prometheus-style text exposition
 /snapshot    latest audit state snapshot (JSON)
 /state       latest published state (JSON)
+/flightrec   on-demand flight-recorder bundle (JSON)
 /debug/vars  expvar
 /debug/pprof profiling
 `)
@@ -205,4 +256,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	fmt.Fprintf(w, "# TYPE vrsim_audit_audits_total counter\nvrsim_audit_audits_total %d\n", st.Audits)
 	fmt.Fprintf(w, "# TYPE vrsim_audit_violations_total counter\nvrsim_audit_violations_total %d\n", st.Violations)
+	if len(st.Blame) > 0 {
+		fmt.Fprint(w, "# TYPE vrsim_attr_cycles_total counter\n")
+		for _, b := range st.Blame {
+			fmt.Fprintf(w, "vrsim_attr_cycles_total{mechanism=%q} %d\n", b.Mechanism, b.Cycles)
+		}
+	}
+	if len(st.TopK) > 0 {
+		fmt.Fprint(w, "# TYPE vrsim_attr_top_weight gauge\n")
+		for _, h := range st.TopK {
+			fmt.Fprintf(w, "vrsim_attr_top_weight{dimension=%q,key=%q} %d\n",
+				h.Dimension, h.Key, h.Weight)
+		}
+	}
+	fmt.Fprintf(w, "# TYPE vrsim_flightrec_dumps_total counter\nvrsim_flightrec_dumps_total %d\n", st.FlightDumps)
 }

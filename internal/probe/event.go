@@ -195,6 +195,15 @@ func (k Kind) Category() string {
 	}
 }
 
+// IsTiming reports whether k is a cycle-charge event mirrored from the
+// timing engine (internal/cycles). For these kinds Aux carries the cycles
+// charged, and the per-CPU sum of Aux values reconstructs the engine's
+// clocks exactly — the property the telemetry layer's span boundaries and
+// attribution reconciliation are built on.
+func (k Kind) IsTiming() bool {
+	return k >= EvTimeAccess && k <= EvTimeCtxSwitch
+}
+
 // Event is one observed mechanism activation.
 type Event struct {
 	Seq    uint64           // global emission order, 1-based (stamped by the Probe)

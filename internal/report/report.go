@@ -14,6 +14,7 @@ import (
 	"repro/internal/monitor"
 	"repro/internal/probe"
 	"repro/internal/system"
+	"repro/internal/telemetry"
 )
 
 // Machine describes the configuration a result was measured on.
@@ -127,17 +128,19 @@ type ShardingInfo struct {
 
 // Results is a complete run summary.
 type Results struct {
-	Machine  Machine        `json:"machine"`
-	Refs     uint64         `json:"references"`
-	L1       HitRatios      `json:"l1"`
-	L2       HitRatios      `json:"l2"`
-	Bus      BusStats       `json:"bus"`
-	PerCPU   []CPUStats     `json:"perCPU"`
-	Timing   *TimingReport  `json:"timing,omitempty"`
-	Probe    *ProbeReport   `json:"probe,omitempty"`
-	Audit    *AuditReport   `json:"audit,omitempty"`
-	Monitor  *MonitorReport `json:"monitor,omitempty"`
-	Sharding *ShardingInfo  `json:"sharding,omitempty"`
+	Build       *telemetry.BuildInfo         `json:"build,omitempty"`
+	Machine     Machine                      `json:"machine"`
+	Refs        uint64                       `json:"references"`
+	L1          HitRatios                    `json:"l1"`
+	L2          HitRatios                    `json:"l2"`
+	Bus         BusStats                     `json:"bus"`
+	PerCPU      []CPUStats                   `json:"perCPU"`
+	Timing      *TimingReport                `json:"timing,omitempty"`
+	Probe       *ProbeReport                 `json:"probe,omitempty"`
+	Audit       *AuditReport                 `json:"audit,omitempty"`
+	Monitor     *MonitorReport               `json:"monitor,omitempty"`
+	Sharding    *ShardingInfo                `json:"sharding,omitempty"`
+	Attribution *telemetry.AttributionReport `json:"attribution,omitempty"`
 }
 
 // AddWindows attaches windowed metrics to the probe section (creating it
@@ -181,7 +184,9 @@ func SummarizeLatencies(lat *monitor.Latencies) []LatencySummary {
 func FromSystem(sys *system.System, cfg system.Config) Results {
 	agg := sys.Aggregate()
 	bs := sys.Bus().Stats()
+	build := telemetry.Build()
 	r := Results{
+		Build: &build,
 		Machine: Machine{
 			Organization: cfg.Organization.String(),
 			CPUs:         sys.CPUs(),

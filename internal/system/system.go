@@ -241,6 +241,11 @@ func (s *System) Probe() *probe.Probe { return s.cfg.Probe }
 // Cycles returns the machine's cycle engine (nil when timing is disabled).
 func (s *System) Cycles() *cycles.Engine { return s.cfg.Cycles }
 
+// Config returns the machine's (defaults-applied) configuration, so
+// attached tooling — the telemetry layer needs the L2 geometry and page
+// size — can describe the machine it is observing.
+func (s *System) Config() Config { return s.cfg }
+
 // Apply runs one trace record through the machine.
 func (s *System) Apply(ref trace.Ref) (core.AccessResult, error) {
 	if int(ref.CPU) >= len(s.cpus) {

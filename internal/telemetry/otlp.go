@@ -1,0 +1,147 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// OTLPWriter exports span trees as a single OTLP-style (OpenTelemetry
+// protocol, JSON file encoding) document: resourceSpans → scopeSpans →
+// spans, with traceId derived from the reference index and explicit
+// parentSpanId links. Cycle counts are carried in the *TimeUnixNano fields
+// (one cycle = one nanosecond), encoded as decimal strings per the OTLP
+// JSON mapping, so standard trace tooling renders the trees unmodified.
+type OTLPWriter struct {
+	w      *bufio.Writer
+	closer io.Closer
+	n      int
+	spanID uint64
+	err    error
+}
+
+// NewOTLPWriter creates an exporter writing one OTLP JSON document to w. If
+// w is also an io.Closer (e.g. an *os.File), Close closes it after the
+// footer.
+func NewOTLPWriter(w io.Writer) *OTLPWriter {
+	o := &OTLPWriter{w: bufio.NewWriter(w)}
+	if cl, ok := w.(io.Closer); ok {
+		o.closer = cl
+	}
+	o.raw(`{"resourceSpans":[{"resource":{"attributes":[` +
+		`{"key":"service.name","value":{"stringValue":"vrsim"}}]},` +
+		`"scopeSpans":[{"scope":{"name":"repro/internal/telemetry"},"spans":[`)
+	return o
+}
+
+// otlpSpan is one span record in the OTLP JSON file encoding.
+type otlpSpan struct {
+	TraceID      string   `json:"traceId"`
+	SpanID       string   `json:"spanId"`
+	ParentSpanID string   `json:"parentSpanId,omitempty"`
+	Name         string   `json:"name"`
+	Kind         int      `json:"kind"`
+	Start        string   `json:"startTimeUnixNano"`
+	End          string   `json:"endTimeUnixNano"`
+	Attributes   []otlpKV `json:"attributes,omitempty"`
+}
+
+type otlpKV struct {
+	Key   string   `json:"key"`
+	Value otlpAnyV `json:"value"`
+}
+
+type otlpAnyV struct {
+	StringValue string `json:"stringValue,omitempty"`
+	IntValue    string `json:"intValue,omitempty"`
+}
+
+func kvInt(key string, v uint64) otlpKV {
+	return otlpKV{Key: key, Value: otlpAnyV{IntValue: fmt.Sprintf("%d", v)}}
+}
+
+func kvStr(key, v string) otlpKV {
+	return otlpKV{Key: key, Value: otlpAnyV{StringValue: v}}
+}
+
+// ExportSpan implements SpanExporter: the tree is flattened parents-first,
+// all nodes sharing a traceId derived from the root's reference index.
+func (o *OTLPWriter) ExportSpan(root *Span) error {
+	traceID := fmt.Sprintf("%032x", root.Ref)
+	ids := map[*Span]string{}
+	root.Walk(func(parent, sp *Span) {
+		o.spanID++
+		id := fmt.Sprintf("%016x", o.spanID)
+		ids[sp] = id
+		rec := otlpSpan{
+			TraceID: traceID,
+			SpanID:  id,
+			Name:    sp.Name,
+			Kind:    1, // SPAN_KIND_INTERNAL
+			Start:   fmt.Sprintf("%d", sp.Start),
+			End:     fmt.Sprintf("%d", sp.End),
+			Attributes: []otlpKV{
+				kvInt("vrsim.cpu", uint64(sp.CPU)),
+				kvInt("vrsim.ref", sp.Ref),
+			},
+		}
+		if parent != nil {
+			rec.ParentSpanID = ids[parent]
+		}
+		if sp.Mechanism != "" {
+			rec.Attributes = append(rec.Attributes, kvStr("vrsim.mechanism", sp.Mechanism))
+		}
+		if sp.VA != 0 {
+			rec.Attributes = append(rec.Attributes, kvStr("vrsim.va", fmt.Sprintf("%#x", sp.VA)))
+		}
+		if sp.PA != 0 {
+			rec.Attributes = append(rec.Attributes, kvStr("vrsim.pa", fmt.Sprintf("%#x", sp.PA)))
+		}
+		o.record(rec)
+	})
+	return o.err
+}
+
+func (o *OTLPWriter) record(rec otlpSpan) {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		if o.err == nil {
+			o.err = err
+		}
+		return
+	}
+	if o.n > 0 {
+		o.raw(",\n")
+	}
+	o.n++
+	if _, err := o.w.Write(b); err != nil && o.err == nil {
+		o.err = err
+	}
+}
+
+func (o *OTLPWriter) raw(s string) {
+	if o.err == nil {
+		if _, err := o.w.WriteString(s); err != nil {
+			o.err = err
+		}
+	}
+}
+
+// Spans returns the number of span records written.
+func (o *OTLPWriter) Spans() int { return o.n }
+
+// Close writes the footer and flushes (closing the underlying writer when
+// it is closable).
+func (o *OTLPWriter) Close() error {
+	o.raw("]}]}]}\n")
+	if err := o.w.Flush(); err != nil && o.err == nil {
+		o.err = err
+	}
+	if o.closer != nil {
+		if err := o.closer.Close(); err != nil && o.err == nil {
+			o.err = err
+		}
+	}
+	return o.err
+}

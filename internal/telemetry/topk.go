@@ -1,0 +1,83 @@
+package telemetry
+
+import "sort"
+
+// TopK is a space-saving (Metwally et al.) heavy-hitters sketch: it tracks
+// approximately the k heaviest keys of a weighted stream in O(k) memory.
+// When a new key arrives with all counters taken, the minimum counter is
+// evicted and inherits its weight as the newcomer's over-estimate bound.
+// The summary is deterministic for a fixed stream order: the evicted
+// counter is always the first minimum in insertion-stable slot order.
+type TopK struct {
+	k     int
+	slots []tkSlot
+	index map[uint64]int // key → slot
+}
+
+type tkSlot struct {
+	key    uint64
+	weight uint64
+	overBy uint64 // upper bound on over-estimation inherited at takeover
+}
+
+// Hitter is one reported heavy hitter. Weight over-estimates the key's true
+// stream weight by at most OverBy.
+type Hitter struct {
+	Key    uint64 `json:"key"`
+	Weight uint64 `json:"weight"`
+	OverBy uint64 `json:"overBy,omitempty"`
+}
+
+// NewTopK creates a sketch tracking k keys (k < 1 selects 1).
+func NewTopK(k int) *TopK {
+	if k < 1 {
+		k = 1
+	}
+	return &TopK{k: k, index: make(map[uint64]int, k)}
+}
+
+// Add charges weight w to key.
+func (t *TopK) Add(key, w uint64) {
+	if w == 0 {
+		return
+	}
+	if i, ok := t.index[key]; ok {
+		t.slots[i].weight += w
+		return
+	}
+	if len(t.slots) < t.k {
+		t.index[key] = len(t.slots)
+		t.slots = append(t.slots, tkSlot{key: key, weight: w})
+		return
+	}
+	// Take over the first minimum-weight slot.
+	min := 0
+	for i := 1; i < len(t.slots); i++ {
+		if t.slots[i].weight < t.slots[min].weight {
+			min = i
+		}
+	}
+	old := t.slots[min]
+	delete(t.index, old.key)
+	t.index[key] = min
+	t.slots[min] = tkSlot{key: key, weight: old.weight + w, overBy: old.weight}
+}
+
+// Top returns the tracked hitters, heaviest first; ties break on the
+// smaller key so the report is deterministic.
+func (t *TopK) Top() []Hitter {
+	out := make([]Hitter, 0, len(t.slots))
+	for _, s := range t.slots {
+		out = append(out, Hitter{Key: s.key, Weight: s.weight, OverBy: s.overBy})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight > out[j].Weight
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// Len returns the number of tracked keys.
+func (t *TopK) Len() int { return len(t.slots) }

@@ -52,6 +52,7 @@ import (
 	"repro/internal/monitor"
 	"repro/internal/probe"
 	"repro/internal/system"
+	"repro/internal/telemetry"
 	"repro/internal/timemodel"
 	"repro/internal/trace"
 	"repro/internal/tracegen"
@@ -347,6 +348,70 @@ func StartMonitor(addr string) (*MonitorServer, error) { return monitor.Start(ad
 
 // Occupancy computes per-cache occupancy summaries from an audit snapshot.
 func Occupancy(snap *AuditSnapshot) []OccupancySummary { return monitor.Occupancy(snap) }
+
+// Telemetry: causal span tracing, post-mortem flight recording, and
+// cycle attribution, all riding the probe event stream (attach any of them
+// with Probe.AddSink). The tracer turns sampled references into nested
+// cause-and-effect span trees; the recorder keeps a fixed ring of recent
+// events and dumps a bundle on audit violations, latency tripwires, or
+// demand; the attribution profiler splits every measured cycle by
+// mechanism and reconciles with the cycle engine exactly.
+type (
+	// SpanTracer samples 1-in-N references into causal span trees.
+	SpanTracer = telemetry.Tracer
+	// TraceSpan is one node of a causal span tree.
+	TraceSpan = telemetry.Span
+	// SpanExporter consumes completed span trees.
+	SpanExporter = telemetry.SpanExporter
+	// FlightRecorder keeps recent events for post-mortem bundles.
+	FlightRecorder = telemetry.Recorder
+	// FlightRecorderConfig configures a FlightRecorder.
+	FlightRecorderConfig = telemetry.RecorderConfig
+	// FlightBundle is one parsed post-mortem capture.
+	FlightBundle = telemetry.Bundle
+	// AttributionProfiler splits measured cycles by mechanism.
+	AttributionProfiler = telemetry.Attribution
+	// AttributionConfig configures an AttributionProfiler.
+	AttributionConfig = telemetry.AttrConfig
+	// AttributionReport is the profiler's deterministic summary.
+	AttributionReport = telemetry.AttributionReport
+	// BuildInfo identifies the binary that produced a report or bundle.
+	BuildInfo = telemetry.BuildInfo
+)
+
+// NewSpanTracer creates a span tracer sampling one reference in every
+// (0 selects the 1-in-4096 default), exporting to the given exporters.
+func NewSpanTracer(every uint64, exps ...SpanExporter) *SpanTracer {
+	return telemetry.NewTracer(every, exps...)
+}
+
+// NewOTLPSpanWriter creates a span exporter writing one OTLP-style JSON
+// trace document to w.
+func NewOTLPSpanWriter(w io.Writer) SpanExporter { return telemetry.NewOTLPWriter(w) }
+
+// NewChromeSpanWriter creates a span exporter writing nested Chrome
+// trace_event JSON (chrome://tracing, Perfetto) to w.
+func NewChromeSpanWriter(w io.Writer) SpanExporter { return telemetry.NewChromeSpanWriter(w) }
+
+// NewFlightRecorder creates an armed flight recorder.
+func NewFlightRecorder(cfg FlightRecorderConfig) *FlightRecorder {
+	return telemetry.NewRecorder(cfg)
+}
+
+// ReadFlightBundle loads and validates a bundle file written by a
+// FlightRecorder.
+func ReadFlightBundle(path string) (*FlightBundle, error) { return telemetry.ReadBundle(path) }
+
+// ParseFlightBundle reads and strictly validates one bundle document.
+func ParseFlightBundle(r io.Reader) (*FlightBundle, error) { return telemetry.ParseBundle(r) }
+
+// NewAttributionProfiler creates a cycle-attribution profiler.
+func NewAttributionProfiler(cfg AttributionConfig) *AttributionProfiler {
+	return telemetry.NewAttribution(cfg)
+}
+
+// Build identifies this binary (module, version, go version, VCS revision).
+func Build() BuildInfo { return telemetry.Build() }
 
 // TimeParams are the inputs of the paper's access-time equation.
 type TimeParams = timemodel.Params
