@@ -79,7 +79,30 @@ fi
 bundle=$(ls "$tmp"/fr/flightrec-*-audit-violation.json)
 go run ./cmd/vrsim -verify-bundle "$bundle"
 
+# Autotuner soundness under the race detector: a ~50-config search with
+# pruning enabled must return exactly the frontier the exhaustive search
+# finds (-check-exhaustive re-runs without pruning and compares).
+echo "== autotune pruning soundness under race"
+cat > "$tmp/grammar.json" <<'GRAMMAR'
+{
+  "organizations": ["vr", "rr", "rrnoincl", "vr-wt", "rr-wt"],
+  "l1Sizes": [1024, 4096, 8192],
+  "l1Assocs": [1, 2],
+  "l2Sizes": [65536, 131072],
+  "blockRatios": [2]
+}
+GRAMMAR
+go run -race ./cmd/autotune -grammar "$tmp/grammar.json" -preset pops \
+    -scale 0.01 -probe-refs 8000 -shards 2 -warmup 1000 -chunk 4 \
+    -margin 0.15 -check-exhaustive > "$tmp/autotune.out"
+grep -q "margin sound: true" "$tmp/autotune.out"
+grep -q "pruning sound" "$tmp/autotune.out"
+grep -Eq "pruned [1-9]" "$tmp/autotune.out"
+
+# Best of 5 runs against the recorded baseline; the loose threshold absorbs
+# the noise of a shared single-core container (a real regression is far
+# larger than the jitter this floor tolerates).
 echo "== bench guard (sweep throughput vs BENCH_sweep.json baseline)"
-go run ./cmd/benchguard
+go run ./cmd/benchguard -count 5 -threshold 0.8
 
 echo "ci: all checks passed"

@@ -44,6 +44,11 @@ type historyEntry struct {
 	Threshold  float64 `json:"threshold"`
 	Pass       bool    `json:"pass"`
 	GoVersion  string  `json:"goVersion"`
+	NumCPU     int     `json:"numCPU"`
+	Gomaxprocs int     `json:"gomaxprocs"`
+	// GateSkipped explains why the pass/fail gate did not apply (e.g. the
+	// baseline was recorded on a different core count); empty otherwise.
+	GateSkipped string `json:"gateSkipped,omitempty"`
 }
 
 // appendHistory adds one entry to the trajectory file (created on first
@@ -86,9 +91,18 @@ func main() {
 }
 
 func run(o options) error {
-	want, err := baselineRefsPerSec(o.baseline, o.config)
+	want, baseCPUs, err := baselineRefsPerSec(o.baseline, o.config)
 	if err != nil {
 		return err
+	}
+	// Throughput on N cores is not comparable to a baseline recorded on M:
+	// the gate would fail (or pass) on hardware, not on the code. Refuse the
+	// diff, but still run and record the measurement so the trajectory keeps
+	// a per-host record.
+	skipped := ""
+	if baseCPUs != 0 && baseCPUs != runtime.NumCPU() {
+		skipped = fmt.Sprintf("baseline recorded on %d CPUs, this host has %d",
+			baseCPUs, runtime.NumCPU())
 	}
 	out, err := runBenchmark(o)
 	if err != nil {
@@ -108,17 +122,24 @@ func run(o options) error {
 		// A failing run is recorded too: the trajectory must show the dip,
 		// not just the runs that survived the gate.
 		e := historyEntry{
-			Time:       time.Now().UTC().Format(time.RFC3339),
-			Config:     o.config,
-			RefsPerSec: best,
-			Baseline:   want,
-			Threshold:  o.threshold,
-			Pass:       best >= floor,
-			GoVersion:  runtime.Version(),
+			Time:        time.Now().UTC().Format(time.RFC3339),
+			Config:      o.config,
+			RefsPerSec:  best,
+			Baseline:    want,
+			Threshold:   o.threshold,
+			Pass:        skipped != "" || best >= floor,
+			GoVersion:   runtime.Version(),
+			NumCPU:      runtime.NumCPU(),
+			Gomaxprocs:  runtime.GOMAXPROCS(0),
+			GateSkipped: skipped,
 		}
 		if err := appendHistory(o.history, e); err != nil {
 			return err
 		}
+	}
+	if skipped != "" {
+		fmt.Printf("benchguard: gate skipped: %s\n", skipped)
+		return nil
 	}
 	if best < floor {
 		return fmt.Errorf("throughput regression: %.0f refs/s is below %.0f (%.0f%% of the %.0f baseline)",
@@ -128,23 +149,25 @@ func run(o options) error {
 }
 
 // baselineRefsPerSec reads the recorded aggregate throughput for one
-// sub-benchmark from the baseline file.
-func baselineRefsPerSec(path, config string) (float64, error) {
+// sub-benchmark from the baseline file, along with the core count the
+// baseline was measured on (0 when the file predates that field).
+func baselineRefsPerSec(path, config string) (float64, int, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	var doc struct {
-		Sweep map[string]float64 `json:"BenchmarkSweepNConfigs_aggregate_refs_per_sec"`
+		Sweep  map[string]float64 `json:"BenchmarkSweepNConfigs_aggregate_refs_per_sec"`
+		NumCPU int                `json:"numCPU"`
 	}
 	if err := json.Unmarshal(data, &doc); err != nil {
-		return 0, fmt.Errorf("%s: %w", path, err)
+		return 0, 0, fmt.Errorf("%s: %w", path, err)
 	}
 	want, ok := doc.Sweep[config]
 	if !ok || want <= 0 {
-		return 0, fmt.Errorf("%s: no baseline for sweep config %q", path, config)
+		return 0, 0, fmt.Errorf("%s: no baseline for sweep config %q", path, config)
 	}
-	return want, nil
+	return want, doc.NumCPU, nil
 }
 
 func runBenchmark(o options) (string, error) {

@@ -39,19 +39,28 @@ func TestBestRefsPerSec(t *testing.T) {
 
 func TestBaselineRefsPerSec(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "bench.json")
-	doc := `{"BenchmarkSweepNConfigs_aggregate_refs_per_sec": {"6": 6619246}}`
+	doc := `{"BenchmarkSweepNConfigs_aggregate_refs_per_sec": {"6": 6619246}, "numCPU": 1}`
 	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	got, err := baselineRefsPerSec(path, "6")
-	if err != nil || got != 6619246 {
-		t.Fatalf("got %v, %v", got, err)
+	got, cpus, err := baselineRefsPerSec(path, "6")
+	if err != nil || got != 6619246 || cpus != 1 {
+		t.Fatalf("got %v on %d CPUs, %v", got, cpus, err)
 	}
-	if _, err := baselineRefsPerSec(path, "99"); err == nil {
+	if _, _, err := baselineRefsPerSec(path, "99"); err == nil {
 		t.Fatal("missing config must be an error")
 	}
-	if _, err := baselineRefsPerSec(filepath.Join(t.TempDir(), "nope.json"), "6"); err == nil {
+	if _, _, err := baselineRefsPerSec(filepath.Join(t.TempDir(), "nope.json"), "6"); err == nil {
 		t.Fatal("missing file must be an error")
+	}
+	// A baseline file without the core-count field (an older repo state)
+	// still parses, with cpus 0 meaning "unknown, do not refuse the diff".
+	old := filepath.Join(t.TempDir(), "old.json")
+	if err := os.WriteFile(old, []byte(`{"BenchmarkSweepNConfigs_aggregate_refs_per_sec": {"6": 1}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, cpus, err := baselineRefsPerSec(old, "6"); err != nil || cpus != 0 {
+		t.Fatalf("legacy baseline: cpus=%d err=%v", cpus, err)
 	}
 }
 

@@ -1,0 +1,95 @@
+package autotune
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// WriteJSON emits the result as indented JSON. Field order is fixed by the
+// struct and every list is canonically sorted, so equal results are
+// byte-identical.
+func (r *Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteText renders the search summary, the frontier table and an ASCII
+// plot of the explored space.
+func (r *Result) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "autotune: %s\n", r.Workload)
+	fmt.Fprintf(w, "candidates %d, pruned %d, measured exactly %d\n",
+		r.Candidates, r.Pruned, r.Survivors)
+	if r.Pruned > 0 {
+		fmt.Fprintf(w, "pruning margin %.4f cycles; probe error spread %.4f (margin sound: %v)\n",
+			r.Margin, r.ProbeErrSpread, r.MarginSound)
+	}
+	fmt.Fprintf(w, "\nPareto frontier (Tacc vs SRAM bits):\n")
+	fmt.Fprintf(w, "%12s  %8s  %s\n", "SRAM bits", "Tacc", "configuration")
+	for _, p := range r.Frontier {
+		fmt.Fprintf(w, "%12d  %8.4f  %s\n", p.Bits, p.Tacc, p.Label)
+	}
+	fmt.Fprintln(w)
+	r.Plot(w)
+}
+
+// Plot draws the explored space: '.' for measured candidates, 'o' for
+// frontier members, bits rising to the right on a log scale, access time
+// falling upward.
+func (r *Result) Plot(w io.Writer) {
+	pts := r.Explored
+	if len(pts) == 0 {
+		return
+	}
+	const width, height = 56, 14
+	loB, hiB := math.Inf(1), math.Inf(-1)
+	loT, hiT := math.Inf(1), math.Inf(-1)
+	for _, p := range pts {
+		lb := math.Log2(float64(p.Bits))
+		loB, hiB = math.Min(loB, lb), math.Max(hiB, lb)
+		loT, hiT = math.Min(loT, p.Tacc), math.Max(hiT, p.Tacc)
+	}
+	if hiB-loB < 1e-9 {
+		hiB = loB + 1e-9
+	}
+	if hiT-loT < 1e-9 {
+		hiT = loT + 1e-9
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	cell := func(p Point) (row, col int) {
+		col = int(math.Round((math.Log2(float64(p.Bits)) - loB) / (hiB - loB) * float64(width-1)))
+		row = int(math.Round((p.Tacc - loT) / (hiT - loT) * float64(height-1)))
+		return row, col
+	}
+	for _, p := range pts {
+		row, col := cell(p)
+		if grid[row][col] == ' ' {
+			grid[row][col] = '.'
+		}
+	}
+	for _, p := range r.Frontier {
+		row, col := cell(p)
+		grid[row][col] = 'o'
+	}
+	for i, line := range grid {
+		label := "        "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%7.3f ", loT)
+		case height - 1:
+			label = fmt.Sprintf("%7.3f ", hiT)
+		}
+		fmt.Fprintf(w, "%s|%s\n", label, string(line))
+	}
+	fmt.Fprintf(w, "%s+%s\n", strings.Repeat(" ", 8), strings.Repeat("-", width))
+	fmt.Fprintf(w, "%s%-*s%*s\n", strings.Repeat(" ", 9), width/2,
+		fmt.Sprintf("2^%.1f bits", loB), width/2-1, fmt.Sprintf("2^%.1f bits", hiB))
+	fmt.Fprintf(w, "%sTacc (cycles/ref, lower is better)   o = frontier   . = explored\n",
+		strings.Repeat(" ", 9))
+}

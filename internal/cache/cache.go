@@ -133,10 +133,19 @@ func (s *countingSource) Int63() int64 {
 func (s *countingSource) Seed(seed int64) { s.src.Seed(seed) }
 
 // Cache is a generic set-associative tag store.
+//
+// Sets are materialized lazily: construction allocates only the set index,
+// and a set's way array is carved from a slab chunk the first time the set
+// is filled (or has a victim chosen). Probes of never-filled sets miss on a
+// nil slice with no extra branch. This matters for design-space sweeps: a
+// short probe trace through a large cache touches a small fraction of the
+// sets, so constructing and zeroing the full tag store up front dominated
+// multi-configuration sweep time.
 type Cache[L any] struct {
 	geom   Geometry
 	policy Policy
 	sets   [][]way[L]
+	slab   []way[L] // backing for lazily materialized sets
 	clock  uint64
 	rng    *rand.Rand
 	rngSrc *countingSource
@@ -149,6 +158,31 @@ type Cache[L any] struct {
 	setMask   uint64
 }
 
+// slabSets is the number of sets' worth of ways per slab chunk (capped at
+// the cache's set count, so tiny caches never over-allocate).
+const slabSets = 64
+
+// materialize returns set's way array, carving it out of the slab on first
+// use.
+func (c *Cache[L]) materialize(set int) []way[L] {
+	ws := c.sets[set]
+	if ws != nil {
+		return ws
+	}
+	a := c.geom.Assoc
+	if len(c.slab) < a {
+		n := slabSets
+		if s := len(c.sets); s < n {
+			n = s
+		}
+		c.slab = make([]way[L], a*n)
+	}
+	ws = c.slab[:a:a]
+	c.slab = c.slab[a:]
+	c.sets[set] = ws
+	return ws
+}
+
 // New builds a cache with the given geometry, replacement policy and (for
 // Random replacement) deterministic seed.
 func New[L any](g Geometry, policy Policy, seed int64) (*Cache[L], error) {
@@ -156,10 +190,6 @@ func New[L any](g Geometry, policy Policy, seed int64) (*Cache[L], error) {
 		return nil, err
 	}
 	sets := make([][]way[L], g.Sets())
-	backing := make([]way[L], g.Sets()*g.Assoc)
-	for i := range sets {
-		sets[i], backing = backing[:g.Assoc:g.Assoc], backing[g.Assoc:]
-	}
 	src := &countingSource{src: rand.NewSource(seed)}
 	return &Cache[L]{
 		geom:      g,
@@ -227,18 +257,28 @@ func (c *Cache[L]) Touch(set, wayIdx int) {
 		return
 	}
 	c.clock++
-	c.sets[set][wayIdx].stamp = c.clock
+	c.materialize(set)[wayIdx].stamp = c.clock
 }
 
 // Line returns a pointer to the payload of (set, way). The pointer stays
 // valid until the cache is discarded; invalidation does not clear payloads.
-func (c *Cache[L]) Line(set, wayIdx int) *L { return &c.sets[set][wayIdx].line }
+func (c *Cache[L]) Line(set, wayIdx int) *L { return &c.materialize(set)[wayIdx].line }
 
 // TagAt returns the tag stored at (set, way); meaningful only when valid.
-func (c *Cache[L]) TagAt(set, wayIdx int) uint64 { return c.sets[set][wayIdx].tag }
+func (c *Cache[L]) TagAt(set, wayIdx int) uint64 {
+	if ws := c.sets[set]; ws != nil {
+		return ws[wayIdx].tag
+	}
+	return 0
+}
 
 // ValidAt reports whether (set, way) holds a valid entry.
-func (c *Cache[L]) ValidAt(set, wayIdx int) bool { return c.sets[set][wayIdx].valid }
+func (c *Cache[L]) ValidAt(set, wayIdx int) bool {
+	if ws := c.sets[set]; ws != nil {
+		return ws[wayIdx].valid
+	}
+	return false
+}
 
 // Victim picks a way of set to replace. Invalid ways are taken first. If
 // prefer is non-nil, valid ways satisfying prefer are chosen (by policy)
@@ -250,7 +290,7 @@ func (c *Cache[L]) ValidAt(set, wayIdx int) bool { return c.sets[set][wayIdx].va
 // long-lived predicate at construction instead of closing over the set on
 // every call — the per-reference path then allocates nothing.
 func (c *Cache[L]) Victim(set int, prefer func(set, wayIdx int) bool) (wayIdx int, preferred bool) {
-	ws := c.sets[set]
+	ws := c.materialize(set)
 	for i := range ws {
 		if !ws[i].valid {
 			return i, true
@@ -309,7 +349,7 @@ func (c *Cache[L]) pick(set int, filter func(set, wayIdx int) bool) int {
 // Install writes tag into (set, way), marks it valid and most recently used,
 // and returns a pointer to the payload for the caller to initialize.
 func (c *Cache[L]) Install(set, wayIdx int, tag uint64) *L {
-	w := &c.sets[set][wayIdx]
+	w := &c.materialize(set)[wayIdx]
 	w.tag = tag
 	w.valid = true
 	c.clock++
@@ -320,7 +360,7 @@ func (c *Cache[L]) Install(set, wayIdx int, tag uint64) *L {
 // Retag changes the tag of a valid entry in place (the paper's sameset
 // synonym handling retags the line under the new virtual address).
 func (c *Cache[L]) Retag(set, wayIdx int, tag uint64) {
-	w := &c.sets[set][wayIdx]
+	w := &c.materialize(set)[wayIdx]
 	if !w.valid {
 		panic("cache: Retag of invalid way")
 	}
@@ -331,10 +371,13 @@ func (c *Cache[L]) Retag(set, wayIdx int, tag uint64) {
 // callers that keep state across invalidation (the V-cache's swapped-valid
 // blocks) manage it in the payload.
 func (c *Cache[L]) Invalidate(set, wayIdx int) {
-	c.sets[set][wayIdx].valid = false
+	if ws := c.sets[set]; ws != nil {
+		ws[wayIdx].valid = false
+	}
 }
 
-// InvalidateAll clears every valid bit.
+// InvalidateAll clears every valid bit. Never-materialized sets hold no
+// valid entries and are left alone.
 func (c *Cache[L]) InvalidateAll() {
 	for s := range c.sets {
 		for w := range c.sets[s] {
@@ -343,10 +386,11 @@ func (c *Cache[L]) InvalidateAll() {
 	}
 }
 
-// ForEach visits every way (valid or not) as (set, way).
+// ForEach visits every way (valid or not) as (set, way), including ways of
+// sets that were never materialized.
 func (c *Cache[L]) ForEach(fn func(set, wayIdx int)) {
 	for s := range c.sets {
-		for w := range c.sets[s] {
+		for w := 0; w < c.geom.Assoc; w++ {
 			fn(s, w)
 		}
 	}
@@ -394,6 +438,14 @@ type State[L any] struct {
 func (c *Cache[L]) ExportState() State[L] {
 	s := State[L]{Clock: c.clock, Draws: c.rngSrc.n, Ways: make([]Entry[L], 0, len(c.sets)*c.geom.Assoc)}
 	for _, ws := range c.sets {
+		if ws == nil {
+			// Never-materialized sets export as zero entries, identical to
+			// what an eagerly allocated untouched set would produce.
+			for i := 0; i < c.geom.Assoc; i++ {
+				s.Ways = append(s.Ways, Entry[L]{})
+			}
+			continue
+		}
 		for i := range ws {
 			w := &ws[i]
 			s.Ways = append(s.Ways, Entry[L]{Tag: w.tag, Valid: w.valid, Stamp: w.stamp, Line: w.line})
@@ -425,8 +477,12 @@ func (c *Cache[L]) RestoreState(s State[L]) error {
 		c.rngSrc.Int63()
 	}
 	c.rngSrc.n = s.Draws
+	// Restore materializes every set: a payload may carry meaningful state
+	// even on an invalid line (the V-cache keeps swapped blocks there), so
+	// no set can be skipped as trivially empty.
 	k := 0
-	for _, ws := range c.sets {
+	for si := range c.sets {
+		ws := c.materialize(si)
 		for i := range ws {
 			e := &s.Ways[k]
 			ws[i] = way[L]{tag: e.Tag, valid: e.Valid, stamp: e.Stamp, line: e.Line}

@@ -31,6 +31,7 @@ import (
 	"repro/internal/cycles"
 	"repro/internal/memory"
 	"repro/internal/probe"
+	"repro/internal/rcache"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/vm"
@@ -223,6 +224,14 @@ type Options struct {
 	TLBEntries int // default 64
 	TLBAssoc   int // default 2
 
+	// L1Policy and L2Policy select each level's replacement policy (the
+	// zero value is LRU, the paper's choice). PolicySeed seeds Random
+	// replacement deterministically; each cache derives its own stream
+	// from it, so L1 and L2 victim choices stay uncorrelated.
+	L1Policy   cache.Policy
+	L2Policy   cache.Policy
+	PolicySeed int64
+
 	WriteBufDepth   int    // default 1 (the paper's single swapped write-back buffer)
 	WriteBufLatency uint64 // references until a buffered write-back drains; default 4
 
@@ -267,6 +276,16 @@ type Options struct {
 	Cycles *cycles.Engine
 
 	Tokens *TokenSource
+}
+
+// mustRCache builds a second-level cache from the options' L2 policy, with
+// its Random-replacement stream offset away from the first level's.
+func mustRCache(o Options) *rcache.RCache {
+	r, err := rcache.NewWithPolicy(o.L2, o.L1.Block, o.L2Policy, o.PolicySeed+100)
+	if err != nil {
+		panic(err)
+	}
+	return r
 }
 
 func (o *Options) applyDefaults() {

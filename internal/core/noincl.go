@@ -71,8 +71,8 @@ func NewRRNoInclusion(o Options) (*RRNoInclusion, error) {
 	}
 	h := &RRNoInclusion{
 		opts: o,
-		l1:   cache.MustNew[nl1Line](o.L1, cache.LRU, 0),
-		l2:   rcache.MustNew(o.L2, o.L1.Block),
+		l1:   cache.MustNew[nl1Line](o.L1, o.L1Policy, o.PolicySeed+1),
+		l2:   mustRCache(o),
 		st:   newStats(),
 		pr:   o.Probe,
 	}

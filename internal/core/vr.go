@@ -80,7 +80,7 @@ func newVR(o Options, virtual bool) (*VR, error) {
 	h := &VR{
 		opts:    o,
 		virtual: virtual,
-		rc:      rcache.MustNew(o.L2, o.L1.Block),
+		rc:      mustRCache(o),
 		wb:      writebuf.MustNew(o.WriteBufDepth, o.WriteBufLatency),
 		st:      newStats(),
 		pr:      o.Probe,
@@ -110,12 +110,10 @@ func newVR(o Options, virtual bool) (*VR, error) {
 		return nil, err
 	}
 	h.tlb = t
-	mk := vcache.New
-	if o.PIDTagged {
-		mk = vcache.NewPIDTagged
-	}
-	for _, g := range o.sideGeoms() {
-		vc, err := mk(g)
+	for i, g := range o.sideGeoms() {
+		// Offset the seed per side so split I/D caches draw independent
+		// Random-replacement streams.
+		vc, err := vcache.NewWithPolicy(g, o.PIDTagged, o.L1Policy, o.PolicySeed+int64(i)+1)
 		if err != nil {
 			return nil, err
 		}

@@ -9,13 +9,32 @@
 // parallel, the classic trace-driven-simulator structure of DineroIV and
 // gem5 trace replay.
 //
-// The engine reads fixed-size []trace.Ref batches from the shared reader and
-// hands each batch to every system through a per-system buffered channel.
+// The engine picks an execution shape from the worker budget (GOMAXPROCS by
+// default) rather than always spawning one goroutine per system:
+//
+//   - One worker: a chunked system-major loop on the caller's goroutine. A
+//     large shared batch is read once and applied to every system in turn,
+//     so each system streams through tens of thousands of references while
+//     its tag stores stay cache-resident, instead of all N tag stores
+//     rotating through the last-level cache every small batch. No
+//     goroutines, channels or atomics at all.
+//   - More workers than one, static mode: systems are partitioned into one
+//     contiguous group per worker. Each batch is reference-counted by the
+//     number of groups (not systems) and delivered once per group, cutting
+//     the per-batch channel operations and refcount cache-line traffic from
+//     N to W.
+//   - Work-stealing mode (Options.WorkSteal): each system keeps its own
+//     batch queue and idle workers claim whichever system has pending work,
+//     via a lock-free pending-counter mailbox. Use it when per-system
+//     runtimes differ a lot (heterogeneous configurations), where a static
+//     partition would leave workers idle behind the slowest group.
+//
 // Batches are reference-counted and recycled through a free pool, so the
-// steady state allocates nothing. Each system consumes its channel in order
-// from a single goroutine, so it observes exactly the reference stream a
-// sequential run would: per-system results are bit-identical to running that
-// configuration alone (see TestSweepMatchesSequential).
+// steady state allocates nothing. In every mode each system consumes its
+// batches in stream order from one worker at a time, so it observes exactly
+// the reference stream a sequential run would: per-system results are
+// bit-identical to running that configuration alone, regardless of mode or
+// worker count (see TestSweepMatchesSequential and TestSweepModesIdentical).
 package sweep
 
 import (
@@ -30,25 +49,60 @@ import (
 	"repro/internal/trace"
 )
 
-// Options tunes the engine. The zero value is ready to use.
+// Options tunes the engine. The zero value is ready to use: batch size,
+// queue depth and worker count adapt to GOMAXPROCS and the system count.
 type Options struct {
-	// BatchSize is the number of trace records per broadcast batch
-	// (default 4096). Larger batches amortize channel operations; smaller
-	// ones keep the batch cache-resident.
+	// BatchSize is the number of trace records per broadcast batch. When 0
+	// it adapts: 4096 records as the base, scaled up (to at most 64k) with
+	// the number of systems each worker owns, so that a worker streams a
+	// longer run of references through one system before touching the next
+	// system's tag stores — the fewer the workers, the more the batch size
+	// matters for last-level-cache locality.
 	BatchSize int
-	// QueueDepth is the number of batches that may queue per system before
-	// the broadcaster blocks (default 4). It bounds how far a fast system
-	// can run ahead of the slowest one.
+	// QueueDepth is the number of batches that may queue per consumer
+	// before the broadcaster blocks (default 4). It bounds how far a fast
+	// consumer can run ahead of the slowest one.
 	QueueDepth int
+	// Workers bounds the consumer goroutines. 0 means min(GOMAXPROCS,
+	// number of systems). 1 selects the sequential chunked mode on the
+	// caller's goroutine.
+	Workers int
+	// WorkSteal selects dynamic system-to-worker assignment instead of a
+	// static partition. Only meaningful with more than one worker and more
+	// systems than workers.
+	WorkSteal bool
 }
 
-func (o *Options) applyDefaults() {
-	if o.BatchSize <= 0 {
-		o.BatchSize = 4096
+// maxBatchSize caps the adaptive batch size (64k records ≈ 1.5 MB).
+const maxBatchSize = 1 << 16
+
+// resolve fills in the adaptive defaults for n systems and returns the
+// worker count to use.
+func (o *Options) resolve(n int) (workers int) {
+	workers = o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
 	}
 	if o.QueueDepth <= 0 {
 		o.QueueDepth = 4
 	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 4096
+		// Scale the batch with the systems-per-worker ratio: a worker that
+		// owns k systems touches k tag stores per batch, so longer batches
+		// amortize the cache refills across proportionally more references.
+		if workers > 0 {
+			k := (n + workers - 1) / workers
+			for s := o.BatchSize; k > 1 && s < maxBatchSize; k /= 2 {
+				s *= 2
+				o.BatchSize = s
+			}
+		}
+	}
+	return workers
 }
 
 // Parallel runs jobs 0..n-1 on at most workers goroutines (GOMAXPROCS when
@@ -57,7 +111,8 @@ func (o *Options) applyDefaults() {
 // result is deterministic regardless of scheduling. The sweep engine's
 // fan-out covers many systems on one trace; Parallel is the complementary
 // primitive — independent jobs, each with its own trace — used by the
-// time-sharded runner in internal/checkpoint.
+// time-sharded runner in internal/checkpoint and the autotuner's cell
+// scheduler.
 func Parallel(n, workers int, job func(i int) error) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -91,20 +146,20 @@ func Parallel(n, workers int, job func(i int) error) error {
 }
 
 // batch is one broadcast unit: a shared read-only slice of records and the
-// count of systems still consuming it.
+// count of consumers still holding it.
 type batch struct {
 	refs []trace.Ref
 	left atomic.Int32
 }
 
-// Run reads r once and drives every system with the full stream, each in its
-// own goroutine. When the stream ends every system's write buffers are
-// drained, as System.Run would. The first error from the reader or from any
-// system aborts the sweep and is returned (system errors are annotated with
-// the system's index); the remaining systems still consume the stream
-// already broadcast, so Run never deadlocks on error.
+// Run reads r once and drives every system with the full stream. When the
+// stream ends every system's write buffers are drained, as System.Run
+// would. The first error from the reader or from any system aborts the
+// sweep and is returned (system errors are annotated with the system's
+// index; the lowest-indexed system error wins, deterministically); the
+// remaining systems still consume the stream already broadcast, so Run
+// never deadlocks on error.
 func Run(r trace.Reader, systems []*system.System, opts Options) error {
-	opts.applyDefaults()
 	if len(systems) == 0 {
 		return nil
 	}
@@ -112,42 +167,78 @@ func Run(r trace.Reader, systems []*system.System, opts Options) error {
 		// No fan-out needed; run in place on the caller's goroutine.
 		return systems[0].Run(r)
 	}
+	workers := opts.resolve(len(systems))
+	errs := make([]error, len(systems))
+	var readErr error
+	switch {
+	case workers == 1:
+		readErr = runSequential(r, systems, opts, errs)
+	case opts.WorkSteal && workers < len(systems):
+		readErr = runStealing(r, systems, opts, workers, errs)
+	default:
+		readErr = runGrouped(r, systems, opts, workers, errs)
+	}
+	if readErr != nil {
+		return readErr
+	}
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("sweep: system %d: %w", i, err)
+		}
+	}
+	return nil
+}
 
-	// Free pool: QueueDepth in flight per system plus one being filled and
-	// one being consumed.
-	nBatches := opts.QueueDepth + 2
+// runSequential is the one-worker mode: system-major chunked application on
+// the caller's goroutine. One shared buffer, no synchronization.
+func runSequential(r trace.Reader, systems []*system.System, opts Options, errs []error) error {
+	buf := make([]trace.Ref, opts.BatchSize)
+	for {
+		n, err := trace.FillBatch(r, buf[:cap(buf)])
+		if n > 0 {
+			for i, s := range systems {
+				if errs[i] == nil {
+					errs[i] = s.ApplyBatch(buf[:n])
+				}
+			}
+		}
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				return err
+			}
+			break
+		}
+	}
+	for i, s := range systems {
+		if errs[i] == nil {
+			s.Drain()
+		}
+	}
+	return nil
+}
+
+// newPool builds the batch free pool: capacity for every consumer queue to
+// be full plus one batch being filled and one being consumed.
+func newPool(consumers int, opts Options) chan *batch {
+	nBatches := consumers*opts.QueueDepth + 2
+	// Bound the pool's memory footprint (~1M in-flight records) as batches
+	// grow: backpressure matters more than queue depth at large batches.
+	if limit := 1 << 20 / opts.BatchSize; nBatches > limit && limit >= 3 {
+		nBatches = limit
+	}
+	if nBatches > 64 {
+		nBatches = 64
+	}
 	free := make(chan *batch, nBatches)
 	for i := 0; i < nBatches; i++ {
 		free <- &batch{refs: make([]trace.Ref, opts.BatchSize)}
 	}
+	return free
+}
 
-	chans := make([]chan *batch, len(systems))
-	for i := range chans {
-		chans[i] = make(chan *batch, opts.QueueDepth)
-	}
-
-	errs := make([]error, len(systems))
-	var wg sync.WaitGroup
-	for i, s := range systems {
-		wg.Add(1)
-		go func(i int, s *system.System, in <-chan *batch) {
-			defer wg.Done()
-			for b := range in {
-				if errs[i] == nil {
-					errs[i] = s.ApplyBatch(b.refs)
-				}
-				// Always release, even after an error, so the pool keeps
-				// cycling and the broadcaster cannot block forever.
-				if b.left.Add(-1) == 0 {
-					free <- b
-				}
-			}
-			if errs[i] == nil {
-				s.Drain()
-			}
-		}(i, s, chans[i])
-	}
-
+// broadcast reads batches from r and delivers each to every channel in
+// chans, recycling through free. deliver's refcount is len(chans).
+func broadcast(r trace.Reader, chans []chan *batch, free chan *batch) error {
 	var readErr error
 	for {
 		b := <-free
@@ -155,7 +246,7 @@ func Run(r trace.Reader, systems []*system.System, opts Options) error {
 		n, err := trace.FillBatch(r, b.refs)
 		if n > 0 {
 			b.refs = b.refs[:n]
-			b.left.Store(int32(len(systems)))
+			b.left.Store(int32(len(chans)))
 			for _, ch := range chans {
 				ch <- b
 			}
@@ -172,15 +263,151 @@ func Run(r trace.Reader, systems []*system.System, opts Options) error {
 	for _, ch := range chans {
 		close(ch)
 	}
-	wg.Wait()
+	return readErr
+}
 
-	if readErr != nil {
-		return readErr
+// runGrouped is the static multi-worker mode: systems are partitioned into
+// one contiguous group per worker, and each batch is delivered once per
+// group. The group applies it to its systems in system order.
+func runGrouped(r trace.Reader, systems []*system.System, opts Options, workers int, errs []error) error {
+	free := newPool(workers, opts)
+	chans := make([]chan *batch, workers)
+	for i := range chans {
+		chans[i] = make(chan *batch, opts.QueueDepth)
 	}
-	for i, err := range errs {
-		if err != nil {
-			return fmt.Errorf("sweep: system %d: %w", i, err)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		// Contiguous partition: group w owns systems [lo, hi).
+		lo := w * len(systems) / workers
+		hi := (w + 1) * len(systems) / workers
+		wg.Add(1)
+		go func(group []*system.System, gerrs []error, in <-chan *batch) {
+			defer wg.Done()
+			for b := range in {
+				for i, s := range group {
+					if gerrs[i] == nil {
+						gerrs[i] = s.ApplyBatch(b.refs)
+					}
+				}
+				// Always release, even after an error, so the pool keeps
+				// cycling and the broadcaster cannot block forever.
+				if b.left.Add(-1) == 0 {
+					free <- b
+				}
+			}
+			for i, s := range group {
+				if gerrs[i] == nil {
+					s.Drain()
+				}
+			}
+		}(systems[lo:hi], errs[lo:hi], chans[w])
+	}
+
+	readErr := broadcast(r, chans, free)
+	wg.Wait()
+	return readErr
+}
+
+// stealSys is one system's work-stealing state: its private batch queue and
+// the pending-counter mailbox that guarantees exactly one worker processes
+// the system at a time while never losing a wakeup.
+type stealSys struct {
+	sys     *system.System
+	idx     int
+	in      chan *batch
+	pending atomic.Int64
+	done    bool
+}
+
+// runStealing is the dynamic multi-worker mode. The broadcaster still
+// delivers every batch to every system's queue (order must be preserved
+// per system), but systems are claimed by whichever worker is free: a
+// system becomes runnable when its pending count rises from zero, and the
+// worker that drains it re-enqueues it only if more work arrived meanwhile.
+// Heterogeneous systems therefore never serialize behind a static partition.
+func runStealing(r trace.Reader, systems []*system.System, opts Options, workers int, errs []error) error {
+	free := newPool(workers, opts)
+	states := make([]*stealSys, len(systems))
+	chans := make([]chan *batch, len(systems))
+	for i, s := range systems {
+		// One extra slot holds the nil end-of-stream sentinel, which is not
+		// pool-limited.
+		states[i] = &stealSys{sys: s, idx: i, in: make(chan *batch, opts.QueueDepth+1)}
+		chans[i] = states[i].in
+	}
+	runnable := make(chan *stealSys, len(systems))
+	post := func(ss *stealSys, b *batch) {
+		ss.in <- b
+		if ss.pending.Add(1) == 1 {
+			runnable <- ss
 		}
 	}
-	return nil
+
+	var live atomic.Int64
+	live.Store(int64(len(systems)))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ss := range runnable {
+				// Claim: only this worker touches ss until re-enqueue, so
+				// per-system batch order is preserved.
+				n := ss.pending.Load()
+				for i := int64(0); i < n; i++ {
+					b := <-ss.in
+					if b == nil {
+						// End of stream for this system.
+						if errs[ss.idx] == nil {
+							ss.sys.Drain()
+						}
+						ss.done = true
+						if live.Add(-1) == 0 {
+							close(runnable)
+						}
+						continue
+					}
+					if errs[ss.idx] == nil {
+						errs[ss.idx] = ss.sys.ApplyBatch(b.refs)
+					}
+					if b.left.Add(-1) == 0 {
+						free <- b
+					}
+				}
+				if ss.pending.Add(-n) > 0 && !ss.done {
+					runnable <- ss
+				}
+			}
+		}()
+	}
+
+	var readErr error
+	for {
+		b := <-free
+		b.refs = b.refs[:cap(b.refs)]
+		n, err := trace.FillBatch(r, b.refs)
+		if n > 0 {
+			b.refs = b.refs[:n]
+			b.left.Store(int32(len(states)))
+			for _, ss := range states {
+				post(ss, b)
+			}
+		} else {
+			free <- b
+		}
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				readErr = err
+			}
+			break
+		}
+	}
+	// End-of-stream sentinels: delivered through the same mailbox so they
+	// are processed after every queued batch, in order.
+	for _, ss := range states {
+		post(ss, nil)
+	}
+	wg.Wait()
+	return readErr
 }

@@ -3,7 +3,11 @@ package sweep
 import (
 	"fmt"
 	"reflect"
+	"runtime"
+	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/system"
@@ -189,5 +193,128 @@ func TestSweepReaderError(t *testing.T) {
 	err := Run(&errReader{n: 100}, systems, Options{BatchSize: 16})
 	if err == nil || err.Error() != "trace decode failure" {
 		t.Fatalf("reader error not propagated: %v", err)
+	}
+}
+
+// TestSweepModesIdentical proves every execution shape — sequential chunked,
+// grouped static partition, and work stealing, across batch sizes and queue
+// depths — produces per-system results byte-identical to the sequential
+// single-system runs.
+func TestSweepModesIdentical(t *testing.T) {
+	tc := testWorkload()
+	scs := testConfigs(tc)
+
+	want := make([]snapshot, len(scs))
+	for i, sc := range scs {
+		sys := buildSystems(t, tc, []system.Config{sc})[0]
+		if err := sys.Run(tracegen.MustNew(tc)); err != nil {
+			t.Fatal(err)
+		}
+		want[i] = snap(sys)
+	}
+
+	modes := []Options{
+		{Workers: 1},
+		{Workers: 1, BatchSize: 33},
+		{Workers: 2},
+		{Workers: len(scs)},
+		{Workers: 2, WorkSteal: true},
+		{Workers: 2, WorkSteal: true, BatchSize: 129, QueueDepth: 1},
+		{Workers: 3, WorkSteal: true, BatchSize: 4096, QueueDepth: 2},
+	}
+	for _, opts := range modes {
+		name := fmt.Sprintf("w%d_steal%v_b%d_q%d", opts.Workers, opts.WorkSteal, opts.BatchSize, opts.QueueDepth)
+		t.Run(name, func(t *testing.T) {
+			systems := buildSystems(t, tc, scs)
+			if err := Run(tracegen.MustNew(tc), systems, opts); err != nil {
+				t.Fatal(err)
+			}
+			for i, sys := range systems {
+				if got := snap(sys); !reflect.DeepEqual(got, want[i]) {
+					t.Errorf("system %d diverged under %+v", i, opts)
+				}
+			}
+		})
+	}
+}
+
+// TestSweepStealingSystemError exercises the error path of the work-stealing
+// mode: the failing system is identified, healthy systems finish the stream,
+// and neither the broadcaster nor the workers deadlock.
+func TestSweepStealingSystemError(t *testing.T) {
+	tc := testWorkload()
+	tc.TotalRefs = 10_000
+	scs := testConfigs(tc)[:3]
+	scs[1].CPUs = 1 // records for CPU 1 will error on this system
+	systems := buildSystems(t, tc, scs)
+	err := Run(tracegen.MustNew(tc), systems, Options{Workers: 2, WorkSteal: true, BatchSize: 64})
+	if err == nil {
+		t.Fatal("sweep with an undersized system did not error")
+	}
+	if want := "sweep: system 1:"; !strings.HasPrefix(err.Error(), want) {
+		t.Errorf("error %q does not identify system 1", err)
+	}
+	if systems[0].Refs() != 10_000 || systems[2].Refs() != 10_000 {
+		t.Errorf("healthy systems did not finish: %d and %d refs",
+			systems[0].Refs(), systems[2].Refs())
+	}
+}
+
+// TestParallelFirstErrorWins proves Parallel's error is deterministic: the
+// lowest-indexed failing job is reported no matter how workers interleave,
+// and every job still runs.
+func TestParallelFirstErrorWins(t *testing.T) {
+	const n = 64
+	var ran [n]atomic.Bool
+	err := Parallel(n, 8, func(i int) error {
+		ran[i].Store(true)
+		if i == 7 || i == 11 || i == 50 {
+			return fmt.Errorf("job %d boom", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "sweep: job 7: job 7 boom" {
+		t.Fatalf("err = %v, want the lowest-indexed failure (job 7)", err)
+	}
+	for i := range ran {
+		if !ran[i].Load() {
+			t.Errorf("job %d never ran after a failure elsewhere", i)
+		}
+	}
+}
+
+// TestParallelDrains proves all workers exit after Parallel returns (no
+// goroutine leak) and that the job count is exact.
+func TestParallelDrains(t *testing.T) {
+	before := runtime.NumGoroutine()
+	var count atomic.Int64
+	if err := Parallel(100, 5, func(i int) error {
+		count.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 100 {
+		t.Errorf("ran %d jobs, want 100", count.Load())
+	}
+	// Workers are joined by wg.Wait before Parallel returns, so the
+	// goroutine count settles immediately; a small retry loop absorbs
+	// unrelated runtime goroutines winding down.
+	for i := 0; i < 100; i++ {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+// TestParallelZeroJobs covers the degenerate sizes.
+func TestParallelZeroJobs(t *testing.T) {
+	if err := Parallel(0, 4, func(int) error { return fmt.Errorf("ran") }); err != nil {
+		t.Fatalf("zero jobs: %v", err)
+	}
+	if err := Parallel(3, 0, func(int) error { return nil }); err != nil {
+		t.Fatalf("default workers: %v", err)
 	}
 }

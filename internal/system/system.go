@@ -63,6 +63,13 @@ type Config struct {
 	WriteBufLatency uint64
 	EagerCtxFlush   bool
 
+	// L1Policy and L2Policy select each level's replacement policy; the
+	// zero value is LRU (the paper's). PolicySeed seeds Random replacement
+	// deterministically per cache.
+	L1Policy   cache.Policy
+	L2Policy   cache.Policy
+	PolicySeed int64
+
 	// PIDTagged enables the Section 2 PID-tag alternative to flushing the
 	// V-cache on context switches (V-R only).
 	PIDTagged bool
@@ -173,6 +180,9 @@ func New(cfg Config) (*System, error) {
 			WriteBufDepth:   cfg.WriteBufDepth,
 			WriteBufLatency: cfg.WriteBufLatency,
 			EagerCtxFlush:   cfg.EagerCtxFlush,
+			L1Policy:        cfg.L1Policy,
+			L2Policy:        cfg.L2Policy,
+			PolicySeed:      cfg.PolicySeed + int64(i)*1000,
 			PIDTagged:       cfg.PIDTagged,
 			Protocol:        cfg.Protocol,
 

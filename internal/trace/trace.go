@@ -115,6 +115,25 @@ func FillBatch(r Reader, dst []Ref) (int, error) {
 	return len(dst), nil
 }
 
+// FillBatchRefs fills dst from r without reading past the maxRefs-th memory
+// reference (context switches do not count). dst is capped at maxRefs
+// records, so a reference that exhausts the budget can only be the final
+// record and the reader is left positioned exactly where a record-at-a-time
+// read would leave it. Returns the records written and the memory
+// references among them; like FillBatch it returns io.EOF only with n == 0.
+func FillBatchRefs(r Reader, dst []Ref, maxRefs uint64) (n int, refs uint64, err error) {
+	if maxRefs < uint64(len(dst)) {
+		dst = dst[:maxRefs]
+	}
+	n, err = FillBatch(r, dst)
+	for i := 0; i < n; i++ {
+		if dst[i].Kind != CtxSwitch {
+			refs++
+		}
+	}
+	return n, refs, err
+}
+
 // SliceReader adapts a slice of records to the Reader interface.
 type SliceReader struct {
 	refs []Ref

@@ -71,13 +71,20 @@ type VCache struct {
 	swapped func(set, way int) bool
 }
 
-// New builds a V-cache with the given geometry.
+// New builds a V-cache with the given geometry and LRU replacement.
 func New(g cache.Geometry) (*VCache, error) {
-	tags, err := cache.New[Line](g, cache.LRU, 0)
+	return NewWithPolicy(g, false, cache.LRU, 0)
+}
+
+// NewWithPolicy builds a V-cache with an explicit replacement policy and
+// (for Random replacement) deterministic seed; pidTagged widens every tag
+// with the process identifier.
+func NewWithPolicy(g cache.Geometry, pidTagged bool, policy cache.Policy, seed int64) (*VCache, error) {
+	tags, err := cache.New[Line](g, policy, seed)
 	if err != nil {
 		return nil, err
 	}
-	v := &VCache{tags: tags, geom: g}
+	v := &VCache{tags: tags, geom: g, pidTags: pidTagged}
 	v.swapped = v.isSwapped
 	return v, nil
 }
@@ -85,14 +92,10 @@ func New(g cache.Geometry) (*VCache, error) {
 // isSwapped reports whether the line at (set, way) is swapped-valid.
 func (v *VCache) isSwapped(set, way int) bool { return v.tags.Line(set, way).SV }
 
-// NewPIDTagged builds a V-cache whose tags include the process identifier.
+// NewPIDTagged builds an LRU V-cache whose tags include the process
+// identifier.
 func NewPIDTagged(g cache.Geometry) (*VCache, error) {
-	v, err := New(g)
-	if err != nil {
-		return nil, err
-	}
-	v.pidTags = true
-	return v, nil
+	return NewWithPolicy(g, true, cache.LRU, 0)
 }
 
 // PIDTagged reports whether tags include the process identifier.

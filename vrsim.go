@@ -62,6 +62,17 @@ import (
 // associativity, all powers of two.
 type Geometry = cache.Geometry
 
+// Policy selects a cache level's replacement policy (Config.L1Policy and
+// Config.L2Policy); the zero value is LRU.
+type Policy = cache.Policy
+
+// Replacement policies.
+const (
+	LRU    = cache.LRU
+	FIFO   = cache.FIFO
+	Random = cache.Random
+)
+
 // Organization selects the cache organization of every CPU in a System.
 type Organization = system.Organization
 
