@@ -29,9 +29,10 @@ echo "== fuzz smoke (10s per target)"
 go test -run '^$' -fuzz '^FuzzBinaryRoundTrip$' -fuzztime 10s ./internal/trace
 go test -run '^$' -fuzz '^FuzzTextParse$' -fuzztime 10s ./internal/trace
 go test -run '^$' -fuzz '^FuzzCheckpointRoundTrip$' -fuzztime 10s ./internal/checkpoint
+go test -run '^$' -fuzz '^FuzzJobConfigDecode$' -fuzztime 10s ./internal/jobs
 
-echo "== coverage floors (internal/checkpoint, internal/stats)"
-for pkg in internal/checkpoint internal/stats; do
+echo "== coverage floors (internal/checkpoint, internal/stats, internal/jobs)"
+for pkg in internal/checkpoint internal/stats internal/jobs; do
     pct=$(go test -cover "./$pkg" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
     if [ -z "$pct" ]; then
         echo "coverage: no figure reported for $pkg" >&2
@@ -98,6 +99,40 @@ go run -race ./cmd/autotune -grammar "$tmp/grammar.json" -preset pops \
 grep -q "margin sound: true" "$tmp/autotune.out"
 grep -q "pruning sound" "$tmp/autotune.out"
 grep -Eq "pruned [1-9]" "$tmp/autotune.out"
+
+# Job-server smoke: a real daemon on a real socket. Submit a table6-style
+# sweep (VR vs RR at the paper's main sizes), verify the report names every
+# machine, then SIGTERM the daemon and require a clean shutdown — vrsimd
+# checks for leaked worker goroutines itself before printing the marker.
+echo "== vrsimd job-server smoke"
+go build -o "$tmp/vrsimd" ./cmd/vrsimd
+"$tmp/vrsimd" serve -http 127.0.0.1:0 -state "$tmp/vrsimd-state" \
+    -addr-file "$tmp/vrsimd.addr" > "$tmp/vrsimd.log" 2>&1 &
+vrsimd_pid=$!
+for _ in $(seq 50); do
+    [ -s "$tmp/vrsimd.addr" ] && break
+    sleep 0.1
+done
+[ -s "$tmp/vrsimd.addr" ] || { cat "$tmp/vrsimd.log" >&2; exit 1; }
+cat > "$tmp/job.json" <<'JOB'
+{
+  "kind": "sweep", "preset": "pops", "scale": 0.02,
+  "machines": [
+    {"label": "vr-16K/256K", "org": "vr", "l1Size": 16384, "l2Size": 262144},
+    {"label": "rr-16K/256K", "org": "rr", "l1Size": 16384, "l2Size": 262144},
+    {"label": "vr-64K/1M",   "org": "vr", "l1Size": 65536, "l2Size": 1048576}
+  ]
+}
+JOB
+"$tmp/vrsimd" submit -addr "http://$(cat "$tmp/vrsimd.addr")" \
+    -config "$tmp/job.json" -wait -report > "$tmp/job-report.json"
+for label in "vr-16K/256K" "rr-16K/256K" "vr-64K/1M"; do
+    grep -q "\"$label\"" "$tmp/job-report.json"
+done
+grep -q '"references"' "$tmp/job-report.json"
+kill -TERM "$vrsimd_pid"
+wait "$vrsimd_pid" || { cat "$tmp/vrsimd.log" >&2; exit 1; }
+grep -q "clean shutdown" "$tmp/vrsimd.log"
 
 # Best of 5 runs against the recorded baseline; the loose threshold absorbs
 # the noise of a shared single-core container (a real regression is far

@@ -24,6 +24,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/jobs"
 )
 
 type options struct {
@@ -49,6 +51,10 @@ type historyEntry struct {
 	// GateSkipped explains why the pass/fail gate did not apply (e.g. the
 	// baseline was recorded on a different core count); empty otherwise.
 	GateSkipped string `json:"gateSkipped,omitempty"`
+	// LatencyMS is the job-server submit→first-result latency (vrsimd
+	// entries only): the wall-clock time from a job's admission to its
+	// report being readable, best of the measured runs.
+	LatencyMS float64 `json:"latencyMS,omitempty"`
 }
 
 // appendHistory adds one entry to the trajectory file (created on first
@@ -137,6 +143,29 @@ func run(o options) error {
 			return err
 		}
 	}
+	// The job-server latency rides along in the same trajectory file: no
+	// gate (latency floors on shared machines gate the weather, not the
+	// code), but the trend across PRs stays on record.
+	if o.history != "" {
+		lat, err := measureJobLatency(o.count)
+		if err != nil {
+			return fmt.Errorf("job-server latency: %w", err)
+		}
+		fmt.Printf("benchguard: vrsimd submit-to-first-result best of %d runs: %.1fms\n",
+			o.count, lat)
+		e := historyEntry{
+			Time:       time.Now().UTC().Format(time.RFC3339),
+			Config:     "vrsimd-submit",
+			LatencyMS:  lat,
+			Pass:       true,
+			GoVersion:  runtime.Version(),
+			NumCPU:     runtime.NumCPU(),
+			Gomaxprocs: runtime.GOMAXPROCS(0),
+		}
+		if err := appendHistory(o.history, e); err != nil {
+			return err
+		}
+	}
 	if skipped != "" {
 		fmt.Printf("benchguard: gate skipped: %s\n", skipped)
 		return nil
@@ -146,6 +175,53 @@ func run(o options) error {
 			best, floor, o.threshold*100, want)
 	}
 	return nil
+}
+
+// measureJobLatency runs an in-process job server and measures the
+// wall-clock time from Submit returning to the job's report being readable
+// — the service-level "how long until a small job's first result" figure.
+// Best of count runs, in milliseconds.
+func measureJobLatency(count int) (float64, error) {
+	dir, err := os.MkdirTemp("", "benchguard-jobs-*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(dir)
+	m, err := jobs.Open(jobs.Options{Dir: dir, Workers: 1})
+	if err != nil {
+		return 0, err
+	}
+	defer m.Close()
+	config := []byte(`{"kind":"run","preset":"pops","scale":0.01}`)
+	best := 0.0
+	for i := 0; i < count; i++ {
+		start := time.Now()
+		st, err := m.Submit(config)
+		if err != nil {
+			return 0, err
+		}
+		for {
+			cur, ok := m.Get(st.ID)
+			if !ok {
+				return 0, fmt.Errorf("job %s vanished", st.ID)
+			}
+			if jobs.Terminal(cur.State) {
+				if cur.State != jobs.StateDone {
+					return 0, fmt.Errorf("job %s: %s (%s)", st.ID, cur.State, cur.Error)
+				}
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		if _, err := m.Report(st.ID); err != nil {
+			return 0, err
+		}
+		ms := float64(time.Since(start)) / float64(time.Millisecond)
+		if best == 0 || ms < best {
+			best = ms
+		}
+	}
+	return best, nil
 }
 
 // baselineRefsPerSec reads the recorded aggregate throughput for one

@@ -1,0 +1,196 @@
+// Command vrsimd runs the simulator as a long-lived job service: clients
+// POST JSON job configs (run, sweep, or autotune) and fetch JSON reports
+// when they finish. Jobs run on a bounded worker pool, checkpoint
+// periodically, and survive daemon restarts — reopening the same state
+// directory resumes every in-flight job with byte-identical final reports.
+//
+//	vrsimd serve -http :8080 -state /var/lib/vrsimd
+//	vrsimd submit -addr http://127.0.0.1:8080 -config job.json -wait
+//
+// On SIGINT/SIGTERM the daemon parks in-flight jobs (final checkpoint,
+// spec left as running), verifies no worker goroutines leaked, and prints
+// "clean shutdown". See DESIGN.md §16 for the lifecycle state machine.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/jobs/client"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "serve":
+		err = serve(os.Args[2:])
+	case "submit":
+		err = submit(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "vrsimd: unknown subcommand %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vrsimd:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  vrsimd serve  -http ADDR -state DIR [-workers N] [-checkpoint-every N]
+                [-progress-every N] [-queue-limit N] [-addr-file PATH]
+  vrsimd submit -addr URL (-config FILE | -config -) [-wait] [-report]
+`)
+}
+
+func serve(args []string) error {
+	fs := flag.NewFlagSet("vrsimd serve", flag.ExitOnError)
+	httpAddr := fs.String("http", "127.0.0.1:8080", "listen address")
+	stateDir := fs.String("state", "", "state directory for specs, checkpoints and reports (required)")
+	workers := fs.Int("workers", 0, "worker pool size (default GOMAXPROCS)")
+	ckEvery := fs.Int64("checkpoint-every", 0, "checkpoint cadence in trace records (default 200000, negative disables)")
+	progEvery := fs.Uint64("progress-every", 0, "progress window size in references (default 20000)")
+	queueLimit := fs.Int("queue-limit", 0, "admission queue bound (default 1024)")
+	addrFile := fs.String("addr-file", "", "write the bound address to this file once listening")
+	fs.Parse(args)
+	if *stateDir == "" {
+		return fmt.Errorf("-state is required")
+	}
+
+	m, err := jobs.Open(jobs.Options{
+		Dir:             *stateDir,
+		Workers:         *workers,
+		CheckpointEvery: *ckEvery,
+		ProgressEvery:   *progEvery,
+		QueueLimit:      *queueLimit,
+	})
+	if err != nil {
+		return err
+	}
+
+	srv := jobs.NewServer(m)
+	ln, err := net.Listen("tcp", *httpAddr)
+	if err != nil {
+		m.Close()
+		return err
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			ln.Close()
+			m.Close()
+			return err
+		}
+	}
+	hs := &http.Server{Handler: srv}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	fmt.Printf("vrsimd: listening on %s, state %s, %d workers\n",
+		ln.Addr(), *stateDir, m.Workers())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Printf("vrsimd: %v — shutting down\n", s)
+	case err := <-serveErr:
+		m.Close()
+		return err
+	}
+
+	// Shutdown order: unblock SSE streams, stop the listener, park the
+	// worker pool (in-flight jobs write a final checkpoint), then verify
+	// nothing survived.
+	srv.Close()
+	shCtx, shCancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer shCancel()
+	if err := hs.Shutdown(shCtx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	if err := m.Close(); err != nil {
+		return err
+	}
+	if err := jobs.VerifyNoLeaks(2 * time.Second); err != nil {
+		return err
+	}
+	fmt.Println("vrsimd: clean shutdown")
+	return nil
+}
+
+func submit(args []string) error {
+	fs := flag.NewFlagSet("vrsimd submit", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "daemon base URL")
+	config := fs.String("config", "", `job config file ("-" for stdin, required)`)
+	wait := fs.Bool("wait", false, "block until the job finishes and print its final status")
+	report := fs.Bool("report", false, "with -wait: print the finished job's report to stdout")
+	fs.Parse(args)
+	if *config == "" {
+		return fmt.Errorf("-config is required")
+	}
+	var (
+		data []byte
+		err  error
+	)
+	if *config == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(*config)
+	}
+	if err != nil {
+		return err
+	}
+
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base // accept the bare host:port that -addr-file writes
+	}
+	ctx := context.Background()
+	c := client.New(base)
+	st, err := c.Submit(ctx, data)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "submitted %s (%s)\n", st.ID, st.Kind)
+	if !*wait {
+		fmt.Println(st.ID)
+		return nil
+	}
+	st, err = c.Wait(ctx, st.ID)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "%s: %s", st.ID, st.State)
+	if st.Error != "" {
+		fmt.Fprintf(os.Stderr, " (%s)", st.Error)
+	}
+	fmt.Fprintln(os.Stderr)
+	if st.State != jobs.StateDone {
+		return fmt.Errorf("job %s finished %s", st.ID, st.State)
+	}
+	if *report {
+		doc, err := c.Report(ctx, st.ID)
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(doc)
+	}
+	return nil
+}

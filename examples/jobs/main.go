@@ -1,0 +1,70 @@
+// Jobs: drive the vrsimd job server from Go. An in-process Manager and
+// Server stand in for a running daemon (point client.New at a real
+// daemon's address to do this over the network); the client submits a
+// timed sweep, streams progress events, and fetches the finished report.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"os"
+
+	"repro/internal/jobs"
+	"repro/internal/jobs/client"
+)
+
+func main() {
+	// A daemon in miniature: state directory, worker pool, HTTP surface.
+	// `vrsimd serve -http ... -state ...` is exactly this plus a listener.
+	dir, err := os.MkdirTemp("", "vrsimd-example-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	m, err := jobs.Open(jobs.Options{Dir: dir, Workers: 2, ProgressEvery: 20000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer m.Close()
+	srv := jobs.NewServer(m)
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	c := client.New(ts.URL)
+	ctx := context.Background()
+
+	// Submit a small V-R vs R-R sweep; the config document is what curl
+	// would POST to /jobs.
+	st, err := c.Submit(ctx, []byte(`{
+		"kind": "sweep", "preset": "pops", "scale": 0.1,
+		"machines": [{"org": "vr"}, {"org": "rr"}]}`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("submitted %s (%s), %d references\n", st.ID, st.Kind, st.TotalRefs)
+
+	// Stream progress until the job reaches a terminal state. Each event
+	// carries the record/reference cursors and the latest closed probe
+	// window; polling c.Status would see the same documents.
+	final, err := c.Events(ctx, st.ID, func(s jobs.Status) {
+		if s.Window != nil {
+			fmt.Printf("  %s: %d/%d refs, window %d: L1 misses %d\n",
+				s.State, s.Refs, s.TotalRefs, s.Window.Index, s.Window.L1Misses)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if final.State != jobs.StateDone {
+		log.Fatalf("job finished %s: %s", final.State, final.Error)
+	}
+
+	report, err := c.Report(ctx, st.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("report: %d bytes\n", len(report))
+}

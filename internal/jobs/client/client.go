@@ -1,0 +1,227 @@
+// Package client is a thin HTTP client for the vrsimd job server
+// (internal/jobs.Server). It speaks the server's JSON vocabulary verbatim:
+// submissions are jobs.Config documents, statuses are jobs.Status, errors
+// are jobs.Error. The test suite and the `vrsimd submit` subcommand are its
+// two in-tree users; examples/jobs shows the external shape.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/jobs"
+)
+
+// Client talks to one vrsimd daemon.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// New returns a client for the daemon at base (e.g. "http://127.0.0.1:8080").
+func New(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), http: &http.Client{}}
+}
+
+// Base returns the daemon base URL this client talks to.
+func (c *Client) Base() string { return c.base }
+
+// apiError decodes the server's structured error document, falling back to
+// the raw body when the server (or a proxy) answered with something else.
+func apiError(resp *http.Response, body []byte) error {
+	var je jobs.Error
+	if err := json.Unmarshal(body, &je); err == nil && je.Msg != "" {
+		return fmt.Errorf("%s: %w", resp.Status, &je)
+	}
+	return fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(body))
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		return apiError(resp, data)
+	}
+	if out == nil {
+		return nil
+	}
+	if raw, ok := out.(*[]byte); ok {
+		*raw = data
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// Submit posts a job config document and returns the accepted job's status.
+func (c *Client) Submit(ctx context.Context, config []byte) (jobs.Status, error) {
+	var st jobs.Status
+	err := c.do(ctx, http.MethodPost, "/jobs", config, &st)
+	return st, err
+}
+
+// Status fetches one job's current status.
+func (c *Client) Status(ctx context.Context, id string) (jobs.Status, error) {
+	var st jobs.Status
+	err := c.do(ctx, http.MethodGet, "/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// List fetches every job's status in submission order.
+func (c *Client) List(ctx context.Context) ([]jobs.Status, error) {
+	var sts []jobs.Status
+	err := c.do(ctx, http.MethodGet, "/jobs", nil, &sts)
+	return sts, err
+}
+
+// Cancel asks the daemon to stop a job.
+func (c *Client) Cancel(ctx context.Context, id string) (jobs.Status, error) {
+	var st jobs.Status
+	err := c.do(ctx, http.MethodDelete, "/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Report fetches a finished job's report document (raw JSON bytes, exactly
+// as the daemon persisted them).
+func (c *Client) Report(ctx context.Context, id string) ([]byte, error) {
+	var data []byte
+	err := c.do(ctx, http.MethodGet, "/jobs/"+id+"/report", nil, &data)
+	return data, err
+}
+
+// Metrics fetches the Prometheus exposition text.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	var data []byte
+	err := c.do(ctx, http.MethodGet, "/metrics", nil, &data)
+	return string(data), err
+}
+
+// Wait polls until the job reaches a terminal state and returns that final
+// status. Poll cadence is modest (50ms) — for live progress use Events.
+func (c *Client) Wait(ctx context.Context, id string) (jobs.Status, error) {
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if jobs.Terminal(st.State) {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+// Events consumes the job's SSE progress stream, invoking fn for every
+// event until the stream closes (terminal state, server shutdown, or ctx
+// cancellation). It returns the last status observed.
+func (c *Client) Events(ctx context.Context, id string, fn func(jobs.Status)) (jobs.Status, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/jobs/"+id+"/events", nil)
+	if err != nil {
+		return jobs.Status{}, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return jobs.Status{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		data, _ := io.ReadAll(resp.Body)
+		return jobs.Status{}, apiError(resp, data)
+	}
+	var last jobs.Status
+	sc := newSSEScanner(resp.Body)
+	for {
+		data, err := sc.next()
+		if err != nil {
+			if err == io.EOF {
+				return last, nil
+			}
+			// A benign close (server shutdown mid-stream) surfaces as a
+			// read error; the caller falls back to polling.
+			return last, err
+		}
+		var st jobs.Status
+		if jerr := json.Unmarshal(data, &st); jerr != nil {
+			return last, jerr
+		}
+		last = st
+		if fn != nil {
+			fn(st)
+		}
+	}
+}
+
+// sseScanner extracts `data:` payloads from a text/event-stream body.
+type sseScanner struct {
+	r   *jsonLineReader
+	buf []byte
+}
+
+func newSSEScanner(r io.Reader) *sseScanner { return &sseScanner{r: &jsonLineReader{r: r}} }
+
+func (s *sseScanner) next() ([]byte, error) {
+	for {
+		line, err := s.r.readLine()
+		if err != nil {
+			return nil, err
+		}
+		if rest, ok := strings.CutPrefix(line, "data: "); ok {
+			return []byte(rest), nil
+		}
+	}
+}
+
+// jsonLineReader is a minimal buffered line reader (bufio would be fine too;
+// this keeps the read size small so SSE events surface promptly).
+type jsonLineReader struct {
+	r   io.Reader
+	buf []byte
+}
+
+func (l *jsonLineReader) readLine() (string, error) {
+	for {
+		if i := bytes.IndexByte(l.buf, '\n'); i >= 0 {
+			line := string(l.buf[:i])
+			l.buf = l.buf[i+1:]
+			return line, nil
+		}
+		chunk := make([]byte, 512)
+		n, err := l.r.Read(chunk)
+		l.buf = append(l.buf, chunk[:n]...)
+		if err != nil {
+			if len(l.buf) > 0 && err == io.EOF {
+				line := string(l.buf)
+				l.buf = nil
+				return line, nil
+			}
+			return "", err
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package jobs
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// VerifyNoLeaks polls the runtime's goroutine dump until no goroutine has a
+// frame inside this package (other than the caller's own), or the grace
+// period expires. Worker goroutines wind down asynchronously after
+// Manager.Close returns their WaitGroup, and SSE handlers exit on the next
+// tick after Server.Close — the grace period absorbs that scheduling slack.
+//
+// It is the daemon's shutdown self-check (cmd/vrsimd runs it before
+// printing "clean shutdown") and the test suite's leak detector.
+func VerifyNoLeaks(grace time.Duration) error {
+	deadline := time.Now().Add(grace)
+	var stray string
+	for {
+		stray = strayGoroutines()
+		if stray == "" {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("jobs: leaked goroutines after %v grace:\n%s", grace, stray)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// strayGoroutines returns the stack blocks of goroutines still executing in
+// this package, excluding the block containing this call itself.
+func strayGoroutines() string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	var stray []string
+	for _, block := range strings.Split(string(buf), "\n\n") {
+		if !strings.Contains(block, "repro/internal/jobs") {
+			continue
+		}
+		if strings.Contains(block, "strayGoroutines") {
+			continue // the goroutine running this check
+		}
+		stray = append(stray, block)
+	}
+	return strings.Join(stray, "\n\n")
+}

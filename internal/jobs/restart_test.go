@@ -1,0 +1,225 @@
+package jobs_test
+
+// Restart-resume equivalence: a daemon shut down mid-job and reopened on
+// the same state directory must finish every in-flight job with a report
+// byte-identical to an uninterrupted run's. Run and sweep jobs resume from
+// their checkpoint container; autotune jobs re-run their deterministic
+// search. These tests drive the Manager directly (no HTTP) — the daemon's
+// SIGTERM path is the same Close, exercised end-to-end by ci.sh's smoke.
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/jobs"
+)
+
+const (
+	restartRunConfig = `{"kind":"run","preset":"pops","scale":0.15,"timed":true}`
+
+	restartSweepConfig = `{
+		"kind": "sweep", "preset": "thor", "scale": 0.1,
+		"machines": [{"org": "vr"}, {"org": "rr", "l2Size": 524288}]}`
+
+	restartAutotuneConfig = `{
+		"kind": "autotune", "preset": "pops", "scale": 0.05,
+		"autotune": {
+			"exhaustive": true,
+			"grammar": {"organizations": ["vr", "rr"], "l1Assocs": [1, 2]}}}`
+)
+
+// managerOptions keeps the checkpoint cadence small so an interrupt lands
+// between checkpoints, not before the first one.
+func managerOptions(dir string) jobs.Options {
+	return jobs.Options{Dir: dir, Workers: 2, CheckpointEvery: 20000, ProgressEvery: 5000}
+}
+
+func waitDone(t *testing.T, m *jobs.Manager, id string) jobs.Status {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		st, ok := m.Get(id)
+		if !ok {
+			t.Fatalf("job %s vanished", id)
+		}
+		if jobs.Terminal(st.State) {
+			if st.State != jobs.StateDone {
+				t.Fatalf("job %s: %s (%s)", id, st.State, st.Error)
+			}
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s after 2m", id, st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// uninterruptedReport runs the job to completion in one daemon lifetime.
+func uninterruptedReport(t *testing.T, config string) []byte {
+	t.Helper()
+	m, err := jobs.Open(managerOptions(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	st, err := m.Submit([]byte(config))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, m, st.ID)
+	report, err := m.Report(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return report
+}
+
+// interruptedReport starts the job, shuts the manager down mid-run (the
+// daemon-restart path: in-flight jobs park with a final checkpoint and stay
+// persisted as running), reopens the same state directory, and returns the
+// resumed job's report.
+func interruptedReport(t *testing.T, config string, wantResume bool) []byte {
+	t.Helper()
+	dir := t.TempDir()
+	m1, err := jobs.Open(managerOptions(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m1.Submit([]byte(config))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let the job make real progress before pulling the plug, so the resume
+	// genuinely continues from a mid-run snapshot. Autotune jobs expose no
+	// mid-search progress; for them any moment inside the search will do.
+	if wantResume {
+		deadline := time.Now().Add(time.Minute)
+		for {
+			cur, _ := m1.Get(st.ID)
+			if cur.Records > 25000 {
+				break
+			}
+			if jobs.Terminal(cur.State) {
+				t.Fatalf("job finished (%s) before the shutdown; grow the workload", cur.State)
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("no progress after 1m")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	} else {
+		for {
+			cur, _ := m1.Get(st.ID)
+			if cur.State == jobs.StateRunning || jobs.Terminal(cur.State) {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if err := m1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := jobs.VerifyNoLeaks(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// The job must have parked, not finished, or the test proves nothing.
+	if cur, _ := m1.Get(st.ID); wantResume && cur.State != jobs.StateRunning {
+		t.Fatalf("job is %s after shutdown, want parked as running", cur.State)
+	}
+
+	m2, err := jobs.Open(managerOptions(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	fin := waitDone(t, m2, st.ID)
+	if wantResume && !fin.Resumed {
+		t.Error("final status does not mark the job as resumed")
+	}
+	if m2.Counters().Resumed == 0 {
+		t.Error("fleet counters do not record the resume")
+	}
+	report, err := m2.Report(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return report
+}
+
+func testRestartEquivalence(t *testing.T, config string, wantResume bool) {
+	t.Helper()
+	want := uninterruptedReport(t, config)
+	got := interruptedReport(t, config, wantResume)
+	if !bytes.Equal(want, got) {
+		t.Fatalf("resumed report differs from uninterrupted report:\n--- uninterrupted (%d bytes)\n%.2000s\n--- resumed (%d bytes)\n%.2000s",
+			len(want), want, len(got), got)
+	}
+}
+
+func TestRestartResumeRun(t *testing.T) {
+	testRestartEquivalence(t, restartRunConfig, true)
+}
+
+func TestRestartResumeSweep(t *testing.T) {
+	testRestartEquivalence(t, restartSweepConfig, true)
+}
+
+func TestRestartResumeAutotune(t *testing.T) {
+	// The search is not interruptible mid-flight: the shutdown discards its
+	// result, the spec stays running, and the reopened daemon re-runs the
+	// deterministic search from scratch.
+	testRestartEquivalence(t, restartAutotuneConfig, false)
+}
+
+// TestRestartPreservesQueuedJobs: jobs admitted but never started survive a
+// restart in submission order.
+func TestRestartPreservesQueuedJobs(t *testing.T) {
+	dir := t.TempDir()
+	opt := jobs.Options{Dir: dir, Workers: 1, CheckpointEvery: 20000}
+	m1, err := jobs.Open(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One long job occupies the worker; two quick ones queue behind it.
+	blocker, err := m1.Submit([]byte(`{"kind":"run","preset":"pops","scale":0.5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var queued []string
+	for i := 0; i < 2; i++ {
+		st, err := m1.Submit([]byte(`{"kind":"run","preset":"pops","scale":0.02}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		queued = append(queued, st.ID)
+	}
+	for {
+		cur, _ := m1.Get(blocker.ID)
+		if cur.State == jobs.StateRunning {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := m1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := jobs.Open(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	waitDone(t, m2, blocker.ID)
+	for _, id := range queued {
+		st := waitDone(t, m2, id)
+		if st.Refs != st.TotalRefs {
+			t.Errorf("queued job %s finished with %d/%d refs", id, st.Refs, st.TotalRefs)
+		}
+	}
+	if got := len(m2.List()); got != 3 {
+		t.Errorf("recovered registry has %d jobs, want 3", got)
+	}
+}

@@ -1,0 +1,246 @@
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"repro/internal/monitor"
+)
+
+// Server is the HTTP face of a Manager:
+//
+//	POST   /jobs             submit a job (JSON Config in, Status out)
+//	GET    /jobs             list every job's status
+//	GET    /jobs/{id}        one job's status (poll this for progress)
+//	GET    /jobs/{id}/report a finished job's report document
+//	GET    /jobs/{id}/events server-sent progress events until terminal
+//	DELETE /jobs/{id}        cancel (also POST /jobs/{id}/cancel)
+//	GET    /metrics          Prometheus fleet + per-job metrics
+//	GET    /healthz          liveness
+//
+// plus the standard pprof endpoints under /debug/pprof/. Errors are JSON
+// documents ({"error": ..., "field": ...}); submission errors carry the
+// offending field path.
+type Server struct {
+	m      *Manager
+	mux    *http.ServeMux
+	closed chan struct{}
+
+	// sseInterval is the progress poll cadence for /events (tests shrink it).
+	sseInterval time.Duration
+}
+
+// NewServer wraps a Manager. The caller owns the Manager's lifecycle;
+// call Close before shutting the HTTP listener down so streaming handlers
+// terminate.
+func NewServer(m *Manager) *Server {
+	s := &Server{m: m, closed: make(chan struct{}), sseInterval: 100 * time.Millisecond}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /", s.handleIndex)
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	s.mux = mux
+	return s
+}
+
+// Close unblocks streaming handlers; the Server serves plain requests
+// until its listener stops.
+func (s *Server) Close() {
+	select {
+	case <-s.closed:
+	default:
+		close(s.closed)
+	}
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // best-effort write to a live client
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	var je *Error
+	if !errors.As(err, &je) {
+		je = &Error{Msg: err.Error()}
+	}
+	writeJSON(w, code, je)
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such endpoint"))
+		return
+	}
+	fmt.Fprint(w, `vrsimd job server
+POST   /jobs             submit a job (JSON config)
+GET    /jobs             list jobs
+GET    /jobs/{id}        status + progress
+GET    /jobs/{id}/report finished job's report
+GET    /jobs/{id}/events SSE progress stream
+DELETE /jobs/{id}        cancel
+GET    /metrics          Prometheus fleet metrics
+GET    /healthz          liveness
+`)
+}
+
+// maxSubmitBytes bounds a submission document; a job config is small.
+const maxSubmitBytes = 1 << 20
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSubmitBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(body) > maxSubmitBytes {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("request body exceeds %d bytes", maxSubmitBytes))
+		return
+	}
+	st, err := s.m.Submit(body)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+	default:
+		writeJSON(w, http.StatusAccepted, st)
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.m.List())
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.m.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	data, err := s.m.Report(id)
+	if err != nil {
+		code := http.StatusNotFound
+		if st, ok := s.m.Get(id); ok && !Terminal(st.State) {
+			code = http.StatusConflict // exists but not finished yet
+		}
+		writeError(w, code, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data) //nolint:errcheck
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.m.Cancel(id); err != nil {
+		code := http.StatusConflict
+		if _, ok := s.m.Get(id); !ok {
+			code = http.StatusNotFound
+		}
+		writeError(w, code, err)
+		return
+	}
+	st, _ := s.m.Get(id)
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleEvents streams status snapshots as server-sent events: one event
+// per observable progress change, a final event at the terminal state, then
+// the stream closes. Polling GET /jobs/{id} carries the same document.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.m.Get(id); !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", id))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, fmt.Errorf("streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	ticker := time.NewTicker(s.sseInterval)
+	defer ticker.Stop()
+	var last []byte
+	for {
+		st, ok := s.m.Get(id)
+		if !ok {
+			return
+		}
+		data, err := json.Marshal(st)
+		if err != nil {
+			return
+		}
+		if string(data) != string(last) {
+			fmt.Fprintf(w, "data: %s\n\n", data)
+			fl.Flush()
+			last = data
+		}
+		if Terminal(st.State) {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.closed:
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	monitor.WriteFleetMetrics(w, s.fleetStats())
+}
+
+// fleetStats assembles the monitor-layer view of the fleet.
+func (s *Server) fleetStats() monitor.FleetStats {
+	c := s.m.Counters()
+	fs := monitor.FleetStats{
+		Workers:    s.m.Workers(),
+		QueueDepth: s.m.QueueDepth(),
+		Submitted:  c.Submitted,
+		Done:       c.Done,
+		Failed:     c.Failed,
+		Canceled:   c.Canceled,
+		Resumed:    c.Resumed,
+	}
+	for _, st := range s.m.List() {
+		fs.Jobs = append(fs.Jobs, monitor.FleetJob{
+			ID: st.ID, Kind: st.Kind, State: st.State,
+			Records: st.Records, Refs: st.Refs, TotalRefs: st.TotalRefs,
+		})
+	}
+	return fs
+}

@@ -1,0 +1,89 @@
+package monitor
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// FleetJob is one job's exported gauge set, as published by the job server
+// (internal/jobs). The monitor package owns the exposition format so the
+// fleet shares one Prometheus vocabulary with the per-run server above.
+type FleetJob struct {
+	ID        string `json:"id"`
+	Kind      string `json:"kind"`
+	State     string `json:"state"`
+	Records   uint64 `json:"records"`
+	Refs      uint64 `json:"references"`
+	TotalRefs uint64 `json:"totalRefs"`
+}
+
+// FleetStats is a point-in-time view of the job fleet: pool shape, queue
+// depth, monotonic lifecycle counters and the per-job gauges.
+type FleetStats struct {
+	Workers    int
+	QueueDepth int
+
+	Submitted uint64
+	Done      uint64
+	Failed    uint64
+	Canceled  uint64
+	Resumed   uint64
+
+	Jobs []FleetJob
+}
+
+// WriteFleetMetrics renders fleet-level and per-job Prometheus metrics in
+// the text exposition format. Per-job series are emitted for non-terminal
+// jobs only (terminal jobs would grow the series set without bound); the
+// lifecycle counters carry the totals.
+func WriteFleetMetrics(w io.Writer, fs FleetStats) {
+	fmt.Fprintf(w, "# TYPE vrsimd_workers gauge\nvrsimd_workers %d\n", fs.Workers)
+	fmt.Fprintf(w, "# TYPE vrsimd_queue_depth gauge\nvrsimd_queue_depth %d\n", fs.QueueDepth)
+	fmt.Fprint(w, "# TYPE vrsimd_jobs_lifecycle_total counter\n")
+	for _, c := range []struct {
+		event string
+		n     uint64
+	}{
+		{"submitted", fs.Submitted}, {"done", fs.Done},
+		{"failed", fs.Failed}, {"canceled", fs.Canceled}, {"resumed", fs.Resumed},
+	} {
+		fmt.Fprintf(w, "vrsimd_jobs_lifecycle_total{event=%q} %d\n", c.event, c.n)
+	}
+
+	byState := map[string]int{}
+	for _, j := range fs.Jobs {
+		byState[j.State]++
+	}
+	states := make([]string, 0, len(byState))
+	for s := range byState {
+		states = append(states, s)
+	}
+	sort.Strings(states)
+	fmt.Fprint(w, "# TYPE vrsimd_jobs gauge\n")
+	for _, s := range states {
+		fmt.Fprintf(w, "vrsimd_jobs{state=%q} %d\n", s, byState[s])
+	}
+
+	var active []FleetJob
+	for _, j := range fs.Jobs {
+		if j.State == "queued" || j.State == "running" {
+			active = append(active, j)
+		}
+	}
+	if len(active) == 0 {
+		return
+	}
+	fmt.Fprint(w, "# TYPE vrsimd_job_records gauge\n")
+	for _, j := range active {
+		fmt.Fprintf(w, "vrsimd_job_records{id=%q,kind=%q} %d\n", j.ID, j.Kind, j.Records)
+	}
+	fmt.Fprint(w, "# TYPE vrsimd_job_references gauge\n")
+	for _, j := range active {
+		fmt.Fprintf(w, "vrsimd_job_references{id=%q,kind=%q} %d\n", j.ID, j.Kind, j.Refs)
+	}
+	fmt.Fprint(w, "# TYPE vrsimd_job_total_references gauge\n")
+	for _, j := range active {
+		fmt.Fprintf(w, "vrsimd_job_total_references{id=%q,kind=%q} %d\n", j.ID, j.Kind, j.TotalRefs)
+	}
+}

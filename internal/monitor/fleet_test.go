@@ -1,0 +1,57 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteFleetMetrics(t *testing.T) {
+	var sb strings.Builder
+	WriteFleetMetrics(&sb, FleetStats{
+		Workers:    4,
+		QueueDepth: 2,
+		Submitted:  7,
+		Done:       3,
+		Failed:     1,
+		Canceled:   1,
+		Resumed:    2,
+		Jobs: []FleetJob{
+			{ID: "j000001", Kind: "run", State: "done", Records: 10, Refs: 10, TotalRefs: 10},
+			{ID: "j000002", Kind: "sweep", State: "running", Records: 5, Refs: 4, TotalRefs: 10},
+			{ID: "j000003", Kind: "autotune", State: "queued"},
+		},
+	})
+	out := sb.String()
+	for _, want := range []string{
+		"vrsimd_workers 4",
+		"vrsimd_queue_depth 2",
+		`vrsimd_jobs_lifecycle_total{event="submitted"} 7`,
+		`vrsimd_jobs_lifecycle_total{event="resumed"} 2`,
+		`vrsimd_jobs{state="done"} 1`,
+		`vrsimd_jobs{state="queued"} 1`,
+		`vrsimd_jobs{state="running"} 1`,
+		`vrsimd_job_records{id="j000002",kind="sweep"} 5`,
+		`vrsimd_job_references{id="j000002",kind="sweep"} 4`,
+		`vrsimd_job_total_references{id="j000002",kind="sweep"} 10`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Terminal jobs must not emit per-job series (unbounded cardinality).
+	if strings.Contains(out, `vrsimd_job_records{id="j000001"`) {
+		t.Error("terminal job emitted a per-job gauge")
+	}
+}
+
+func TestWriteFleetMetricsEmpty(t *testing.T) {
+	var sb strings.Builder
+	WriteFleetMetrics(&sb, FleetStats{Workers: 1})
+	out := sb.String()
+	if !strings.Contains(out, "vrsimd_workers 1") {
+		t.Error("missing workers gauge")
+	}
+	if strings.Contains(out, "vrsimd_job_records") {
+		t.Error("per-job series with no jobs")
+	}
+}

@@ -43,9 +43,11 @@ type MachineState struct {
 // probe or a periodic auditor: both carry internal cursors (ring positions,
 // countdowns, window boundaries) that are not serialized, so a restored run
 // would diverge in its observability output. Final-only auditing
-// (audit.New(0)) is fine — it holds no mid-run state.
+// (audit.New(0)) is fine — it holds no mid-run state, and a probe marked
+// Config.ProbeEphemeral is accepted because its caller has opted into the
+// observability reset.
 func (s *System) ExportState() (*MachineState, error) {
-	if s.cfg.Probe != nil {
+	if s.cfg.Probe != nil && !s.cfg.ProbeEphemeral {
 		return nil, fmt.Errorf("system: cannot checkpoint a machine with an attached probe")
 	}
 	if s.aud != nil && s.aud.Every() != 0 {
@@ -81,7 +83,7 @@ func (s *System) ExportState() (*MachineState, error) {
 // simulation (callers should validate a configuration signature first, as
 // internal/checkpoint does).
 func (s *System) RestoreState(st *MachineState) error {
-	if s.cfg.Probe != nil {
+	if s.cfg.Probe != nil && !s.cfg.ProbeEphemeral {
 		return fmt.Errorf("system: cannot restore into a machine with an attached probe")
 	}
 	if s.aud != nil && s.aud.Every() != 0 {

@@ -87,6 +87,16 @@ type Config struct {
 	// bus, and any DMA agents (see internal/probe). Nil disables all
 	// emission.
 	Probe *probe.Probe
+	// ProbeEphemeral marks the attached Probe as observational-only for
+	// checkpointing purposes. Export/RestoreState normally refuse a
+	// machine with a probe because the probe's internal cursors (ring
+	// positions, window boundaries, the reference counter) are not
+	// serialized; with ProbeEphemeral set the caller accepts that a
+	// restored run's observability output restarts from zero. Simulated
+	// state — and therefore the statistics report — is unaffected either
+	// way. The job server uses this to stream progress windows from
+	// checkpointable jobs whose reports exclude the probe section.
+	ProbeEphemeral bool
 	// Cycles, when set, measures per-CPU access times: the system charges
 	// each reference's service time (t1/t2/tm) and context-switch cost,
 	// the hierarchies charge TLB penalties, write-back occupancy and
