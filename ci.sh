@@ -31,8 +31,8 @@ go test -run '^$' -fuzz '^FuzzTextParse$' -fuzztime 10s ./internal/trace
 go test -run '^$' -fuzz '^FuzzCheckpointRoundTrip$' -fuzztime 10s ./internal/checkpoint
 go test -run '^$' -fuzz '^FuzzJobConfigDecode$' -fuzztime 10s ./internal/jobs
 
-echo "== coverage floors (internal/checkpoint, internal/stats, internal/jobs)"
-for pkg in internal/checkpoint internal/stats internal/jobs; do
+echo "== coverage floors (internal/checkpoint, internal/stats, internal/jobs, internal/tsdb)"
+for pkg in internal/checkpoint internal/stats internal/jobs internal/tsdb; do
     pct=$(go test -cover "./$pkg" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
     if [ -z "$pct" ]; then
         echo "coverage: no figure reported for $pkg" >&2
@@ -102,11 +102,15 @@ grep -Eq "pruned [1-9]" "$tmp/autotune.out"
 
 # Job-server smoke: a real daemon on a real socket. Submit a table6-style
 # sweep (VR vs RR at the paper's main sizes), verify the report names every
-# machine, then SIGTERM the daemon and require a clean shutdown — vrsimd
-# checks for leaked worker goroutines itself before printing the marker.
+# machine, then walk the observatory surfaces — persisted time-series over
+# HTTP (deterministic across reads), the CSV dump, one `top` frame, the
+# job-correlated structured JSON log and the OTLP trace file — before
+# SIGTERMing the daemon and requiring a clean shutdown (vrsimd checks for
+# leaked worker goroutines itself before printing the marker).
 echo "== vrsimd job-server smoke"
 go build -o "$tmp/vrsimd" ./cmd/vrsimd
 "$tmp/vrsimd" serve -http 127.0.0.1:0 -state "$tmp/vrsimd-state" \
+    -log-format json -progress-every 5000 \
     -addr-file "$tmp/vrsimd.addr" > "$tmp/vrsimd.log" 2>&1 &
 vrsimd_pid=$!
 for _ in $(seq 50); do
@@ -124,12 +128,36 @@ cat > "$tmp/job.json" <<'JOB'
   ]
 }
 JOB
-"$tmp/vrsimd" submit -addr "http://$(cat "$tmp/vrsimd.addr")" \
-    -config "$tmp/job.json" -wait -report > "$tmp/job-report.json"
+vrsimd_url="http://$(cat "$tmp/vrsimd.addr")"
+"$tmp/vrsimd" submit -addr "$vrsimd_url" \
+    -config "$tmp/job.json" -wait -report > "$tmp/job-report.json" 2> "$tmp/submit.err"
+cat "$tmp/submit.err" >&2
 for label in "vr-16K/256K" "rr-16K/256K" "vr-64K/1M"; do
     grep -q "\"$label\"" "$tmp/job-report.json"
 done
 grep -q '"references"' "$tmp/job-report.json"
+
+job_id=$(sed -n 's/^submitted \(j[0-9]*\).*/\1/p' "$tmp/submit.err")
+[ -n "$job_id" ] || { echo "ci: no job id in submit output" >&2; exit 1; }
+# Persisted time-series: samples present, two reads byte-identical, and the
+# CSV dump carries the header plus at least one row.
+curl -sf "$vrsimd_url/jobs/$job_id/timeseries?metric=busocc" > "$tmp/ts1.json"
+curl -sf "$vrsimd_url/jobs/$job_id/timeseries?metric=busocc" > "$tmp/ts2.json"
+cmp "$tmp/ts1.json" "$tmp/ts2.json"
+grep -q '"startRef"' "$tmp/ts1.json"
+curl -sf "$vrsimd_url/jobs/$job_id/timeseries?metric=l1ratio&points=8&format=csv" > "$tmp/ts.csv"
+head -1 "$tmp/ts.csv" | grep -q '^seq,'
+[ "$(wc -l < "$tmp/ts.csv")" -ge 2 ]
+# One dashboard frame over the same endpoints.
+"$tmp/vrsimd" top -addr "$vrsimd_url" -metric l1ratio -once > "$tmp/top.out"
+grep -q "workers" "$tmp/top.out"
+grep -q "$job_id" "$tmp/top.out"
+# Structured JSON log correlated by job id, and the job's OTLP trace file.
+grep -q "\"job\":\"$job_id\"" "$tmp/vrsimd.log"
+[ -s "$tmp/vrsimd-state/$job_id.trace.json" ]
+grep -q '"resourceSpans"' "$tmp/vrsimd-state/$job_id.trace.json"
+# Queue/run latency histograms registered on the Prometheus surface.
+curl -sf "$vrsimd_url/metrics" | grep -q '^vrsimd_job_run_seconds_count'
 kill -TERM "$vrsimd_pid"
 wait "$vrsimd_pid" || { cat "$tmp/vrsimd.log" >&2; exit 1; }
 grep -q "clean shutdown" "$tmp/vrsimd.log"

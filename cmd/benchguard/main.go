@@ -29,12 +29,13 @@ import (
 )
 
 type options struct {
-	baseline  string
-	history   string
-	config    string
-	count     int
-	threshold float64
-	verbose   bool
+	baseline    string
+	history     string
+	config      string
+	count       int
+	threshold   float64
+	trendWindow int
+	verbose     bool
 }
 
 // historyEntry is one appended BENCH_history.json record.
@@ -88,6 +89,8 @@ func main() {
 	flag.StringVar(&o.config, "config", "6", "BenchmarkSweepNConfigs sub-benchmark to guard")
 	flag.IntVar(&o.count, "count", 3, "benchmark repetitions (best run wins)")
 	flag.Float64Var(&o.threshold, "threshold", 0.9, "fail below baseline*threshold")
+	flag.IntVar(&o.trendWindow, "trend-window", 5,
+		"warn when the last N history entries decline monotonically (0 disables)")
 	flag.BoolVar(&o.verbose, "v", false, "print raw benchmark output")
 	flag.Parse()
 	if err := run(o); err != nil {
@@ -142,6 +145,12 @@ func run(o options) error {
 		if err := appendHistory(o.history, e); err != nil {
 			return err
 		}
+		// Trend check: a slow leak of throughput passes every per-PR gate
+		// (each dip under 10%) yet compounds across PRs. Warn — never fail —
+		// when the recorded trajectory declines monotonically.
+		if warn := throughputTrendWarning(o.history, o.config, o.trendWindow); warn != "" {
+			fmt.Printf("benchguard: WARNING: %s\n", warn)
+		}
 	}
 	// The job-server latency rides along in the same trajectory file: no
 	// gate (latency floors on shared machines gate the weather, not the
@@ -175,6 +184,43 @@ func run(o options) error {
 			best, floor, o.threshold*100, want)
 	}
 	return nil
+}
+
+// throughputTrendWarning inspects the trajectory file just appended to and
+// returns a warning when the last window entries for this config decline
+// monotonically (strictly, entry over entry). It is advisory only: any error
+// or an inconclusive trajectory returns "".
+func throughputTrendWarning(path, config string, window int) string {
+	if window < 2 {
+		return ""
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return ""
+	}
+	var entries []historyEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return ""
+	}
+	var series []float64
+	for _, e := range entries {
+		if e.Config == config && e.RefsPerSec > 0 {
+			series = append(series, e.RefsPerSec)
+		}
+	}
+	if len(series) < window {
+		return ""
+	}
+	series = series[len(series)-window:]
+	for i := 1; i < len(series); i++ {
+		if series[i] >= series[i-1] {
+			return ""
+		}
+	}
+	return fmt.Sprintf("sweep/%s throughput declined across the last %d recorded runs "+
+		"(%.0f → %.0f refs/s, -%.1f%%): each step passed the gate, the trend did not",
+		config, window, series[0], series[len(series)-1],
+		100*(1-series[len(series)-1]/series[0]))
 }
 
 // measureJobLatency runs an in-process job server and measures the

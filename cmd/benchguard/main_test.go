@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -109,5 +110,75 @@ func TestGuardComparison(t *testing.T) {
 	}
 	if 5000000.0 >= want*0.9 {
 		t.Fatal("a 25% regression must be below the floor")
+	}
+}
+
+// TestThroughputTrendWarning: the advisory monotonic-decline check fires
+// only on a strict entry-over-entry decline of the last window entries for
+// the requested config, and stays silent on every inconclusive input.
+func TestThroughputTrendWarning(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, series map[string][]float64) string {
+		var entries []historyEntry
+		// Interleave configs the way real appends do: one entry per run.
+		for cfg, vals := range series {
+			for _, v := range vals {
+				entries = append(entries, historyEntry{Config: cfg, RefsPerSec: v, Pass: true})
+			}
+		}
+		data, err := json.Marshal(entries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	declining := write("decline.json", map[string][]float64{
+		"18": {100, 99, 98, 97, 96},
+	})
+	if warn := throughputTrendWarning(declining, "18", 5); warn == "" {
+		t.Error("5-entry monotonic decline must warn")
+	} else if !strings.Contains(warn, "sweep/18") || !strings.Contains(warn, "last 5") {
+		t.Errorf("warning %q missing config or window", warn)
+	}
+	// A single up-tick anywhere breaks monotonicity.
+	if warn := throughputTrendWarning(write("uptick.json", map[string][]float64{
+		"18": {100, 99, 99.5, 97, 96},
+	}), "18", 5); warn != "" {
+		t.Errorf("non-monotonic series warned: %q", warn)
+	}
+	// Decline on another config must not implicate this one.
+	if warn := throughputTrendWarning(declining, "6", 5); warn != "" {
+		t.Errorf("config with no entries warned: %q", warn)
+	}
+	// Fewer entries than the window is inconclusive.
+	if warn := throughputTrendWarning(declining, "18", 6); warn != "" {
+		t.Errorf("short series warned: %q", warn)
+	}
+	// Only the trailing window counts: an old decline followed by recovery
+	// is not a trend.
+	if warn := throughputTrendWarning(write("recovered.json", map[string][]float64{
+		"18": {100, 99, 98, 97, 96, 100, 99, 98},
+	}), "18", 5); warn != "" {
+		t.Errorf("recovered series warned: %q", warn)
+	}
+	// window < 2 disables the check; missing or corrupt files are advisory
+	// no-ops.
+	if warn := throughputTrendWarning(declining, "18", 0); warn != "" {
+		t.Errorf("window=0 warned: %q", warn)
+	}
+	if warn := throughputTrendWarning(filepath.Join(dir, "absent.json"), "18", 5); warn != "" {
+		t.Errorf("missing file warned: %q", warn)
+	}
+	corrupt := filepath.Join(dir, "corrupt.json")
+	if err := os.WriteFile(corrupt, []byte("{not an array"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if warn := throughputTrendWarning(corrupt, "18", 5); warn != "" {
+		t.Errorf("corrupt file warned: %q", warn)
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -29,6 +30,22 @@ import (
 	"repro/internal/jobs/client"
 )
 
+// newLogger builds the daemon's structured logger on stderr.
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("-log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	}
+	return nil, fmt.Errorf("-log-format %q: want text or json", format)
+}
+
 func main() {
 	if len(os.Args) < 2 {
 		usage()
@@ -40,6 +57,8 @@ func main() {
 		err = serve(os.Args[2:])
 	case "submit":
 		err = submit(os.Args[2:])
+	case "top":
+		err = top(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 		return
@@ -58,7 +77,10 @@ func usage() {
 	fmt.Fprint(os.Stderr, `usage:
   vrsimd serve  -http ADDR -state DIR [-workers N] [-checkpoint-every N]
                 [-progress-every N] [-queue-limit N] [-addr-file PATH]
+                [-log-format text|json] [-log-level LEVEL]
+                [-span-sample N] [-timeseries-retention N]
   vrsimd submit -addr URL (-config FILE | -config -) [-wait] [-report]
+  vrsimd top    -addr URL [-metric NAME] [-interval DUR] [-points N] [-once]
 `)
 }
 
@@ -71,17 +93,28 @@ func serve(args []string) error {
 	progEvery := fs.Uint64("progress-every", 0, "progress window size in references (default 20000)")
 	queueLimit := fs.Int("queue-limit", 0, "admission queue bound (default 1024)")
 	addrFile := fs.String("addr-file", "", "write the bound address to this file once listening")
+	logFormat := fs.String("log-format", "text", "structured log encoding: text or json")
+	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn or error")
+	spanSample := fs.Int64("span-sample", 0, "in-sim span sampling interval in references for per-job traces (default 1048576, negative disables)")
+	tsRetention := fs.Int("timeseries-retention", 0, "per-job time-series sample cap (default 65536)")
 	fs.Parse(args)
 	if *stateDir == "" {
 		return fmt.Errorf("-state is required")
 	}
+	logger, err := newLogger(*logFormat, *logLevel)
+	if err != nil {
+		return err
+	}
 
 	m, err := jobs.Open(jobs.Options{
-		Dir:             *stateDir,
-		Workers:         *workers,
-		CheckpointEvery: *ckEvery,
-		ProgressEvery:   *progEvery,
-		QueueLimit:      *queueLimit,
+		Dir:                 *stateDir,
+		Workers:             *workers,
+		CheckpointEvery:     *ckEvery,
+		ProgressEvery:       *progEvery,
+		QueueLimit:          *queueLimit,
+		Logger:              logger,
+		SpanSampleEvery:     *spanSample,
+		TimeseriesRetention: *tsRetention,
 	})
 	if err != nil {
 		return err
@@ -110,6 +143,7 @@ func serve(args []string) error {
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	select {
 	case s := <-sig:
+		logger.Info("shutting down", "signal", s.String())
 		fmt.Printf("vrsimd: %v — shutting down\n", s)
 	case err := <-serveErr:
 		m.Close()

@@ -1,0 +1,132 @@
+package main
+
+// vrsimd top: a live terminal dashboard over one daemon's /fleet and
+// per-job /timeseries endpoints. Each frame is one fleet poll plus one
+// timeseries poll per displayed job; -once renders a single frame without
+// touching the terminal (scripts and CI use it as a fleet snapshot).
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/jobs/client"
+)
+
+func top(args []string) error {
+	fs := flag.NewFlagSet("vrsimd top", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "daemon base URL")
+	metric := fs.String("metric", "l1ratio", "sparkline metric (l1ratio, l2ratio, synrate, busocc, tacc, ... )")
+	interval := fs.Duration("interval", 2*time.Second, "refresh cadence")
+	points := fs.Int("points", 40, "sparkline width in samples (server downsamples)")
+	maxJobs := fs.Int("jobs", 12, "max jobs listed per frame (newest first)")
+	once := fs.Bool("once", false, "render one frame and exit")
+	fs.Parse(args)
+
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	c := client.New(base)
+	ctx := context.Background()
+	for {
+		frame, err := renderFrame(ctx, c, *metric, *points, *maxJobs)
+		if err != nil {
+			return err
+		}
+		if *once {
+			fmt.Print(frame)
+			return nil
+		}
+		// Clear + home between frames; plain ANSI keeps this dependency-free.
+		fmt.Print("\x1b[2J\x1b[H" + frame)
+		time.Sleep(*interval)
+	}
+}
+
+// renderFrame assembles one dashboard frame.
+func renderFrame(ctx context.Context, c *client.Client, metric string, points, maxJobs int) (string, error) {
+	fv, err := c.Fleet(ctx)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "vrsimd %s — workers %d  queue %d  window %d refs\n",
+		c.Base(), fv.Workers, fv.QueueDepth, fv.WindowRefs)
+	fmt.Fprintf(&b, "jobs: %d submitted, %d done, %d failed, %d canceled, %d resumed\n",
+		fv.Counters.Submitted, fv.Counters.Done, fv.Counters.Failed,
+		fv.Counters.Canceled, fv.Counters.Resumed)
+	fmt.Fprintf(&b, "queue wait: %s   run time: %s\n\n",
+		latencyLine(fv.QueueSeconds), latencyLine(fv.RunSeconds))
+
+	jobsList := fv.Jobs
+	if len(jobsList) > maxJobs {
+		jobsList = jobsList[len(jobsList)-maxJobs:]
+	}
+	if len(jobsList) == 0 {
+		b.WriteString("(no jobs)\n")
+		return b.String(), nil
+	}
+	fmt.Fprintf(&b, "%-8s %-8s %-9s %9s  %-*s %10s\n",
+		"JOB", "KIND", "STATE", "PROGRESS", points, strings.ToUpper(metric), "LATEST")
+	for _, st := range jobsList {
+		spark, latest := jobSpark(ctx, c, st, metric, points)
+		fmt.Fprintf(&b, "%-8s %-8s %-9s %9s  %-*s %10s\n",
+			st.ID, st.Kind, st.State, progress(st), points, spark, latest)
+	}
+	return b.String(), nil
+}
+
+func latencyLine(l jobs.LatencySummary) string {
+	if l.Count == 0 {
+		return "—"
+	}
+	return fmt.Sprintf("p50 %.3gs p95 %.3gs max %.3gs (n=%d)", l.P50, l.P95, l.Max, l.Count)
+}
+
+func progress(st jobs.Status) string {
+	if st.TotalRefs == 0 {
+		return "—"
+	}
+	return fmt.Sprintf("%5.1f%%", 100*float64(st.Refs)/float64(st.TotalRefs))
+}
+
+// jobSpark fetches the job's downsampled series and renders it as a
+// sparkline; fetch errors degrade to an empty cell (the dashboard must
+// outlive transient daemon hiccups).
+func jobSpark(ctx context.Context, c *client.Client, st jobs.Status, metric string, points int) (spark, latest string) {
+	ts, err := c.Timeseries(ctx, st.ID, client.TimeseriesQuery{Metric: metric, Points: points})
+	if err != nil || len(ts.Samples) == 0 {
+		return "", ""
+	}
+	vals := make([]float64, len(ts.Samples))
+	for i, p := range ts.Samples {
+		vals[i] = p.Value
+	}
+	return sparkline(vals), fmt.Sprintf("%.4g", vals[len(vals)-1])
+}
+
+// sparkRunes are the classic eighth-block ramp.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline scales vals into the eighth-block ramp. A flat series renders
+// as mid-blocks so it stays visible.
+func sparkline(vals []float64) string {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range vals {
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	var b strings.Builder
+	for _, v := range vals {
+		i := len(sparkRunes) / 2
+		if hi > lo {
+			i = int((v - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+		}
+		b.WriteRune(sparkRunes[i])
+	}
+	return b.String()
+}

@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
@@ -117,6 +119,62 @@ func (c *Client) Metrics(ctx context.Context) (string, error) {
 	var data []byte
 	err := c.do(ctx, http.MethodGet, "/metrics", nil, &data)
 	return string(data), err
+}
+
+// TimeseriesQuery selects a window range of a job's persisted time-series.
+// Zero values mean "unbounded" (resp. "no downsampling").
+type TimeseriesQuery struct {
+	Metric  string // derived or raw metric name (default l1ratio)
+	FromSeq uint64 // inclusive lower window-sequence bound
+	ToSeq   uint64 // inclusive upper bound; 0 = open-ended
+	Points  int    // downsample to at most this many samples
+}
+
+func (q TimeseriesQuery) encode() string {
+	v := url.Values{}
+	if q.Metric != "" {
+		v.Set("metric", q.Metric)
+	}
+	if q.FromSeq > 0 {
+		v.Set("from", strconv.FormatUint(q.FromSeq, 10))
+	}
+	if q.ToSeq > 0 {
+		v.Set("to", strconv.FormatUint(q.ToSeq, 10))
+	}
+	if q.Points > 0 {
+		v.Set("points", strconv.Itoa(q.Points))
+	}
+	if len(v) == 0 {
+		return ""
+	}
+	return "?" + v.Encode()
+}
+
+// Timeseries fetches a job's persisted per-window metrics.
+func (c *Client) Timeseries(ctx context.Context, id string, q TimeseriesQuery) (jobs.TimeseriesResponse, error) {
+	var ts jobs.TimeseriesResponse
+	err := c.do(ctx, http.MethodGet, "/jobs/"+id+"/timeseries"+q.encode(), nil, &ts)
+	return ts, err
+}
+
+// TimeseriesCSV fetches the same range as raw CSV bytes.
+func (c *Client) TimeseriesCSV(ctx context.Context, id string, q TimeseriesQuery) ([]byte, error) {
+	var data []byte
+	qs := q.encode()
+	if qs == "" {
+		qs = "?format=csv"
+	} else {
+		qs += "&format=csv"
+	}
+	err := c.do(ctx, http.MethodGet, "/jobs/"+id+"/timeseries"+qs, nil, &data)
+	return data, err
+}
+
+// Fleet fetches the one-poll dashboard document.
+func (c *Client) Fleet(ctx context.Context) (jobs.FleetView, error) {
+	var fv jobs.FleetView
+	err := c.do(ctx, http.MethodGet, "/fleet", nil, &fv)
+	return fv, err
 }
 
 // Wait polls until the job reaches a terminal state and returns that final

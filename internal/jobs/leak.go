@@ -30,8 +30,18 @@ func VerifyNoLeaks(grace time.Duration) error {
 	}
 }
 
+// leakPackages are the service-side packages no goroutine may still be
+// executing in after shutdown: the job layer itself plus the observability
+// layers it drives (time-series store, monitor exposition, span export).
+var leakPackages = []string{
+	"repro/internal/jobs",
+	"repro/internal/tsdb",
+	"repro/internal/monitor",
+	"repro/internal/telemetry",
+}
+
 // strayGoroutines returns the stack blocks of goroutines still executing in
-// this package, excluding the block containing this call itself.
+// the watched packages, excluding the block containing this call itself.
 func strayGoroutines() string {
 	buf := make([]byte, 1<<20)
 	for {
@@ -44,7 +54,14 @@ func strayGoroutines() string {
 	}
 	var stray []string
 	for _, block := range strings.Split(string(buf), "\n\n") {
-		if !strings.Contains(block, "repro/internal/jobs") {
+		watched := false
+		for _, pkg := range leakPackages {
+			if strings.Contains(block, pkg) {
+				watched = true
+				break
+			}
+		}
+		if !watched {
 			continue
 		}
 		if strings.Contains(block, "strayGoroutines") {

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -12,7 +13,9 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/monitor"
 	"repro/internal/probe"
+	"repro/internal/tsdb"
 )
 
 // Job lifecycle states. A job moves queued → running → one of the three
@@ -71,25 +74,32 @@ type job struct {
 	raw       json.RawMessage // canonical config bytes
 	submitted time.Time
 
-	mu      sync.Mutex
-	state   string
-	errMsg  string
-	records uint64
-	refs    uint64
-	total   uint64
-	resumed bool
-	window  *probe.WindowMetrics
-	cancel  context.CancelCauseFunc // set while running
+	mu        sync.Mutex
+	state     string
+	errMsg    string
+	records   uint64
+	refs      uint64
+	total     uint64
+	resumed   bool
+	window    probe.WindowMetrics // latest closed window (valid when hasWindow)
+	hasWindow bool
+	cancel    context.CancelCauseFunc // set while running
+	trace     *jobTrace               // set by the executor goroutine, read only by it
 }
 
 func (j *job) status() Status {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return Status{
+	st := Status{
 		ID: j.id, Kind: j.cfg.Kind, State: j.state, Submitted: j.submitted,
 		Error: j.errMsg, Records: j.records, Refs: j.refs, TotalRefs: j.total,
-		Resumed: j.resumed, Window: j.window,
+		Resumed: j.resumed,
 	}
+	if j.hasWindow {
+		w := j.window
+		st.Window = &w
+	}
+	return st
 }
 
 func (j *job) setProgress(records, refs uint64) {
@@ -98,9 +108,12 @@ func (j *job) setProgress(records, refs uint64) {
 	j.mu.Unlock()
 }
 
+// setWindow stores the latest closed window by value — it runs on the
+// window-close path next to the simulation loop and must not allocate.
 func (j *job) setWindow(w probe.WindowMetrics) {
 	j.mu.Lock()
-	j.window = &w
+	j.window = w
+	j.hasWindow = true
 	j.mu.Unlock()
 }
 
@@ -122,7 +135,23 @@ type Options struct {
 	ProgressEvery uint64
 	// QueueLimit bounds jobs admitted but not yet running (default 1024).
 	QueueLimit int
+	// Logger receives the manager's structured log stream (every record
+	// about a job carries a "job" attribute with its ID). Nil discards.
+	Logger *slog.Logger
+	// TimeseriesRetention bounds each job's persisted window samples
+	// (default tsdb.DefaultRetention; the oldest fall off past the cap).
+	TimeseriesRetention int
+	// SpanSampleEvery is the in-sim reference-span sampling interval for
+	// per-job OTLP traces: one reference in every N gets a full causal span
+	// tree in the job's trace file. 0 selects the default (1<<20);
+	// negative disables in-sim spans (lifecycle spans are always written).
+	SpanSampleEvery int64
 }
+
+// defaultSpanSample keeps per-job trace files tiny by default: a sampled
+// reference tree is a few hundred bytes, so even a maximum-size job emits
+// no more than ~1<<10 of them.
+const defaultSpanSample = 1 << 20
 
 func (o *Options) applyDefaults() {
 	if o.Workers <= 0 {
@@ -137,6 +166,12 @@ func (o *Options) applyDefaults() {
 	if o.QueueLimit <= 0 {
 		o.QueueLimit = 1024
 	}
+	if o.Logger == nil {
+		o.Logger = NopLogger()
+	}
+	if o.SpanSampleEvery == 0 {
+		o.SpanSampleEvery = defaultSpanSample
+	}
 }
 
 // Manager owns the job registry, the on-disk state and the worker pool.
@@ -144,12 +179,16 @@ type Manager struct {
 	opt  Options
 	ctx  context.Context
 	stop context.CancelCauseFunc
+	log  *slog.Logger
+	tsdb *tsdb.DB
 
 	mu      sync.Mutex
 	jobs    map[string]*job
 	seq     int
 	stats   Counters
 	closing bool
+	qhist   monitor.Histogram // submit→start wait, milliseconds
+	rhist   monitor.Histogram // start→terminal run time, milliseconds
 
 	queue chan *job
 	wg    sync.WaitGroup
@@ -178,10 +217,17 @@ func Open(opt Options) (*Manager, error) {
 		return nil, err
 	}
 	ctx, stop := context.WithCancelCause(context.Background())
+	db, err := tsdb.Open(filepath.Join(opt.Dir, "tsdb"), opt.TimeseriesRetention)
+	if err != nil {
+		stop(errShutdown)
+		return nil, err
+	}
 	m := &Manager{
 		opt:   opt,
 		ctx:   ctx,
 		stop:  stop,
+		log:   opt.Logger,
+		tsdb:  db,
 		jobs:  make(map[string]*job),
 		queue: make(chan *job, opt.QueueLimit),
 	}
@@ -193,6 +239,8 @@ func Open(opt Options) (*Manager, error) {
 		m.wg.Add(1)
 		go m.worker()
 	}
+	m.log.Info("manager open", "dir", opt.Dir, "workers", opt.Workers,
+		"queueLimit", opt.QueueLimit, "resumed", m.stats.Resumed)
 	return m, nil
 }
 
@@ -206,7 +254,9 @@ func (m *Manager) Close() error {
 	m.mu.Unlock()
 	m.stop(errShutdown)
 	m.wg.Wait()
-	return nil
+	err := m.tsdb.Close()
+	m.log.Info("manager closed", "dir", m.opt.Dir)
+	return err
 }
 
 // Submit validates and admits one job, returning its initial status.
@@ -241,6 +291,8 @@ func (m *Manager) Submit(raw []byte) (Status, error) {
 
 	select {
 	case m.queue <- j:
+		m.log.Info("job submitted", "job", j.id, "kind", cfg.Kind,
+			"totalRefs", j.total, "queueDepth", len(m.queue))
 		return j.status(), nil
 	default:
 		// Roll the admission back: the spec file and registry entry must
@@ -252,6 +304,7 @@ func (m *Manager) Submit(raw []byte) (Status, error) {
 		m.stats.Submitted--
 		m.mu.Unlock()
 		os.Remove(m.specPath(j.id))
+		m.log.Warn("job rejected", "job", j.id, "kind", cfg.Kind, "err", ErrQueueFull)
 		return Status{}, ErrQueueFull
 	}
 }
@@ -376,32 +429,69 @@ func (m *Manager) execute(j *job) {
 	j.mu.Unlock()
 	m.persistLocked(j)
 
+	start := time.Now()
+	m.mu.Lock()
+	m.qhist.Record(uint64(start.Sub(j.submitted).Milliseconds()))
+	m.mu.Unlock()
+	m.log.Info("job started", "job", j.id, "kind", j.cfg.Kind,
+		"queueWait", start.Sub(j.submitted), "resumed", j.resumed)
+	if jt, terr := newJobTrace(m.tracePath(j.id), j.id, j.submitted); terr != nil {
+		// Observability must not take the job down: run untraced.
+		m.log.Warn("trace unavailable", "job", j.id, "err", terr)
+	} else {
+		j.trace = jt
+	}
+
 	report, err := m.run(jctx, j)
 
+	elapsed := time.Since(start)
+	m.mu.Lock()
+	m.rhist.Record(uint64(elapsed.Milliseconds()))
+	m.mu.Unlock()
 	j.mu.Lock()
 	j.cancel = nil
 	j.mu.Unlock()
 	switch {
 	case err == nil:
 		if werr := writeFileAtomic(m.reportPath(j.id), report); werr != nil {
+			m.closeTrace(j, StateFailed)
 			m.finalize(j, StateFailed, fmt.Sprintf("writing report: %v", werr))
 			return
 		}
 		os.Remove(m.checkpointPath(j.id))
+		m.closeTrace(j, StateDone)
 		m.finalize(j, StateDone, "")
 	case errors.Is(err, errShutdown):
 		// Parked for resume: the spec stays persisted as running and the
-		// executor has already written its final checkpoint.
+		// executor has already written its final checkpoint. The trace
+		// records this daemon lifetime as parked; the lifetime that finishes
+		// the job rewrites it.
+		m.closeTrace(j, "parked")
+		m.log.Info("job parked", "job", j.id, "refs", j.status().Refs)
 	case errors.Is(err, errCanceled):
 		os.Remove(m.checkpointPath(j.id))
+		m.closeTrace(j, StateCanceled)
 		m.finalize(j, StateCanceled, "")
 	case errors.Is(err, context.DeadlineExceeded):
 		os.Remove(m.checkpointPath(j.id))
+		m.closeTrace(j, StateFailed)
 		m.finalize(j, StateFailed, "deadline exceeded")
 	default:
 		os.Remove(m.checkpointPath(j.id))
+		m.closeTrace(j, StateFailed)
 		m.finalize(j, StateFailed, err.Error())
 	}
+}
+
+// closeTrace writes the lifecycle span tree and closes the job's trace file.
+func (m *Manager) closeTrace(j *job, state string) {
+	if j.trace == nil {
+		return
+	}
+	if err := j.trace.finish(j.id, j.cfg.Kind, state); err != nil {
+		m.log.Warn("trace export failed", "job", j.id, "err", err)
+	}
+	j.trace = nil
 }
 
 // run dispatches to the kind's executor.
@@ -432,6 +522,11 @@ func (m *Manager) finalize(j *job, state, errMsg string) {
 		m.stats.Canceled++
 	}
 	m.mu.Unlock()
+	if errMsg != "" {
+		m.log.Warn("job finished", "job", j.id, "state", state, "err", errMsg)
+	} else {
+		m.log.Info("job finished", "job", j.id, "state", state)
+	}
 }
 
 // ---- persistence ----
@@ -450,6 +545,34 @@ type specFile struct {
 func (m *Manager) specPath(id string) string       { return filepath.Join(m.opt.Dir, id+".spec.json") }
 func (m *Manager) reportPath(id string) string     { return filepath.Join(m.opt.Dir, id+".report.json") }
 func (m *Manager) checkpointPath(id string) string { return filepath.Join(m.opt.Dir, id+".ck") }
+func (m *Manager) tracePath(id string) string      { return filepath.Join(m.opt.Dir, id+".trace.json") }
+
+// TracePath returns the job's OTLP trace file path (written when the job
+// runs; rewritten by the daemon lifetime that finishes a resumed job).
+func (m *Manager) TracePath(id string) string { return m.tracePath(id) }
+
+// Timeseries queries a job's persisted window samples.
+func (m *Manager) Timeseries(id string, q tsdb.Query) ([]tsdb.Sample, error) {
+	m.mu.Lock()
+	_, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("jobs: no job %q", id)
+	}
+	return m.tsdb.Query(id, q)
+}
+
+// ProgressEvery returns the progress-window size in references — the
+// sampling interval of every job's time-series.
+func (m *Manager) ProgressEvery() uint64 { return m.opt.ProgressEvery }
+
+// Latency returns snapshots of the fleet's queue-wait and run-time
+// histograms (milliseconds).
+func (m *Manager) Latency() (queue, run monitor.Histogram) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.qhist, m.rhist
+}
 
 // persist writes j's spec; the caller holds j.mu or has exclusive access.
 func (m *Manager) persist(j *job) error {

@@ -1,0 +1,177 @@
+package jobs
+
+// observe.go is the fleet observatory's server-side half: per-job OTLP
+// lifecycle traces (submit → queue → run → checkpoint ticks → report) that
+// share a traceId with the in-sim reference spans telemetry.Tracer samples
+// during the run, the structured-log vocabulary (every line carries the job
+// ID so one `grep j000042` follows a job across its daemon lifetimes), and
+// the time-series recorder bridging closed probe windows into internal/tsdb.
+
+import (
+	"context"
+	"encoding/hex"
+	"log/slog"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/probe"
+	"repro/internal/telemetry"
+	"repro/internal/tsdb"
+)
+
+// discardHandler is the no-op slog backend used when Options.Logger is nil:
+// the manager logs unconditionally and the handler decides.
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
+
+// NopLogger returns a logger that drops everything (the default when no
+// Options.Logger is configured).
+func NopLogger() *slog.Logger { return slog.New(discardHandler{}) }
+
+// TraceIDOf derives the 32-hex-digit OTLP traceId from a job ID: the ID's
+// bytes hex-encoded, left-padded with zeros. Every span of a job — daemon
+// lifecycle and sampled in-sim references alike — carries this traceId.
+func TraceIDOf(jobID string) string {
+	h := hex.EncodeToString([]byte(jobID))
+	if len(h) >= 32 {
+		return h[len(h)-32:]
+	}
+	return strings.Repeat("0", 32-len(h)) + h
+}
+
+// jobTrace accumulates one job execution's lifecycle timeline and owns the
+// job's OTLP trace file. The in-sim tracer streams sampled reference spans
+// into the same file through exporter(); finish() appends the lifecycle
+// tree and closes the document. A resumed job rewrites its trace file: the
+// trace describes the daemon lifetime that completed the job.
+type jobTrace struct {
+	w       *telemetry.OTLPWriter
+	traceID string
+
+	submitted time.Time
+	runStart  time.Time
+
+	mu          sync.Mutex
+	checkpoints []time.Time
+}
+
+// newJobTrace creates the trace file and writes the OTLP header.
+func newJobTrace(path, jobID string, submitted time.Time) (*jobTrace, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &jobTrace{
+		w:         telemetry.NewOTLPWriterService(f, "vrsimd"),
+		traceID:   TraceIDOf(jobID),
+		submitted: submitted,
+		runStart:  time.Now(),
+	}, nil
+}
+
+// exporter returns the SpanExporter the in-sim telemetry.Tracer feeds: it
+// re-keys every sampled reference tree onto the job's traceId. It
+// deliberately does not implement Close — the Tracer must not close the
+// shared trace file before the lifecycle span lands.
+func (t *jobTrace) exporter() telemetry.SpanExporter { return jobSpanExporter{t} }
+
+type jobSpanExporter struct{ t *jobTrace }
+
+func (e jobSpanExporter) ExportSpan(root *telemetry.Span) error {
+	return e.t.w.ExportSpanTrace(e.t.traceID, root)
+}
+
+// noteCheckpoint records a checkpoint tick on the lifecycle timeline.
+func (t *jobTrace) noteCheckpoint() {
+	t.mu.Lock()
+	t.checkpoints = append(t.checkpoints, time.Now())
+	t.mu.Unlock()
+}
+
+// finish appends the job-lifecycle span tree and closes the trace file.
+// Wall-clock nanoseconds play the role engine cycles play for in-sim spans
+// (OTLP carries both as *TimeUnixNano).
+func (t *jobTrace) finish(jobID, kind, state string) error {
+	end := time.Now()
+	nano := func(at time.Time) uint64 { return uint64(at.UnixNano()) }
+	run := &telemetry.Span{
+		Name: "run", Mechanism: "job-run",
+		Start: nano(t.runStart), End: nano(end),
+	}
+	t.mu.Lock()
+	for _, at := range t.checkpoints {
+		run.Children = append(run.Children, &telemetry.Span{
+			Name: "checkpoint", Mechanism: "job-checkpoint",
+			Start: nano(at), End: nano(at),
+		})
+	}
+	t.mu.Unlock()
+	root := &telemetry.Span{
+		Name: "job " + jobID + " " + kind + " → " + state, Mechanism: "job-lifecycle",
+		Start: nano(t.submitted), End: nano(end),
+		Children: []*telemetry.Span{
+			{
+				Name: "queued", Mechanism: "job-queue",
+				Start: nano(t.submitted), End: nano(t.runStart),
+			},
+			run,
+		},
+	}
+	if err := t.w.ExportSpanTrace(t.traceID, root); err != nil {
+		t.w.Close() //nolint:errcheck // already failing; report the export error
+		return err
+	}
+	return t.w.Close()
+}
+
+// recorder bridges closed probe windows into the job's time-series and the
+// job's live Status. Persistence errors are remembered rather than raised:
+// observability must never take a running simulation down. The first error
+// is logged once at the end of the run.
+type recorder struct {
+	j   *job
+	app *tsdb.Appender
+	err error
+}
+
+// newRecorder opens the job's series appender; a nil recorder (store
+// unavailable) degrades to status-only windows.
+func (m *Manager) newRecorder(j *job) *recorder {
+	r := &recorder{j: j}
+	if m.tsdb != nil {
+		app, err := m.tsdb.Appender(j.id)
+		if err != nil {
+			m.log.Warn("timeseries unavailable", "job", j.id, "err", err)
+		} else {
+			r.app = app
+		}
+	}
+	return r
+}
+
+// onWindow is the probe Windows OnClose callback: one Status update and one
+// zero-alloc (steady state) append per closed window.
+func (r *recorder) onWindow(w probe.WindowMetrics) {
+	r.j.setWindow(w)
+	if r.app != nil {
+		if err := r.app.Append(tsdb.FromWindow(w)); err != nil && r.err == nil {
+			r.err = err
+		}
+	}
+}
+
+// flush persists buffered samples; called alongside every checkpoint and at
+// the end of the run so series durability tracks job resumability.
+func (r *recorder) flush() {
+	if r.app != nil {
+		if err := r.app.Flush(); err != nil && r.err == nil {
+			r.err = err
+		}
+	}
+}

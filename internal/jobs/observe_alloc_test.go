@@ -1,0 +1,111 @@
+package jobs
+
+// Allocation discipline of the observability hot path. The recorder's
+// onWindow callback runs on the probe's window-close path directly beside
+// the simulation loop, and the Windows sink sees every probe event; armed
+// or not, neither may allocate in steady state.
+
+import (
+	"testing"
+
+	"repro/internal/probe"
+	"repro/internal/tsdb"
+)
+
+// TestRecorderHotPathAllocationFree: with the recorder armed (status update
+// + tsdb append per closed window), closing a window allocates nothing once
+// the series is at steady state. Warming past one tsdb compaction pins the
+// sample slice's capacity, so the measurement cannot land on a growth
+// boundary.
+func TestRecorderHotPathAllocationFree(t *testing.T) {
+	const retention = 1024
+	db, err := tsdb.Open(t.TempDir(), retention)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	m := &Manager{tsdb: db, log: NopLogger()}
+	j := &job{id: "j000001"}
+	rec := m.newRecorder(j)
+	if rec.app == nil {
+		t.Fatal("recorder has no appender")
+	}
+
+	const every = 5000
+	seq := uint64(0)
+	closeWindow := func() {
+		rec.onWindow(probe.WindowMetrics{
+			Index: int(seq), Seq: seq,
+			FirstRef: seq*every + 1, StartRef: seq*every + 1, LastRef: (seq + 1) * every,
+			L1Hits: 4500, L1Misses: 500, BusTxns: 600, Cycles: 21000,
+		})
+		seq++
+	}
+	for seq <= retention+retention/4 { // last close triggers a compact
+		closeWindow()
+	}
+	if n := testing.AllocsPerRun(200, closeWindow); n != 0 {
+		t.Errorf("recorder-armed window close allocates %v times, want 0", n)
+	}
+	if rec.err != nil {
+		t.Fatalf("recorder error: %v", rec.err)
+	}
+	if !j.hasWindow || j.window.Seq != seq-1 {
+		t.Errorf("status window seq = %d (has %v), want %d", j.window.Seq, j.hasWindow, seq-1)
+	}
+}
+
+// TestWindowEventHotPathAllocationFree: the per-event path of the Windows
+// sink (counter folds inside an open window) is allocation-free.
+func TestWindowEventHotPathAllocationFree(t *testing.T) {
+	windows := probe.NewWindows(1 << 30) // one window outlives the whole test
+	var closed int
+	windows.OnClose = func(probe.WindowMetrics) { closed++ }
+	ref := uint64(1)
+	windows.Event(probe.Event{Kind: probe.EvL1Hit, Ref: ref}) // opens the window
+	if n := testing.AllocsPerRun(1000, func() {
+		ref++
+		windows.Event(probe.Event{Kind: probe.EvL1Hit, Ref: ref})
+		windows.Event(probe.Event{Kind: probe.EvBusRead, Ref: ref})
+		windows.Event(probe.Event{Kind: probe.EvTimeAccess, Ref: ref, Aux: 4})
+	}); n != 0 {
+		t.Errorf("mid-window event allocates %v times, want 0", n)
+	}
+	if closed != 0 {
+		t.Fatalf("%d windows closed mid-test; the measurement crossed a boundary", closed)
+	}
+}
+
+// benchWindowStream drives the per-event window path with the recorder
+// armed (tsdb append once per closed window) or disarmed. The pair bounds
+// the recorder's marginal cost on the event hot path — amortized over the
+// window length it must be noise (<1%), matching the probe layer's
+// disabled-overhead standard.
+func benchWindowStream(b *testing.B, armed bool) {
+	b.Helper()
+	windows := probe.NewWindows(5000)
+	if armed {
+		db, err := tsdb.Open(b.TempDir(), 1<<16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer db.Close()
+		m := &Manager{tsdb: db, log: NopLogger()}
+		rec := m.newRecorder(&job{id: "j000001"})
+		if rec.app == nil {
+			b.Fatal("recorder has no appender")
+		}
+		windows.OnClose = rec.onWindow
+	}
+	b.ReportAllocs()
+	ev := probe.Event{Kind: probe.EvL1Hit}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.Ref = uint64(i + 1)
+		windows.Event(ev)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+func BenchmarkWindowStreamDisarmed(b *testing.B) { benchWindowStream(b, false) }
+func BenchmarkWindowStreamArmed(b *testing.B)    { benchWindowStream(b, true) }

@@ -1,0 +1,588 @@
+package jobs_test
+
+// Fleet-observatory acceptance tests: the persisted time-series round-trips
+// byte-identically through the HTTP endpoint, survives a daemon restart
+// without gaps or duplicates, the per-job OTLP trace file strict-parses
+// with lifecycle and in-sim spans sharing the job's traceId, structured
+// logs carry the job ID, server shutdown leaks no goroutines with streams
+// in flight, and /metrics cardinality stays bounded under job churn.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/jobs/client"
+	"repro/internal/tsdb"
+)
+
+// readBody fetches one URL and returns status code + body.
+func readBody(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestTimeseriesRoundTrip: every window recorded during a sweep reads back
+// byte-identically over HTTP, downsampling is deterministic and
+// count-preserving, CSV renders, and the error surface is precise.
+func TestTimeseriesRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c := startService(t, jobs.Options{Dir: dir, Workers: 2, ProgressEvery: 5000})
+	st := submitWait(t, c, `{
+		"kind": "sweep", "preset": "pops", "scale": 0.05,
+		"machines": [{"org": "vr"}, {"org": "rr"}]}`)
+	if st.State != jobs.StateDone {
+		t.Fatalf("state = %s (%s)", st.State, st.Error)
+	}
+	ctx := context.Background()
+	resp, err := c.Timeseries(ctx, st.ID, client.TimeseriesQuery{Metric: "busocc"})
+	if err != nil {
+		t.Fatalf("Timeseries: %v", err)
+	}
+	if resp.Job != st.ID || resp.Metric != "busocc" || resp.WindowRefs != 5000 {
+		t.Errorf("response header = %q/%q/%d", resp.Job, resp.Metric, resp.WindowRefs)
+	}
+	wantWindows := int((st.TotalRefs + 4999) / 5000)
+	if len(resp.Samples) != wantWindows {
+		t.Fatalf("%d samples over HTTP, want %d windows for %d refs",
+			len(resp.Samples), wantWindows, st.TotalRefs)
+	}
+
+	// Byte-identical against the store on disk, read with an independent
+	// tsdb handle (the daemon flushed alongside the job's completion).
+	db, err := tsdb.Open(filepath.Join(dir, "tsdb"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	disk, err := db.Query(st.ID, tsdb.Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]tsdb.Sample, len(resp.Samples))
+	for i, p := range resp.Samples {
+		got[i] = p.Sample
+		if v, _ := p.Sample.Value("busocc"); v != p.Value {
+			t.Errorf("sample %d: evaluated value %g does not match served %g", i, v, p.Value)
+		}
+	}
+	wantJSON, _ := json.Marshal(disk)
+	gotJSON, _ := json.Marshal(got)
+	if !bytes.Equal(wantJSON, gotJSON) {
+		t.Fatal("HTTP samples differ from the on-disk series")
+	}
+
+	// The windows tile the sweep's reference stream exactly.
+	for i, sm := range got {
+		if sm.Seq != uint64(i) || sm.StartRef != uint64(i)*5000+1 {
+			t.Fatalf("sample %d: seq %d startRef %d", i, sm.Seq, sm.StartRef)
+		}
+	}
+	if last := got[len(got)-1]; last.EndRef != st.TotalRefs {
+		t.Errorf("last window ends at %d, want %d", last.EndRef, st.TotalRefs)
+	}
+
+	// Deterministic downsampling: two identical requests, identical bytes;
+	// counters preserved in aggregate.
+	base := strings.TrimSuffix(httpBase(c), "/")
+	dsURL := base + "/jobs/" + st.ID + "/timeseries?metric=l1ratio&points=7"
+	code1, body1 := readBody(t, dsURL)
+	code2, body2 := readBody(t, dsURL)
+	if code1 != http.StatusOK || code2 != http.StatusOK {
+		t.Fatalf("downsampled fetch = %d, %d", code1, code2)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Error("downsampled responses differ between identical requests")
+	}
+	var ds jobs.TimeseriesResponse
+	if err := json.Unmarshal(body1, &ds); err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Samples) != 7 {
+		t.Fatalf("downsampled to %d points, want 7", len(ds.Samples))
+	}
+	var fullHits, dsHits uint64
+	for _, sm := range got {
+		fullHits += sm.L1Hits
+	}
+	for _, p := range ds.Samples {
+		dsHits += p.L1Hits
+	}
+	if fullHits != dsHits {
+		t.Errorf("downsampling lost counts: %d != %d", dsHits, fullHits)
+	}
+
+	// CSV export: header plus one row per sample.
+	csv, err := c.TimeseriesCSV(ctx, st.ID, client.TimeseriesQuery{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(csv)), "\n")
+	if len(lines) != wantWindows+1 || !strings.HasPrefix(lines[0], "seq,startRef") {
+		t.Errorf("CSV has %d lines (header %q), want %d", len(lines), lines[0], wantWindows+1)
+	}
+
+	// Error surface: unknown metric 400, unknown job 404, bad bound 400.
+	for _, tc := range []struct {
+		path string
+		code int
+	}{
+		{"/jobs/" + st.ID + "/timeseries?metric=bogus", http.StatusBadRequest},
+		{"/jobs/j999999/timeseries", http.StatusNotFound},
+		{"/jobs/" + st.ID + "/timeseries?from=x", http.StatusBadRequest},
+		{"/jobs/" + st.ID + "/timeseries?points=-1", http.StatusBadRequest},
+	} {
+		if code, _ := readBody(t, base+tc.path); code != tc.code {
+			t.Errorf("GET %s = %d, want %d", tc.path, code, tc.code)
+		}
+	}
+
+	// A job with no closed windows (autotune jobs have none) serves an
+	// empty series, not an error.
+	at := submitWait(t, c, `{
+		"kind": "autotune", "preset": "pops", "scale": 0.02,
+		"autotune": {"exhaustive": true,
+			"grammar": {"organizations": ["vr"], "l1Sizes": [16384]}}}`)
+	if at.State != jobs.StateDone {
+		t.Fatalf("autotune state = %s (%s)", at.State, at.Error)
+	}
+	empty, err := c.Timeseries(ctx, at.ID, client.TimeseriesQuery{})
+	if err != nil {
+		t.Fatalf("timeseries of windowless job: %v", err)
+	}
+	if len(empty.Samples) != 0 {
+		t.Errorf("windowless job served %d samples", len(empty.Samples))
+	}
+}
+
+// TestTimeseriesRestartContinuity: a job interrupted by a daemon shutdown
+// and resumed in a new lifetime ends with one series covering the whole
+// run — window sequences contiguous from 0, no duplicates, samples
+// persisted by the first lifetime untouched.
+func TestTimeseriesRestartContinuity(t *testing.T) {
+	dir := t.TempDir()
+	m1, err := jobs.Open(managerOptions(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m1.Submit([]byte(restartRunConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(time.Minute)
+	for {
+		cur, _ := m1.Get(st.ID)
+		if cur.Records > 25000 {
+			break
+		}
+		if jobs.Terminal(cur.State) {
+			t.Fatalf("job finished (%s) before the shutdown", cur.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no progress after 1m")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := m1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := jobs.VerifyNoLeaks(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// The first lifetime's parking flush left a contiguous prefix on disk.
+	db, err := tsdb.Open(filepath.Join(dir, "tsdb"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix, err := db.Query(st.ID, tsdb.Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(prefix) == 0 {
+		t.Fatal("first lifetime persisted no windows before parking")
+	}
+	for i, sm := range prefix {
+		if sm.Seq != uint64(i) {
+			t.Fatalf("pre-restart sample %d has seq %d", i, sm.Seq)
+		}
+	}
+
+	m2, err := jobs.Open(managerOptions(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	fin := waitDone(t, m2, st.ID)
+	if !fin.Resumed {
+		t.Error("final status does not mark the job as resumed")
+	}
+	series, err := m2.Timeseries(st.ID, tsdb.Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantWindows := int((fin.TotalRefs + 4999) / 5000)
+	if len(series) != wantWindows {
+		t.Fatalf("resumed series has %d samples, want %d windows for %d refs",
+			len(series), wantWindows, fin.TotalRefs)
+	}
+	for i, sm := range series {
+		if sm.Seq != uint64(i) {
+			t.Fatalf("sample %d has seq %d — gap or duplicate across the restart", i, sm.Seq)
+		}
+		if want := uint64(i)*5000 + 1; sm.StartRef != want {
+			t.Fatalf("sample %d starts at ref %d, want %d", i, sm.StartRef, want)
+		}
+		wantEnd := uint64(i+1) * 5000
+		if i == len(series)-1 {
+			wantEnd = fin.TotalRefs
+		}
+		if sm.EndRef != wantEnd {
+			t.Fatalf("sample %d ends at ref %d, want %d", i, sm.EndRef, wantEnd)
+		}
+		if sm.Cycles == 0 {
+			t.Fatalf("timed run sample %d has no cycle charge", i)
+		}
+	}
+	// The replayed prefix did not overwrite what the first lifetime wrote.
+	if !reflect.DeepEqual(series[:len(prefix)], prefix) {
+		t.Error("resume rewrote samples the first lifetime had persisted")
+	}
+}
+
+// Strict OTLP JSON vocabulary: any field the exporter emits beyond these is
+// a test failure (json.Decoder.DisallowUnknownFields applies recursively).
+type otlpValue struct {
+	StringValue string `json:"stringValue,omitempty"`
+	IntValue    string `json:"intValue,omitempty"`
+}
+
+type otlpAttr struct {
+	Key   string    `json:"key"`
+	Value otlpValue `json:"value"`
+}
+
+type otlpSpanRec struct {
+	TraceID      string     `json:"traceId"`
+	SpanID       string     `json:"spanId"`
+	ParentSpanID string     `json:"parentSpanId,omitempty"`
+	Name         string     `json:"name"`
+	Kind         int        `json:"kind"`
+	Start        string     `json:"startTimeUnixNano"`
+	End          string     `json:"endTimeUnixNano"`
+	Attributes   []otlpAttr `json:"attributes,omitempty"`
+}
+
+type otlpDoc struct {
+	ResourceSpans []struct {
+		Resource struct {
+			Attributes []otlpAttr `json:"attributes"`
+		} `json:"resource"`
+		ScopeSpans []struct {
+			Scope struct {
+				Name string `json:"name"`
+			} `json:"scope"`
+			Spans []otlpSpanRec `json:"spans"`
+		} `json:"scopeSpans"`
+	} `json:"resourceSpans"`
+}
+
+// TestJobTraceFile: one exported trace file per job holding the daemon
+// lifecycle span tree and the in-sim sampled reference spans, every span on
+// the traceId derived from the job ID, all parent links resolvable.
+func TestJobTraceFile(t *testing.T) {
+	opt := jobs.Options{
+		Dir: t.TempDir(), Workers: 1,
+		CheckpointEvery: 20000, ProgressEvery: 5000, SpanSampleEvery: 5000,
+	}
+	m, err := jobs.Open(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	st, err := m.Submit([]byte(`{"kind":"run","preset":"pops","scale":0.05,"timed":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, m, st.ID)
+
+	data, err := os.ReadFile(m.TracePath(st.ID))
+	if err != nil {
+		t.Fatalf("trace file: %v", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var doc otlpDoc
+	if err := dec.Decode(&doc); err != nil {
+		t.Fatalf("trace file does not strict-parse: %v", err)
+	}
+	if len(doc.ResourceSpans) != 1 || len(doc.ResourceSpans[0].ScopeSpans) != 1 {
+		t.Fatal("trace file is not a single resource/scope document")
+	}
+	service := ""
+	for _, a := range doc.ResourceSpans[0].Resource.Attributes {
+		if a.Key == "service.name" {
+			service = a.Value.StringValue
+		}
+	}
+	if service != "vrsimd" {
+		t.Errorf("service.name = %q, want vrsimd", service)
+	}
+
+	spans := doc.ResourceSpans[0].ScopeSpans[0].Spans
+	if len(spans) == 0 {
+		t.Fatal("no spans")
+	}
+	wantTrace := jobs.TraceIDOf(st.ID)
+	ids := map[string]bool{}
+	byName := map[string][]otlpSpanRec{}
+	for _, sp := range spans {
+		if sp.TraceID != wantTrace {
+			t.Fatalf("span %q carries traceId %s, want %s", sp.Name, sp.TraceID, wantTrace)
+		}
+		if len(sp.SpanID) != 16 || ids[sp.SpanID] {
+			t.Fatalf("span %q has invalid or duplicate spanId %q", sp.Name, sp.SpanID)
+		}
+		ids[sp.SpanID] = true
+		byName[sp.Name] = append(byName[sp.Name], sp)
+	}
+	for _, sp := range spans {
+		if sp.ParentSpanID != "" && !ids[sp.ParentSpanID] {
+			t.Fatalf("span %q links to unknown parent %s", sp.Name, sp.ParentSpanID)
+		}
+	}
+
+	// The daemon lifecycle tree: root → queued + run → checkpoint ticks.
+	rootName := "job " + st.ID + " run → done"
+	roots := byName[rootName]
+	if len(roots) != 1 {
+		t.Fatalf("%d lifecycle roots named %q, want 1", len(roots), rootName)
+	}
+	root := roots[0]
+	if root.ParentSpanID != "" {
+		t.Error("lifecycle root has a parent")
+	}
+	for _, child := range []string{"queued", "run"} {
+		cs := byName[child]
+		if len(cs) != 1 || cs[0].ParentSpanID != root.SpanID {
+			t.Errorf("lifecycle child %q missing or not parented to the root", child)
+		}
+	}
+	if len(byName["checkpoint"]) == 0 {
+		t.Error("no checkpoint ticks on the lifecycle timeline")
+	}
+	for _, ck := range byName["checkpoint"] {
+		if ck.ParentSpanID != byName["run"][0].SpanID {
+			t.Error("checkpoint tick not parented to the run span")
+		}
+	}
+
+	// In-sim sampled reference spans share the file and the traceId.
+	refRoots := 0
+	for name, ss := range byName {
+		if strings.Contains(name, "ref#") {
+			for _, sp := range ss {
+				if sp.ParentSpanID == "" {
+					refRoots++
+				}
+			}
+		}
+	}
+	if refRoots == 0 {
+		t.Error("no in-sim sampled reference spans in the trace")
+	}
+}
+
+// syncBuffer is a concurrency-safe log sink for the slog handler.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestStructuredLogCarriesJobID: every lifecycle log line is JSON and
+// carries the job ID, so `grep j000001` follows one job end to end.
+func TestStructuredLogCarriesJobID(t *testing.T) {
+	var buf syncBuffer
+	opt := jobs.Options{
+		Dir: t.TempDir(), Workers: 1,
+		Logger: slog.New(slog.NewJSONHandler(&buf, nil)),
+	}
+	m, err := jobs.Open(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Submit([]byte(`{"kind":"run","preset":"pops","scale":0.02}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, m, st.ID)
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	withJob := map[string]bool{}
+	sawOpen, sawClosed := false, false
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("log line is not JSON: %q", line)
+		}
+		msg, _ := rec["msg"].(string)
+		switch msg {
+		case "manager open":
+			sawOpen = true
+		case "manager closed":
+			sawClosed = true
+		}
+		if id, ok := rec["job"].(string); ok && id == st.ID {
+			withJob[msg] = true
+		}
+	}
+	if !sawOpen || !sawClosed {
+		t.Error("manager open/close lines missing")
+	}
+	for _, msg := range []string{"job submitted", "job started", "job finished"} {
+		if !withJob[msg] {
+			t.Errorf("no %q line carrying job %s", msg, st.ID)
+		}
+	}
+}
+
+// TestServerShutdownNoLeak: shutting the service down with an SSE stream
+// and metric scrapes in flight terminates every handler and leaks no
+// goroutine (the daemon's SIGTERM order: Server.Close, listener, Manager).
+func TestServerShutdownNoLeak(t *testing.T) {
+	m, err := jobs.Open(jobs.Options{Dir: t.TempDir(), Workers: 1, ProgressEvery: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := jobs.NewServer(m)
+	ts := httptest.NewServer(srv)
+	c := client.New(ts.URL)
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	st, err := c.Submit(ctx, []byte(`{"kind":"run","preset":"pops","scale":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := 0
+	streamDone := make(chan struct{})
+	go func() {
+		defer close(streamDone)
+		c.Events(ctx, st.ID, func(jobs.Status) { events++ }) //nolint:errcheck // stream ends with the server
+	}()
+	// Let the stream attach and the job make progress, with a live scrape.
+	for {
+		cur, err := c.Status(ctx, st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cur.Records > 0 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if _, err := c.Metrics(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	srv.Close()
+	select {
+	case <-streamDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("SSE stream still open 10s after Server.Close")
+	}
+	ts.Close()
+	if err := m.Close(); err != nil { // parks the in-flight job
+		t.Fatal(err)
+	}
+	if err := jobs.VerifyNoLeaks(5 * time.Second); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFleetMetricsCardinality: /metrics stays bounded when many jobs churn
+// to terminal states — lifecycle counters carry the totals, per-job gauges
+// exist only while a job is live.
+func TestFleetMetricsCardinality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("churns 100 jobs")
+	}
+	c := startService(t, jobs.Options{Workers: 4})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	const churn = 100
+	ids := make([]string, 0, churn)
+	for i := 0; i < churn; i++ {
+		st, err := c.Submit(ctx, []byte(`{"kind":"run","preset":"pops","scale":0.003}`))
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		ids = append(ids, st.ID)
+	}
+	for _, id := range ids {
+		st, err := c.Wait(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != jobs.StateDone {
+			t.Fatalf("job %s: %s (%s)", id, st.State, st.Error)
+		}
+	}
+	text, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, `vrsimd_jobs_lifecycle_total{event="done"} `+fmt.Sprint(churn)) {
+		t.Errorf("done counter does not carry the churn total:\n%s", text)
+	}
+	for _, gauge := range []string{"vrsimd_job_records", "vrsimd_job_references", "vrsimd_job_total_references"} {
+		if strings.Contains(text, gauge) {
+			t.Errorf("per-job gauge %s exported for terminal jobs", gauge)
+		}
+	}
+	// The whole exposition is a bounded document: fleet gauges, lifecycle
+	// counters and two latency histograms (≤ ~122 buckets each) — never one
+	// series per churned job.
+	if lines := strings.Count(text, "\n"); lines > 300 {
+		t.Errorf("metrics exposition has %d lines for %d terminal jobs — unbounded cardinality", lines, churn)
+	}
+}

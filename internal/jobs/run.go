@@ -16,6 +16,7 @@ import (
 	"repro/internal/probe"
 	"repro/internal/report"
 	"repro/internal/system"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/tracegen"
 )
@@ -51,12 +52,17 @@ func (m *Manager) runSim(ctx context.Context, j *job) ([]byte, error) {
 	timed := j.cfg.Timed
 	params := j.cfg.cycleParams()
 
-	// The progress probe rides machine 0 only: windows feed Status.Window,
-	// and the per-batch record counter feeds Status.Records either way.
+	// The progress probe rides machine 0 only: windows feed Status.Window
+	// and the job's persisted time-series through the recorder, and the
+	// per-batch record counter feeds Status.Records either way.
 	pr := probe.New(0)
 	windows := probe.NewWindows(m.opt.ProgressEvery)
-	windows.OnClose = j.setWindow
+	rec := m.newRecorder(j)
+	windows.OnClose = rec.onWindow
 	pr.AddSink(windows)
+	if m.opt.SpanSampleEvery > 0 && j.trace != nil {
+		pr.AddSink(telemetry.NewTracer(uint64(m.opt.SpanSampleEvery), j.trace.exporter()))
+	}
 
 	systems := make([]*system.System, len(machines))
 	for i, mc := range machines {
@@ -100,6 +106,11 @@ func (m *Manager) runSim(ctx context.Context, j *job) ([]byte, error) {
 		j.mu.Lock()
 		j.resumed = true
 		j.mu.Unlock()
+		// Re-anchor the window collector at the resume point so window
+		// sequence numbers continue the previous daemon lifetime's series
+		// (the appender drops any recomputed window it already persisted).
+		windows.SetBase(systems[0].Refs())
+		m.log.Info("job resumed", "job", j.id, "records", cursor, "refs", systems[0].Refs())
 	}
 
 	buf := make([]trace.Ref, 4096)
@@ -110,6 +121,16 @@ func (m *Manager) runSim(ctx context.Context, j *job) ([]byte, error) {
 			if errors.Is(cause, errShutdown) {
 				if err := m.saveCheckpoint(j, machines, wl, timed, params, systems, cursor); err != nil {
 					return nil, fmt.Errorf("parking checkpoint: %w", err)
+				}
+				// Close any window the reference cursor has fully passed
+				// before the parking flush — on timed runs probe events trail
+				// the cursor, and an open-but-complete window would otherwise
+				// vanish from the series (the resumed lifetime starts at the
+				// next window).
+				windows.CloseApplied(systems[0].Refs())
+				rec.flush()
+				if j.trace != nil {
+					j.trace.noteCheckpoint()
 				}
 			}
 			return nil, cause
@@ -134,6 +155,10 @@ func (m *Manager) runSim(ctx context.Context, j *job) ([]byte, error) {
 			if err := m.saveCheckpoint(j, machines, wl, timed, params, systems, cursor); err != nil {
 				return nil, fmt.Errorf("periodic checkpoint: %w", err)
 			}
+			rec.flush()
+			if j.trace != nil {
+				j.trace.noteCheckpoint()
+			}
 			lastCk = cursor
 		}
 	}
@@ -142,6 +167,10 @@ func (m *Manager) runSim(ctx context.Context, j *job) ([]byte, error) {
 	}
 	if err := pr.Close(); err != nil {
 		return nil, err
+	}
+	rec.flush()
+	if rec.err != nil {
+		m.log.Warn("timeseries write failed", "job", j.id, "err", rec.err)
 	}
 
 	results := make([]report.Results, len(systems))

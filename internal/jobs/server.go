@@ -7,21 +7,25 @@ import (
 	"io"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 
 	"repro/internal/monitor"
+	"repro/internal/tsdb"
 )
 
 // Server is the HTTP face of a Manager:
 //
-//	POST   /jobs             submit a job (JSON Config in, Status out)
-//	GET    /jobs             list every job's status
-//	GET    /jobs/{id}        one job's status (poll this for progress)
-//	GET    /jobs/{id}/report a finished job's report document
-//	GET    /jobs/{id}/events server-sent progress events until terminal
-//	DELETE /jobs/{id}        cancel (also POST /jobs/{id}/cancel)
-//	GET    /metrics          Prometheus fleet + per-job metrics
-//	GET    /healthz          liveness
+//	POST   /jobs                  submit a job (JSON Config in, Status out)
+//	GET    /jobs                  list every job's status
+//	GET    /jobs/{id}             one job's status (poll this for progress)
+//	GET    /jobs/{id}/report      a finished job's report document
+//	GET    /jobs/{id}/events      server-sent progress events until terminal
+//	GET    /jobs/{id}/timeseries  persisted per-window metrics (JSON or CSV)
+//	DELETE /jobs/{id}             cancel (also POST /jobs/{id}/cancel)
+//	GET    /fleet                 one-poll dashboard document (vrsimd top)
+//	GET    /metrics               Prometheus fleet + per-job metrics
+//	GET    /healthz               liveness
 //
 // plus the standard pprof endpoints under /debug/pprof/. Errors are JSON
 // documents ({"error": ..., "field": ...}); submission errors carry the
@@ -47,8 +51,10 @@ func NewServer(m *Manager) *Server {
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /jobs/{id}/report", s.handleReport)
 	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /jobs/{id}/timeseries", s.handleTimeseries)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /fleet", s.handleFleet)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -95,14 +101,16 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	fmt.Fprint(w, `vrsimd job server
-POST   /jobs             submit a job (JSON config)
-GET    /jobs             list jobs
-GET    /jobs/{id}        status + progress
-GET    /jobs/{id}/report finished job's report
-GET    /jobs/{id}/events SSE progress stream
-DELETE /jobs/{id}        cancel
-GET    /metrics          Prometheus fleet metrics
-GET    /healthz          liveness
+POST   /jobs                  submit a job (JSON config)
+GET    /jobs                  list jobs
+GET    /jobs/{id}             status + progress
+GET    /jobs/{id}/report      finished job's report
+GET    /jobs/{id}/events      SSE progress stream
+GET    /jobs/{id}/timeseries  per-window metrics (?metric=&from=&to=&points=&format=)
+DELETE /jobs/{id}             cancel
+GET    /fleet                 dashboard document (vrsimd top)
+GET    /metrics               Prometheus fleet metrics
+GET    /healthz               liveness
 `)
 }
 
@@ -219,6 +227,130 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// TimeseriesPoint is one sample of a timeseries response with the requested
+// metric evaluated over it.
+type TimeseriesPoint struct {
+	tsdb.Sample
+	Value float64 `json:"value"`
+}
+
+// TimeseriesResponse is the GET /jobs/{id}/timeseries document.
+type TimeseriesResponse struct {
+	Job        string            `json:"job"`
+	Metric     string            `json:"metric"`
+	WindowRefs uint64            `json:"windowRefs"`
+	Samples    []TimeseriesPoint `json:"samples"`
+}
+
+// handleTimeseries serves a job's persisted per-window metrics. Query
+// parameters: metric (default l1ratio), from/to (inclusive window sequence
+// bounds), points (downsample cap), format=json|csv.
+func (s *Server) handleTimeseries(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	qs := r.URL.Query()
+	metric := qs.Get("metric")
+	if metric == "" {
+		metric = "l1ratio"
+	}
+	if _, err := (tsdb.Sample{}).Value(metric); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var q tsdb.Query
+	for _, p := range []struct {
+		name string
+		dst  *uint64
+	}{{"from", &q.FromSeq}, {"to", &q.ToSeq}} {
+		if v := qs.Get(p.name); v != "" {
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("bad %s: %v", p.name, err))
+				return
+			}
+			*p.dst = n
+		}
+	}
+	if v := qs.Get("points"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad points: %q", v))
+			return
+		}
+		q.MaxPoints = n
+	}
+	samples, err := s.m.Timeseries(id, q)
+	switch {
+	case errors.Is(err, tsdb.ErrNoSeries):
+		samples = nil // the job exists but has no closed windows yet
+	case err != nil:
+		code := http.StatusInternalServerError
+		if _, ok := s.m.Get(id); !ok {
+			code = http.StatusNotFound
+		}
+		writeError(w, code, err)
+		return
+	}
+	if qs.Get("format") == "csv" {
+		w.Header().Set("Content-Type", "text/csv")
+		tsdb.WriteCSV(w, samples) //nolint:errcheck // best-effort write to a live client
+		return
+	}
+	resp := TimeseriesResponse{
+		Job: id, Metric: metric, WindowRefs: s.m.ProgressEvery(),
+		Samples: make([]TimeseriesPoint, len(samples)),
+	}
+	for i, sm := range samples {
+		v, _ := sm.Value(metric) // metric validated above
+		resp.Samples[i] = TimeseriesPoint{Sample: sm, Value: v}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// LatencySummary condenses one fleet latency histogram for the dashboard;
+// all values are seconds.
+type LatencySummary struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	Max   float64 `json:"max"`
+}
+
+func summarize(h *monitor.Histogram) LatencySummary {
+	return LatencySummary{
+		Count: h.Count(),
+		Mean:  h.Mean() / 1e3,
+		P50:   h.Quantile(0.50) / 1e3,
+		P95:   h.Quantile(0.95) / 1e3,
+		Max:   float64(h.Max()) / 1e3,
+	}
+}
+
+// FleetView is the GET /fleet document: everything the live dashboard
+// renders, in one poll.
+type FleetView struct {
+	Workers      int            `json:"workers"`
+	QueueDepth   int            `json:"queueDepth"`
+	WindowRefs   uint64         `json:"windowRefs"`
+	Counters     Counters       `json:"counters"`
+	QueueSeconds LatencySummary `json:"queueSeconds"`
+	RunSeconds   LatencySummary `json:"runSeconds"`
+	Jobs         []Status       `json:"jobs"`
+}
+
+func (s *Server) handleFleet(w http.ResponseWriter, _ *http.Request) {
+	qh, rh := s.m.Latency()
+	writeJSON(w, http.StatusOK, FleetView{
+		Workers:      s.m.Workers(),
+		QueueDepth:   s.m.QueueDepth(),
+		WindowRefs:   s.m.ProgressEvery(),
+		Counters:     s.m.Counters(),
+		QueueSeconds: summarize(&qh),
+		RunSeconds:   summarize(&rh),
+		Jobs:         s.m.List(),
+	})
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	monitor.WriteFleetMetrics(w, s.fleetStats())
@@ -227,14 +359,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 // fleetStats assembles the monitor-layer view of the fleet.
 func (s *Server) fleetStats() monitor.FleetStats {
 	c := s.m.Counters()
+	qh, rh := s.m.Latency()
 	fs := monitor.FleetStats{
-		Workers:    s.m.Workers(),
-		QueueDepth: s.m.QueueDepth(),
-		Submitted:  c.Submitted,
-		Done:       c.Done,
-		Failed:     c.Failed,
-		Canceled:   c.Canceled,
-		Resumed:    c.Resumed,
+		Workers:     s.m.Workers(),
+		QueueDepth:  s.m.QueueDepth(),
+		Submitted:   c.Submitted,
+		Done:        c.Done,
+		Failed:      c.Failed,
+		Canceled:    c.Canceled,
+		Resumed:     c.Resumed,
+		QueueMillis: &qh,
+		RunMillis:   &rh,
 	}
 	for _, st := range s.m.List() {
 		fs.Jobs = append(fs.Jobs, monitor.FleetJob{

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 )
 
 // FleetJob is one job's exported gauge set, as published by the job server
@@ -30,6 +31,13 @@ type FleetStats struct {
 	Canceled  uint64
 	Resumed   uint64
 
+	// QueueMillis and RunMillis, when set, are the fleet's job queue-wait
+	// and run-time distributions in milliseconds. They export as the
+	// Prometheus histograms vrsimd_job_queue_seconds and
+	// vrsimd_job_run_seconds (bucket bounds converted to seconds).
+	QueueMillis *Histogram
+	RunMillis   *Histogram
+
 	Jobs []FleetJob
 }
 
@@ -50,6 +58,9 @@ func WriteFleetMetrics(w io.Writer, fs FleetStats) {
 	} {
 		fmt.Fprintf(w, "vrsimd_jobs_lifecycle_total{event=%q} %d\n", c.event, c.n)
 	}
+
+	writeLatencyHistogram(w, "vrsimd_job_queue_seconds", fs.QueueMillis)
+	writeLatencyHistogram(w, "vrsimd_job_run_seconds", fs.RunMillis)
 
 	byState := map[string]int{}
 	for _, j := range fs.Jobs {
@@ -86,4 +97,24 @@ func WriteFleetMetrics(w io.Writer, fs FleetStats) {
 	for _, j := range active {
 		fmt.Fprintf(w, "vrsimd_job_total_references{id=%q,kind=%q} %d\n", j.ID, j.Kind, j.TotalRefs)
 	}
+}
+
+// writeLatencyHistogram renders one millisecond-valued Histogram as a
+// Prometheus histogram in seconds: cumulative buckets over the occupied
+// range (le = the bucket's inclusive upper bound / 1000), then +Inf, sum
+// and count. Nil histograms are skipped.
+func writeLatencyHistogram(w io.Writer, name string, h *Histogram) {
+	if h == nil {
+		return
+	}
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	var cum uint64
+	h.ForEachBucket(func(_, hi, count uint64) {
+		cum += count
+		le := strconv.FormatFloat(float64(hi)/1000, 'g', -1, 64)
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum)
+	})
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count())
+	fmt.Fprintf(w, "%s_sum %g\n", name, float64(h.Sum())/1000)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
 }

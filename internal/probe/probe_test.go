@@ -273,3 +273,63 @@ func TestKindStringsAndCategories(t *testing.T) {
 		t.Error("out-of-range kinds mishandled")
 	}
 }
+
+// TestWindowsCloseApplied: the parking daemon's flush hook closes exactly
+// the windows whose whole span the reference cursor has passed — the
+// cycle-engine case where event emission trails the applied references and
+// the just-completed window would otherwise be lost at a shutdown.
+func TestWindowsCloseApplied(t *testing.T) {
+	w := NewWindows(10)
+	var closed []WindowMetrics
+	w.OnClose = func(m WindowMetrics) { closed = append(closed, m) }
+
+	// Events observed through ref 12, cursor already at 18: window 0
+	// (1-10) is fully applied and must close with its preset bounds;
+	// window 1 (11-20) is not and must stay open.
+	for ref := uint64(1); ref <= 12; ref++ {
+		w.Event(Event{Ref: ref, Kind: EvL1Hit})
+	}
+	w.CloseApplied(18)
+	if len(closed) != 1 {
+		t.Fatalf("closed %d windows, want 1", len(closed))
+	}
+	if closed[0].Seq != 0 || closed[0].FirstRef != 1 || closed[0].LastRef != 10 {
+		t.Errorf("closed window = %+v, want seq 0 spanning 1-10", closed[0])
+	}
+	if closed[0].L1Hits != 10 {
+		t.Errorf("closed window hits = %d, want 10", closed[0].L1Hits)
+	}
+	// Idempotent while nothing new completes.
+	w.CloseApplied(18)
+	if len(closed) != 1 {
+		t.Fatalf("second CloseApplied closed more windows: %d", len(closed))
+	}
+	// Cursor past several window bounds: every fully-applied window closes,
+	// in order, with tiling bounds (the lag case spans > one window).
+	w.CloseApplied(41)
+	if len(closed) != 4 {
+		t.Fatalf("closed %d windows, want 4 (seqs 0-3)", len(closed))
+	}
+	for i, m := range closed {
+		if m.Seq != uint64(i) || m.FirstRef != uint64(i)*10+1 || m.LastRef != uint64(i+1)*10 {
+			t.Errorf("closed[%d] = %+v, want seq %d spanning %d-%d",
+				i, m, i, i*10+1, (i+1)*10)
+		}
+	}
+	// Events that straggle in afterwards fold into the open successor
+	// window rather than resurrecting a closed one.
+	w.Event(Event{Ref: 13, Kind: EvL1Miss})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	last := closed[len(closed)-1]
+	if last.Seq != 4 || last.L1Misses != 1 {
+		t.Errorf("trailing window = %+v, want seq 4 carrying the straggler", last)
+	}
+	// No events at all: nothing to close.
+	w2 := NewWindows(10)
+	w2.CloseApplied(100)
+	if got := len(w2.Done()); got != 0 {
+		t.Errorf("empty collector closed %d windows", got)
+	}
+}

@@ -3,9 +3,17 @@ package probe
 // WindowMetrics aggregates the headline rates over one window of N
 // references: how hit ratios, synonym cost and coherence disturbance
 // evolve across a trace rather than only at the end of the run.
+//
+// Seq and StartRef are the window's absolute position in the workload's
+// reference stream: unlike Index/FirstRef (which restart with the probe),
+// they stay aligned across daemon restarts when the collector is given the
+// resume point via SetBase, so time-series samples from different daemon
+// lifetimes of one job key to the same window sequence.
 type WindowMetrics struct {
 	Index    int    `json:"window"`
+	Seq      uint64 `json:"seq"`      // absolute window sequence number
 	FirstRef uint64 `json:"firstRef"` // 1-based, inclusive
+	StartRef uint64 `json:"startRef"` // absolute 1-based starting reference
 	LastRef  uint64 `json:"lastRef"`  // inclusive
 
 	L1Hits     uint64 `json:"l1Hits"`
@@ -18,6 +26,11 @@ type WindowMetrics struct {
 	CohToL1    uint64 `json:"coherenceToL1"`
 	Shielded   uint64 `json:"shielded"`
 	BusTxns    uint64 `json:"busTxns"`
+
+	// Cycles is the total cycle charge landed in the window (the sum of
+	// every timing event's Aux), present when a cycle engine feeds the
+	// probe stream. Cycles/refs is the window's measured Tacc.
+	Cycles uint64 `json:"cycles,omitempty"`
 }
 
 // refs returns the number of references the window spans.
@@ -59,12 +72,22 @@ func (w WindowMetrics) BusOccupancy() float64 {
 	return 0
 }
 
+// Tacc returns the window's measured cycles per reference (0 for untimed
+// runs).
+func (w WindowMetrics) Tacc() float64 {
+	if n := w.refs(); n > 0 {
+		return float64(w.Cycles) / float64(n)
+	}
+	return 0
+}
+
 // Windows is a Sink that folds the event stream into fixed-size windows of
 // N references. OnClose, when set, observes each window as it completes —
 // the CLI's live run telemetry.
 type Windows struct {
 	every   uint64
-	last    uint64 // newest reference index seen
+	base    uint64 // absolute reference offset (resume point)
+	last    uint64 // newest reference index seen (probe-local)
 	cur     WindowMetrics
 	open    bool
 	done    []WindowMetrics
@@ -83,15 +106,23 @@ func NewWindows(every uint64) *Windows {
 // Every returns the window length.
 func (w *Windows) Every() uint64 { return w.every }
 
+// SetBase positions the collector at an absolute reference offset: the
+// probe's next reference 1 corresponds to absolute reference base+1. A
+// restarted job sets this to the refs already simulated at its checkpoint
+// so window sequence numbers continue where the previous daemon lifetime
+// left off. Call it before any event arrives.
+func (w *Windows) SetBase(base uint64) { w.base = base }
+
 // Event implements Sink.
 func (w *Windows) Event(ev Event) {
-	idx := 0
+	aref := w.base + 1 // ref 0 events (pre-reference) land in the current window
 	if ev.Ref > 0 {
-		idx = int((ev.Ref - 1) / w.every)
+		aref = w.base + ev.Ref
 		if ev.Ref > w.last {
 			w.last = ev.Ref
 		}
 	}
+	idx := int((aref - 1) / w.every)
 	if !w.open || idx > w.cur.Index {
 		w.roll(idx)
 	}
@@ -117,10 +148,14 @@ func (w *Windows) Event(ev Event) {
 		w.cur.Shielded++
 	case EvBusRead, EvBusReadMod, EvBusInvalidate, EvBusUpdate:
 		w.cur.BusTxns++
+	case EvTimeAccess, EvTimeTLBMiss, EvTimeBusWait, EvTimeWBStall, EvTimeCtxSwitch:
+		w.cur.Cycles += ev.Aux
 	}
 }
 
-// roll closes the current window (if open) and opens window idx.
+// roll closes the current window (if open) and opens window idx. Window
+// bounds are absolute: idx counts windows of the whole workload stream,
+// not of this probe's lifetime.
 func (w *Windows) roll(idx int) {
 	if w.open {
 		w.done = append(w.done, w.cur)
@@ -128,20 +163,39 @@ func (w *Windows) roll(idx int) {
 			w.OnClose(w.cur)
 		}
 	}
+	first := uint64(idx)*w.every + 1
 	w.cur = WindowMetrics{
 		Index:    idx,
-		FirstRef: uint64(idx)*w.every + 1,
+		Seq:      uint64(idx),
+		FirstRef: first,
+		StartRef: first,
 		LastRef:  uint64(idx+1) * w.every,
 	}
 	w.open = true
+}
+
+// CloseApplied closes every window whose whole span lies within the first
+// applied absolute references — the parking daemon's flush hook. With a
+// cycle engine attached, probe events can trail the reference cursor
+// (operations retire after the references that issued them), so at a
+// shutdown the window that just completed may still be open awaiting its
+// stragglers. Closing it here keeps the persisted series gap-free across a
+// restart; the trailing events are re-emitted by the restored engine in
+// the next daemon lifetime and fold into the successor window. A window
+// whose span is not yet fully applied stays open: the resumed lifetime
+// recomputes it from the references it replays.
+func (w *Windows) CloseApplied(applied uint64) {
+	for w.open && w.cur.LastRef <= applied {
+		w.roll(w.cur.Index + 1)
+	}
 }
 
 // Close finalizes the trailing partial window, clamping its bound to the
 // last reference actually seen so per-reference rates stay honest.
 func (w *Windows) Close() error {
 	if w.open {
-		if w.last > 0 && w.last < w.cur.LastRef {
-			w.cur.LastRef = w.last
+		if w.last > 0 && w.base+w.last < w.cur.LastRef {
+			w.cur.LastRef = w.base + w.last
 		}
 		w.done = append(w.done, w.cur)
 		if w.OnClose != nil {

@@ -25,12 +25,23 @@ type OTLPWriter struct {
 // w is also an io.Closer (e.g. an *os.File), Close closes it after the
 // footer.
 func NewOTLPWriter(w io.Writer) *OTLPWriter {
+	return NewOTLPWriterService(w, "vrsim")
+}
+
+// NewOTLPWriterService is NewOTLPWriter with an explicit OTLP resource
+// service name (the job daemon exports as "vrsimd" so its traces are
+// distinguishable from in-process vrsim runs).
+func NewOTLPWriterService(w io.Writer, service string) *OTLPWriter {
 	o := &OTLPWriter{w: bufio.NewWriter(w)}
 	if cl, ok := w.(io.Closer); ok {
 		o.closer = cl
 	}
+	svc, err := json.Marshal(service)
+	if err != nil {
+		svc = []byte(`"vrsim"`)
+	}
 	o.raw(`{"resourceSpans":[{"resource":{"attributes":[` +
-		`{"key":"service.name","value":{"stringValue":"vrsim"}}]},` +
+		`{"key":"service.name","value":{"stringValue":` + string(svc) + `}}]},` +
 		`"scopeSpans":[{"scope":{"name":"repro/internal/telemetry"},"spans":[`)
 	return o
 }
@@ -68,7 +79,13 @@ func kvStr(key, v string) otlpKV {
 // ExportSpan implements SpanExporter: the tree is flattened parents-first,
 // all nodes sharing a traceId derived from the root's reference index.
 func (o *OTLPWriter) ExportSpan(root *Span) error {
-	traceID := fmt.Sprintf("%032x", root.Ref)
+	return o.ExportSpanTrace(fmt.Sprintf("%032x", root.Ref), root)
+}
+
+// ExportSpanTrace exports the tree under an explicit 32-hex-digit traceId.
+// The job server uses it to stitch daemon-side lifecycle spans and in-sim
+// reference spans into one trace per job (traceId derived from the job ID).
+func (o *OTLPWriter) ExportSpanTrace(traceID string, root *Span) error {
 	ids := map[*Span]string{}
 	root.Walk(func(parent, sp *Span) {
 		o.spanID++

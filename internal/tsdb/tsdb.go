@@ -1,0 +1,666 @@
+// Package tsdb is a compact append-only time-series store for per-window
+// simulation metrics. The job server records every closed progress window
+// (probe.WindowMetrics, plus the cycle engine's per-window charge on timed
+// runs) as one Sample keyed by job ID and absolute window sequence, so the
+// phase behavior of a running fleet survives past the moment each window
+// closes and stays queryable over HTTP — downsampled sparklines for the
+// live dashboard, JSON or CSV dumps for offline analysis.
+//
+// Layout: one file per job under the store directory, a short magic header
+// followed by self-delimiting blocks. Each block is columnar — every field
+// of the block's samples stored contiguously, zigzag-delta varint encoded —
+// which compresses the near-constant columns (sequence numbers advance by
+// one, counters hover around their phase mean) far better than row-major
+// JSON. A torn final block (daemon killed mid-write) is detected by its
+// length prefix and dropped on open; everything before it stays readable.
+//
+// The store is bounded: each series keeps at most its retention cap of
+// samples. When appends run past the cap (plus a compaction slack so the
+// rewrite amortizes), the oldest samples fall off and the file is rewritten
+// atomically. Appends are allocation-free in steady state — the job
+// runner's probe OnClose callback sits next to the simulation hot loop and
+// must not disturb its zero-allocation discipline.
+package tsdb
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/probe"
+)
+
+// Sample is one persisted window: the absolute position of the window in
+// the workload's reference stream plus the raw event counters. Counters
+// are summable, so downsampling aggregates exactly rather than averaging
+// derived ratios.
+type Sample struct {
+	Seq      uint64 `json:"seq"`      // absolute window sequence number
+	StartRef uint64 `json:"startRef"` // 1-based, inclusive
+	EndRef   uint64 `json:"endRef"`   // inclusive
+
+	L1Hits     uint64 `json:"l1Hits"`
+	L1Misses   uint64 `json:"l1Misses"`
+	L2Hits     uint64 `json:"l2Hits"`
+	L2Misses   uint64 `json:"l2Misses"`
+	TLBMisses  uint64 `json:"tlbMisses"`
+	Synonyms   uint64 `json:"synonyms"`
+	WriteBacks uint64 `json:"writeBacks"`
+	CohToL1    uint64 `json:"coherenceToL1"`
+	Shielded   uint64 `json:"shielded"`
+	BusTxns    uint64 `json:"busTxns"`
+	Cycles     uint64 `json:"cycles"` // timed runs: cycle charge in the window
+}
+
+// numCols is the column count of the block format. Bump the file magic
+// when it changes.
+const numCols = 14
+
+// col returns a pointer to column i, in the fixed file-format order.
+func (s *Sample) col(i int) *uint64 {
+	switch i {
+	case 0:
+		return &s.Seq
+	case 1:
+		return &s.StartRef
+	case 2:
+		return &s.EndRef
+	case 3:
+		return &s.L1Hits
+	case 4:
+		return &s.L1Misses
+	case 5:
+		return &s.L2Hits
+	case 6:
+		return &s.L2Misses
+	case 7:
+		return &s.TLBMisses
+	case 8:
+		return &s.Synonyms
+	case 9:
+		return &s.WriteBacks
+	case 10:
+		return &s.CohToL1
+	case 11:
+		return &s.Shielded
+	case 12:
+		return &s.BusTxns
+	case 13:
+		return &s.Cycles
+	}
+	panic("tsdb: column out of range")
+}
+
+// FromWindow converts a closed probe window to its persisted form, using
+// the window's absolute position fields.
+func FromWindow(w probe.WindowMetrics) Sample {
+	return Sample{
+		Seq: w.Seq, StartRef: w.StartRef, EndRef: w.LastRef,
+		L1Hits: w.L1Hits, L1Misses: w.L1Misses,
+		L2Hits: w.L2Hits, L2Misses: w.L2Misses,
+		TLBMisses: w.TLBMisses, Synonyms: w.Synonyms,
+		WriteBacks: w.WriteBacks, CohToL1: w.CohToL1,
+		Shielded: w.Shielded, BusTxns: w.BusTxns, Cycles: w.Cycles,
+	}
+}
+
+// Refs returns the number of references the sample spans.
+func (s Sample) Refs() uint64 {
+	if s.EndRef < s.StartRef {
+		return 0
+	}
+	return s.EndRef - s.StartRef + 1
+}
+
+// Metrics lists every metric name Value accepts, in a stable order.
+func Metrics() []string {
+	return []string{
+		"l1ratio", "l2ratio", "synrate", "busocc", "tacc",
+		"l1Hits", "l1Misses", "l2Hits", "l2Misses", "tlbMisses",
+		"synonyms", "writeBacks", "coherenceToL1", "shielded", "busTxns",
+		"cycles", "refs",
+	}
+}
+
+// Value derives one metric from the sample: a ratio/rate for the derived
+// names, the raw counter for column names (their JSON spelling).
+func (s Sample) Value(metric string) (float64, error) {
+	ratio := func(h, m uint64) float64 {
+		if h+m == 0 {
+			return 0
+		}
+		return float64(h) / float64(h+m)
+	}
+	perRef := func(v uint64) float64 {
+		if n := s.Refs(); n > 0 {
+			return float64(v) / float64(n)
+		}
+		return 0
+	}
+	switch metric {
+	case "l1ratio":
+		return ratio(s.L1Hits, s.L1Misses), nil
+	case "l2ratio":
+		return ratio(s.L2Hits, s.L2Misses), nil
+	case "synrate":
+		return perRef(s.Synonyms), nil
+	case "busocc":
+		return perRef(s.BusTxns), nil
+	case "tacc":
+		return perRef(s.Cycles), nil
+	case "l1Hits":
+		return float64(s.L1Hits), nil
+	case "l1Misses":
+		return float64(s.L1Misses), nil
+	case "l2Hits":
+		return float64(s.L2Hits), nil
+	case "l2Misses":
+		return float64(s.L2Misses), nil
+	case "tlbMisses":
+		return float64(s.TLBMisses), nil
+	case "synonyms":
+		return float64(s.Synonyms), nil
+	case "writeBacks":
+		return float64(s.WriteBacks), nil
+	case "coherenceToL1":
+		return float64(s.CohToL1), nil
+	case "shielded":
+		return float64(s.Shielded), nil
+	case "busTxns":
+		return float64(s.BusTxns), nil
+	case "cycles":
+		return float64(s.Cycles), nil
+	case "refs":
+		return float64(s.Refs()), nil
+	}
+	return 0, fmt.Errorf("tsdb: unknown metric %q (one of %s)", metric, strings.Join(Metrics(), ", "))
+}
+
+// DefaultRetention is the per-series sample cap used when Open is given
+// none: at the job server's default 20000-reference windows it spans a
+// 1.3-billion-reference job, comfortably past the service's admission
+// bound.
+const DefaultRetention = 1 << 16
+
+// blockLen is the sample count per encoded block: small enough that a
+// daemon crash loses at most a few windows beyond the last explicit flush,
+// large enough that the per-block length framing amortizes away.
+const blockLen = 512
+
+var seriesMagic = []byte("VRTSDB1\n")
+
+// ErrNoSeries is returned by Query for a job the store has no samples for.
+var ErrNoSeries = errors.New("tsdb: no series for job")
+
+// DB is a directory of per-job series. All methods are safe for concurrent
+// use; the expected shape is one appending job-runner goroutine per series
+// with HTTP query goroutines reading everything.
+type DB struct {
+	dir       string
+	retention int
+
+	mu     sync.Mutex
+	series map[string]*series
+}
+
+// Open creates (or reopens) a store rooted at dir. retention bounds each
+// series' sample count (0 selects DefaultRetention). Existing series are
+// loaded lazily, on first append or query.
+func Open(dir string, retention int) (*DB, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("tsdb: dir is required")
+	}
+	if retention <= 0 {
+		retention = DefaultRetention
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &DB{dir: dir, retention: retention, series: make(map[string]*series)}, nil
+}
+
+// Retention returns the per-series sample cap.
+func (db *DB) Retention() int { return db.retention }
+
+func (db *DB) path(job string) string { return filepath.Join(db.dir, job+".ts") }
+
+// open returns the job's series, loading it from disk on first use. When
+// create is false and neither memory nor disk has the series, it returns
+// ErrNoSeries.
+func (db *DB) open(job string, create bool) (*series, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if s, ok := db.series[job]; ok {
+		return s, nil
+	}
+	s := &series{path: db.path(job), retention: db.retention}
+	err := s.load()
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		if !create {
+			return nil, fmt.Errorf("%w %q", ErrNoSeries, job)
+		}
+	case err != nil:
+		return nil, err
+	}
+	db.series[job] = s
+	return s, nil
+}
+
+// Appender returns the job's writer, creating the series on first use. A
+// reopened series resumes after its last persisted sequence number:
+// appends at or below it are dropped, which is what keeps a restart-
+// resumed job's series free of duplicate windows.
+func (db *DB) Appender(job string) (*Appender, error) {
+	s, err := db.open(job, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Appender{s: s}, nil
+}
+
+// Query selects samples from one job's series. FromSeq/ToSeq bound the
+// window sequence range inclusively (ToSeq 0 means "to the end"); when
+// MaxPoints > 0 and more samples match, the result is downsampled
+// deterministically (see Downsample).
+type Query struct {
+	FromSeq   uint64
+	ToSeq     uint64
+	MaxPoints int
+}
+
+// Query returns the matching samples, oldest first.
+func (db *DB) Query(job string, q Query) ([]Sample, error) {
+	s, err := db.open(job, false)
+	if err != nil {
+		return nil, err
+	}
+	return s.query(q), nil
+}
+
+// Jobs lists every series in the store (in-memory and on-disk), sorted.
+func (db *DB) Jobs() ([]string, error) {
+	entries, err := os.ReadDir(db.dir)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	for _, e := range entries {
+		if name, ok := strings.CutSuffix(e.Name(), ".ts"); ok {
+			seen[name] = true
+		}
+	}
+	db.mu.Lock()
+	for name := range db.series {
+		seen[name] = true
+	}
+	db.mu.Unlock()
+	jobs := make([]string, 0, len(seen))
+	for name := range seen {
+		jobs = append(jobs, name)
+	}
+	sort.Strings(jobs)
+	return jobs, nil
+}
+
+// Remove deletes a job's series from memory and disk.
+func (db *DB) Remove(job string) error {
+	db.mu.Lock()
+	s := db.series[job]
+	delete(db.series, job)
+	db.mu.Unlock()
+	if s != nil {
+		s.close() //nolint:errcheck // the file is removed right after
+	}
+	err := os.Remove(db.path(job))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	return err
+}
+
+// Close flushes and closes every open series.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var first error
+	for _, s := range db.series {
+		if err := s.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	db.series = make(map[string]*series)
+	return first
+}
+
+// Appender writes one job's samples. Append is cheap and buffered; Flush
+// persists the buffered tail (the job runner flushes alongside every
+// checkpoint, so durability tracks resumability).
+type Appender struct{ s *series }
+
+// Append records one sample. Samples must arrive in ascending Seq order;
+// a sample at or below the last recorded sequence is dropped silently
+// (the replayed prefix of a resumed job).
+func (a *Appender) Append(s Sample) error { return a.s.append(s) }
+
+// Flush persists buffered samples to the series file.
+func (a *Appender) Flush() error { return a.s.flush() }
+
+// LastSeq returns the newest recorded sequence number and whether any
+// sample exists.
+func (a *Appender) LastSeq() (uint64, bool) { return a.s.lastSeq() }
+
+// series is one job's sample log: the full retained window in memory
+// (samples are 112 bytes; the cap bounds this), mirrored to an append-only
+// block file.
+type series struct {
+	mu        sync.Mutex
+	path      string
+	retention int
+	f         *os.File // lazily opened for appending
+	samples   []Sample
+	flushed   int    // samples persisted to disk
+	enc       []byte // reused block-encode buffer
+}
+
+func (s *series) load() error {
+	data, err := os.ReadFile(s.path)
+	if err != nil {
+		return err
+	}
+	samples, err := decodeAll(data)
+	if err != nil {
+		return fmt.Errorf("%s: %w", s.path, err)
+	}
+	s.samples = samples
+	s.flushed = len(samples)
+	if len(s.samples) > s.retention {
+		return s.compact()
+	}
+	return nil
+}
+
+func (s *series) lastSeq() (uint64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.samples) == 0 {
+		return 0, false
+	}
+	return s.samples[len(s.samples)-1].Seq, true
+}
+
+func (s *series) append(sm Sample) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n := len(s.samples); n > 0 && sm.Seq <= s.samples[n-1].Seq {
+		return nil // resumed replay of an already-recorded window
+	}
+	s.samples = append(s.samples, sm)
+	if len(s.samples)-s.flushed >= blockLen {
+		if err := s.flushLocked(); err != nil {
+			return err
+		}
+	}
+	// Compact with slack so the rewrite cost amortizes over retention/4
+	// appends instead of landing on every one past the cap.
+	if len(s.samples) > s.retention+s.retention/4 {
+		return s.compact()
+	}
+	return nil
+}
+
+func (s *series) flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flushLocked()
+}
+
+func (s *series) flushLocked() error {
+	if s.flushed == len(s.samples) {
+		return nil
+	}
+	if s.f == nil {
+		fresh := s.flushed == 0
+		f, err := os.OpenFile(s.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		s.f = f
+		if fresh {
+			if _, err := f.Write(seriesMagic); err != nil {
+				return err
+			}
+		}
+	}
+	s.enc = encodeBlock(s.enc[:0], s.samples[s.flushed:])
+	if _, err := s.f.Write(s.enc); err != nil {
+		return err
+	}
+	s.flushed = len(s.samples)
+	return nil
+}
+
+// compact drops the over-retention prefix and rewrites the file atomically.
+// Caller holds s.mu.
+func (s *series) compact() error {
+	keep := s.samples[len(s.samples)-s.retention:]
+	s.samples = append(s.samples[:0], keep...)
+	if s.f != nil {
+		s.f.Close() //nolint:errcheck // about to replace the file
+		s.f = nil
+	}
+	out := append([]byte(nil), seriesMagic...)
+	for i := 0; i < len(s.samples); i += blockLen {
+		end := min(i+blockLen, len(s.samples))
+		out = encodeBlock(out, s.samples[i:end])
+	}
+	if err := writeFileAtomic(s.path, out); err != nil {
+		return err
+	}
+	s.flushed = len(s.samples)
+	return nil
+}
+
+func (s *series) query(q Query) []Sample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lo := sort.Search(len(s.samples), func(i int) bool { return s.samples[i].Seq >= q.FromSeq })
+	hi := len(s.samples)
+	if q.ToSeq > 0 {
+		hi = sort.Search(len(s.samples), func(i int) bool { return s.samples[i].Seq > q.ToSeq })
+	}
+	if lo >= hi {
+		return []Sample{}
+	}
+	out := append([]Sample(nil), s.samples[lo:hi]...)
+	if q.MaxPoints > 0 && len(out) > q.MaxPoints {
+		out = Downsample(out, q.MaxPoints)
+	}
+	return out
+}
+
+func (s *series) close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.flushLocked()
+	if s.f != nil {
+		if cerr := s.f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		s.f = nil
+	}
+	return err
+}
+
+// Downsample reduces samples to at most maxPoints by aggregating equal
+// index ranges: bucket i spans samples [i*n/max, (i+1)*n/max). Counters
+// sum; Seq and StartRef come from the bucket's first sample and EndRef
+// from its last, so derived ratios over the aggregate are exact for the
+// covered span. The result depends only on the input and maxPoints —
+// deterministic across runs and hosts.
+func Downsample(samples []Sample, maxPoints int) []Sample {
+	n := len(samples)
+	if maxPoints <= 0 || n <= maxPoints {
+		return samples
+	}
+	out := make([]Sample, 0, maxPoints)
+	for i := 0; i < maxPoints; i++ {
+		lo, hi := i*n/maxPoints, (i+1)*n/maxPoints
+		if lo >= hi {
+			continue
+		}
+		agg := samples[lo]
+		for _, sm := range samples[lo+1 : hi] {
+			agg.EndRef = sm.EndRef
+			for c := 3; c < numCols; c++ {
+				*agg.col(c) += *sm.col(c)
+			}
+		}
+		out = append(out, agg)
+	}
+	return out
+}
+
+// WriteCSV renders samples as CSV with a fixed header, one row per sample.
+func WriteCSV(w io.Writer, samples []Sample) error {
+	if _, err := fmt.Fprintln(w, "seq,startRef,endRef,l1Hits,l1Misses,l2Hits,l2Misses,"+
+		"tlbMisses,synonyms,writeBacks,coherenceToL1,shielded,busTxns,cycles"); err != nil {
+		return err
+	}
+	for i := range samples {
+		s := &samples[i]
+		row := make([]string, numCols)
+		for c := 0; c < numCols; c++ {
+			row[c] = fmt.Sprintf("%d", *s.col(c))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---- block codec ----
+
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// encodeBlock appends one block to dst: varint sample count, varint
+// payload length, then the payload — each column's values contiguously,
+// zigzag-delta varint encoded against the previous sample in the block.
+// The payload length comes from a dry sizing pass (pure arithmetic), so
+// the encode reuses dst without a second buffer.
+func encodeBlock(dst []byte, samples []Sample) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(v uint64) []byte { return tmp[:binary.PutUvarint(tmp[:], v)] }
+
+	size := 0
+	for c := 0; c < numCols; c++ {
+		var prev uint64
+		for i := range samples {
+			v := *samples[i].col(c)
+			size += varintLen(zigzag(int64(v) - int64(prev)))
+			prev = v
+		}
+	}
+	dst = append(dst, put(uint64(len(samples)))...)
+	dst = append(dst, put(uint64(size))...)
+	for c := 0; c < numCols; c++ {
+		var prev uint64
+		for i := range samples {
+			v := *samples[i].col(c)
+			dst = append(dst, put(zigzag(int64(v)-int64(prev)))...)
+			prev = v
+		}
+	}
+	return dst
+}
+
+func varintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// decodeAll parses a series file, tolerating a torn final block: a block
+// whose framed payload extends past the end of the file is dropped along
+// with everything after it.
+func decodeAll(data []byte) ([]Sample, error) {
+	if !bytes.HasPrefix(data, seriesMagic) {
+		return nil, fmt.Errorf("tsdb: bad series magic")
+	}
+	data = data[len(seriesMagic):]
+	var samples []Sample
+	for len(data) > 0 {
+		count, n := binary.Uvarint(data)
+		if n <= 0 {
+			break // torn header
+		}
+		size, n2 := binary.Uvarint(data[n:])
+		if n2 <= 0 || uint64(len(data[n+n2:])) < size {
+			break // torn block
+		}
+		payload := data[n+n2 : n+n2+int(size)]
+		block, err := decodeBlock(payload, int(count))
+		if err != nil {
+			return nil, err
+		}
+		samples = append(samples, block...)
+		data = data[n+n2+int(size):]
+	}
+	return samples, nil
+}
+
+func decodeBlock(payload []byte, count int) ([]Sample, error) {
+	if count < 0 || count > 1<<24 {
+		return nil, fmt.Errorf("tsdb: implausible block sample count %d", count)
+	}
+	out := make([]Sample, count)
+	pos := 0
+	for c := 0; c < numCols; c++ {
+		var prev uint64
+		for i := 0; i < count; i++ {
+			d, n := binary.Uvarint(payload[pos:])
+			if n <= 0 {
+				return nil, fmt.Errorf("tsdb: corrupt block column %d sample %d", c, i)
+			}
+			pos += n
+			v := uint64(int64(prev) + unzigzag(d))
+			*out[i].col(c) = v
+			prev = v
+		}
+	}
+	if pos != len(payload) {
+		return nil, fmt.Errorf("tsdb: block payload has %d trailing bytes", len(payload)-pos)
+	}
+	return out, nil
+}
+
+// writeFileAtomic writes data via a temp file and rename so readers never
+// observe a partial document.
+func writeFileAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
