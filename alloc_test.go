@@ -16,14 +16,19 @@ import (
 
 // allocMachine builds a small 1-CPU machine with no probe, no oracle and
 // no invariant checking — the production configuration of the hot loop.
-func allocMachine(t *testing.T, org vrsim.Organization) *vrsim.System {
+// Optional tweaks adjust the config before the build.
+func allocMachine(t *testing.T, org vrsim.Organization, tweaks ...func(*vrsim.Config)) *vrsim.System {
 	t.Helper()
-	sys, err := vrsim.New(vrsim.Config{
+	cfg := vrsim.Config{
 		CPUs:         1,
 		Organization: org,
 		L1:           vrsim.Geometry{Size: 4 << 10, Block: 16, Assoc: 1},
 		L2:           vrsim.Geometry{Size: 64 << 10, Block: 32, Assoc: 1},
-	})
+	}
+	for _, tw := range tweaks {
+		tw(&cfg)
+	}
+	sys, err := vrsim.New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,6 +62,7 @@ func TestWarmHitPathAllocationFree(t *testing.T) {
 		{"VR", vrsim.VR},
 		{"RRInclusion", vrsim.RRInclusion},
 		{"RRNoInclusion", vrsim.RRNoInclusion},
+		{"VRRLT", vrsim.VRRLT},
 	}
 	for _, o := range orgs {
 		t.Run(o.name, func(t *testing.T) {
@@ -111,6 +117,7 @@ func TestWarmHitPathWithHistogramsAllocationFree(t *testing.T) {
 		{"VR", vrsim.VR},
 		{"RRInclusion", vrsim.RRInclusion},
 		{"RRNoInclusion", vrsim.RRNoInclusion},
+		{"VRRLT", vrsim.VRRLT},
 	}
 	for _, o := range orgs {
 		t.Run(o.name, func(t *testing.T) {
@@ -145,6 +152,7 @@ func TestWarmMissPathAllocationFree(t *testing.T) {
 		{"VR", vrsim.VR},
 		{"RRInclusion", vrsim.RRInclusion},
 		{"RRNoInclusion", vrsim.RRNoInclusion},
+		{"VRRLT", vrsim.VRRLT},
 	}
 	for _, o := range orgs {
 		t.Run(o.name, func(t *testing.T) {
@@ -162,4 +170,50 @@ func TestWarmMissPathAllocationFree(t *testing.T) {
 			requireZeroAllocs(t, "dirty V-miss/R-hit", func() { mustApply(t, sys, wa, b) })
 		})
 	}
+}
+
+// TestWarmSynonymMachineryAllocationFree pins the new synonym-strategy
+// structures to the zero-alloc contract: with a victim cache armed, the
+// steady-state conflict loop parks and takes an entry on every miss; with a
+// deliberately tiny reverse-lookup table, every fill forces a table
+// eviction (and the forced first-level eviction it implies).
+func TestWarmSynonymMachineryAllocationFree(t *testing.T) {
+	// Same direct-mapped L1 set, different L2 sets: every access misses L1.
+	a := vrsim.Ref{CPU: 0, Kind: vrsim.Read, PID: 1, Addr: 0x10000}
+	b := vrsim.Ref{CPU: 0, Kind: vrsim.Read, PID: 1, Addr: 0x11000}
+	wa := a
+	wa.Kind = vrsim.Write
+
+	for _, o := range []struct {
+		name string
+		org  vrsim.Organization
+	}{{"VR", vrsim.VR}, {"RRNoInclusion", vrsim.RRNoInclusion}, {"VRRLT", vrsim.VRRLT}} {
+		t.Run(o.name+"/victim", func(t *testing.T) {
+			sys := allocMachine(t, o.org, func(c *vrsim.Config) { c.VictimEntries = 4 })
+			mustApply(t, sys, a, b, a, b, a, b) // reach park/take steady state
+			requireZeroAllocs(t, "victim park+take", func() { mustApply(t, sys, a, b) })
+			requireZeroAllocs(t, "dirty victim park+take", func() { mustApply(t, sys, wa, b) })
+			if st := sys.Stats(0); st.VictimHits == 0 || st.VictimInserts == 0 {
+				t.Fatalf("victim cache not exercised: hits %d inserts %d", st.VictimHits, st.VictimInserts)
+			}
+		})
+	}
+
+	t.Run("rlt-evict", func(t *testing.T) {
+		// Two blocks in different L1 sets coexist in the first level, but a
+		// one-entry table cannot hold both reverse translations: every fill
+		// evicts the other's entry, forcing its (perfectly valid) line out
+		// of the L1 — the strategy's capacity cost, on every reference.
+		sys := allocMachine(t, vrsim.VRRLT, func(c *vrsim.Config) { c.RLTEntries = 1 })
+		p := vrsim.Ref{CPU: 0, Kind: vrsim.Read, PID: 1, Addr: 0x10000}
+		q := vrsim.Ref{CPU: 0, Kind: vrsim.Read, PID: 1, Addr: 0x10400}
+		wp := p
+		wp.Kind = vrsim.Write
+		mustApply(t, sys, p, q, p, q)
+		requireZeroAllocs(t, "rlt capacity eviction", func() { mustApply(t, sys, p, q) })
+		requireZeroAllocs(t, "dirty rlt capacity eviction", func() { mustApply(t, sys, wp, q) })
+		if st := sys.Stats(0); st.RLTEvictions == 0 {
+			t.Fatal("one-entry RLT never evicted")
+		}
+	})
 }

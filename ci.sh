@@ -31,8 +31,8 @@ go test -run '^$' -fuzz '^FuzzTextParse$' -fuzztime 10s ./internal/trace
 go test -run '^$' -fuzz '^FuzzCheckpointRoundTrip$' -fuzztime 10s ./internal/checkpoint
 go test -run '^$' -fuzz '^FuzzJobConfigDecode$' -fuzztime 10s ./internal/jobs
 
-echo "== coverage floors (internal/checkpoint, internal/stats, internal/jobs, internal/tsdb)"
-for pkg in internal/checkpoint internal/stats internal/jobs internal/tsdb; do
+echo "== coverage floors (internal/checkpoint, internal/stats, internal/jobs, internal/tsdb, internal/victim, internal/rlt)"
+for pkg in internal/checkpoint internal/stats internal/jobs internal/tsdb internal/victim internal/rlt; do
     pct=$(go test -cover "./$pkg" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
     if [ -z "$pct" ]; then
         echo "coverage: no figure reported for $pkg" >&2
@@ -57,14 +57,28 @@ go run ./cmd/vrsim -preset pops -scale 0.01 -restore "$tmp/ck.bin" -json > "$tmp
 cmp "$tmp/seq.json" "$tmp/restored.json"
 go run ./cmd/vrsim -preset pops -scale 0.01 -shards 4 -shard-mode exact > /dev/null
 
+# The cross-organization differential harness under the race detector, run
+# twice: every synonym strategy (v-pointer, reverse-lookup table, victim
+# cache, write-through) must observe identical data behaviour on identical
+# reference streams, and the geometry fuzzer must hold the same story across
+# random legal shapes.
+echo "== cross-organization differential suite under race"
+go test -race -count 2 -run 'TestDifferential' ./internal/system
+go test -race -count 2 -run 'TestGeometryFuzz|TestVREqualsRR|TestProtocolsEquivalent|TestPIDTagsEquivalent' ./internal/core
+
 # Audit under the race detector: run the full invariant auditor against every
 # organization on a real workload and fail on any violation (vrsim exits
 # non-zero when the auditor finds one). No -cpus override: the preset trace
 # carries its own CPU count.
 echo "== invariant audit under race across organizations"
-for org in vr rr rrnoincl; do
+for org in vr rr rrnoincl rlt; do
     go run -race ./cmd/vrsim -preset pops -scale 0.02 -audit -audit-every 1000 -org "$org" > /dev/null
 done
+# Synonym machinery under audit: a victim cache (exclusivity + containment
+# invariants) and a deliberately small reverse-lookup table (reciprocity
+# invariant, forced evictions on nearly every fill).
+go run -race ./cmd/vrsim -preset pops -scale 0.02 -audit -audit-every 1000 -org vr -victim 4 > /dev/null
+go run -race ./cmd/vrsim -preset pops -scale 0.02 -audit -audit-every 1000 -org rlt -rlt-entries 16 -victim 4 > /dev/null
 
 # Telemetry: the tracing/attribution layer under the race detector (its
 # on-demand dump path crosses goroutines), then an end-to-end flight-recorder
@@ -80,17 +94,22 @@ fi
 bundle=$(ls "$tmp"/fr/flightrec-*-audit-violation.json)
 go run ./cmd/vrsim -verify-bundle "$bundle"
 
-# Autotuner soundness under the race detector: a ~50-config search with
+# Autotuner soundness under the race detector: a ~60-config search with
 # pruning enabled must return exactly the frontier the exhaustive search
 # finds (-check-exhaustive re-runs without pruning and compares).
 echo "== autotune pruning soundness under race"
+# 60 configs: three plain orgs sweep the victim axis, and the rlt
+# organization additionally sweeps its table size (non-rlt orgs drop the
+# rltEntries != 0 points during expansion).
 cat > "$tmp/grammar.json" <<'GRAMMAR'
 {
-  "organizations": ["vr", "rr", "rrnoincl", "vr-wt", "rr-wt"],
+  "organizations": ["vr", "rr", "vr-wt", "rlt"],
   "l1Sizes": [1024, 4096, 8192],
-  "l1Assocs": [1, 2],
+  "l1Assocs": [1],
   "l2Sizes": [65536, 131072],
-  "blockRatios": [2]
+  "blockRatios": [2],
+  "victimEntries": [0, 4],
+  "rltEntries": [0, 16]
 }
 GRAMMAR
 go run -race ./cmd/autotune -grammar "$tmp/grammar.json" -preset pops \

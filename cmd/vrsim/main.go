@@ -50,6 +50,8 @@ type options struct {
 	cpus        int
 	scale       float64
 	jsonOut     bool
+	victim      int // victim cache entries between the levels (0 = none)
+	rltEntries  int // reverse-lookup table entries for -org rlt (0 = auto)
 
 	events       bool   // stream the event log to stderr
 	eventsFilter string // comma-separated kinds/categories for -events
@@ -64,6 +66,7 @@ type options struct {
 
 	timed      bool   // attach the cycle engine and measure access times
 	t1, t2, tm uint64 // service latencies, cycles
+	tVictim    uint64 // victim-cache hit time, cycles (0 = same as t2)
 	tlbPenalty uint64 // extra cycles per TLB miss
 	ctxCost    uint64 // flush cost per context switch
 	busMemOcc  uint64 // bus occupancy per memory fill transaction
@@ -101,6 +104,7 @@ func (o options) telemetryActive() bool {
 func (o options) cycleParams() cycles.Params {
 	return cycles.Params{
 		T1: o.t1, T2: o.t2, TM: o.tm,
+		TVictim:        o.tVictim,
 		TLBMissPenalty: o.tlbPenalty,
 		CtxSwitchCost:  o.ctxCost,
 		BusMemOcc:      o.busMemOcc,
@@ -115,7 +119,7 @@ func main() {
 	flag.StringVar(&o.preset, "preset", "", "generate and run a workload preset (pops, thor, abaqus)")
 	flag.StringVar(&o.traceFile, "trace", "", "replay a binary trace file instead of generating")
 	flag.StringVar(&o.tracePreset, "trace-preset", "", "preset whose shared mappings the trace was generated with")
-	flag.StringVar(&o.org, "org", "vr", "organization: vr, rr, rrnoincl")
+	flag.StringVar(&o.org, "org", "vr", "organization: vr, rr, rrnoincl, rlt, vr-wt, rr-wt")
 	flag.StringVar(&o.l1, "l1", "16K", "first-level cache size")
 	flag.StringVar(&o.l2, "l2", "256K", "second-level cache size")
 	flag.Uint64Var(&o.b1, "b1", 16, "first-level block size")
@@ -125,6 +129,8 @@ func main() {
 	flag.BoolVar(&o.split, "split", false, "split the first level into I and D caches")
 	flag.IntVar(&o.cpus, "cpus", 0, "CPU count (default: from preset)")
 	flag.Float64Var(&o.scale, "scale", 1.0, "preset trace length scale factor")
+	flag.IntVar(&o.victim, "victim", 0, "victim cache entries between the levels (0 = none)")
+	flag.IntVar(&o.rltEntries, "rlt-entries", 0, "reverse-lookup table entries for -org rlt (0 = half the L1 lines)")
 	flag.BoolVar(&o.jsonOut, "json", false, "emit machine-readable JSON instead of text")
 	flag.BoolVar(&o.events, "events", false, "stream the event log to stderr")
 	flag.StringVar(&o.eventsFilter, "events-filter", "",
@@ -147,6 +153,7 @@ func main() {
 	flag.Uint64Var(&o.t1, "t1", 1, "first-level hit time, cycles (-timed)")
 	flag.Uint64Var(&o.t2, "t2", 4, "second-level hit time, cycles (-timed)")
 	flag.Uint64Var(&o.tm, "tm", 20, "memory time, cycles (-timed)")
+	flag.Uint64Var(&o.tVictim, "tvictim", 0, "victim-cache hit time, cycles; 0 = same as -t2 (-timed)")
 	flag.Uint64Var(&o.tlbPenalty, "tlb-penalty", 0, "extra cycles per TLB miss (-timed)")
 	flag.Uint64Var(&o.ctxCost, "ctx-cost", 0, "flush cost per context switch, cycles (-timed)")
 	flag.Uint64Var(&o.busMemOcc, "bus-occ", 0, "bus occupancy per memory fill, cycles (-timed)")
@@ -182,7 +189,7 @@ func main() {
 		"heavy-hitter sketch size for -attr")
 	flag.BoolVar(&o.injectViolation, "inject-violation", false,
 		"inject one synthetic audit violation (exercises the failure path; requires -audit)")
-	compare := flag.Bool("compare", false, "run all three organizations on the same workload and compare")
+	compare := flag.Bool("compare", false, "run every organization on the same workload and compare")
 	version := flag.Bool("version", false, "print build information and exit")
 	verifyBundle := flag.String("verify-bundle", "", "parse a flight-recorder bundle file, print its summary, and exit")
 	flag.Parse()
@@ -200,7 +207,7 @@ func main() {
 	}
 
 	if *compare {
-		if err := runCompare(o.preset, o.l1, o.l2, o.b1, o.b2, o.a1, o.a2, o.cpus, o.scale); err != nil {
+		if err := runCompare(o); err != nil {
 			fmt.Fprintln(os.Stderr, "vrsim:", err)
 			os.Exit(1)
 		}
@@ -212,39 +219,52 @@ func main() {
 	}
 }
 
-// runCompare runs the identical workload under V-R, R-R(incl) and
-// R-R(no incl) and prints the paper's headline comparison columns.
-func runCompare(preset, l1s, l2s string, b1, b2 uint64, a1, a2, cpus int, scale float64) error {
-	if preset == "" {
+// runCompare runs the identical workload under every organization — the
+// paper's three, the write-through first-level variants, and the
+// reverse-lookup synonym table — and prints the headline comparison
+// columns. -victim adds a victim cache to every row.
+func runCompare(o options) error {
+	if o.preset == "" {
 		return fmt.Errorf("-compare requires -preset")
 	}
-	l1Size, err := parseSize(l1s)
+	l1Size, err := parseSize(o.l1)
 	if err != nil {
 		return err
 	}
-	l2Size, err := parseSize(l2s)
+	l2Size, err := parseSize(o.l2)
 	if err != nil {
 		return err
 	}
-	cfg, err := tracegen.PresetByName(preset)
+	cfg, err := tracegen.PresetByName(o.preset)
 	if err != nil {
 		return err
 	}
-	if scale != 1 {
-		cfg = cfg.Scaled(scale)
+	if o.scale != 1 {
+		cfg = cfg.Scaled(o.scale)
 	}
+	cpus := o.cpus
 	if cpus == 0 {
 		cpus = cfg.CPUs
 	}
-	fmt.Printf("%-13s %-7s %-7s %-12s %-12s %-14s %s\n",
-		"organization", "h1", "h2", "TLB lookups", "writebacks", "msgs to L1", "Tacc(t2=4t1)")
-	for _, org := range []system.Organization{system.VR, system.RRInclusion, system.RRNoInclusion} {
+	fmt.Printf("%-13s %-7s %-7s %-12s %-12s %-14s %-10s %s\n",
+		"organization", "h1", "h2", "TLB lookups", "writebacks", "msgs to L1", "vic hits", "Tacc(t2=4t1)")
+	for _, spec := range []string{"vr", "rr", "rrnoincl", "vr-wt", "rr-wt", "rlt"} {
+		org, writeThrough, err := parseOrg(spec)
+		if err != nil {
+			return err
+		}
 		sc := system.Config{
-			CPUs:         cpus,
-			Organization: org,
-			PageSize:     cfg.PageSize,
-			L1:           cache.Geometry{Size: l1Size, Block: b1, Assoc: a1},
-			L2:           cache.Geometry{Size: l2Size, Block: b2, Assoc: a2},
+			CPUs:           cpus,
+			Organization:   org,
+			PageSize:       cfg.PageSize,
+			L1:             cache.Geometry{Size: l1Size, Block: o.b1, Assoc: o.a1},
+			L2:             cache.Geometry{Size: l2Size, Block: o.b2, Assoc: o.a2},
+			L1WriteThrough: writeThrough,
+			VictimEntries:  o.victim,
+			RLTEntries:     o.rltEntries,
+		}
+		if org != system.VRRLT {
+			sc.RLTEntries = 0
 		}
 		sys, err := system.New(sc)
 		if err != nil {
@@ -261,16 +281,21 @@ func runCompare(preset, l1s, l2s string, b1, b2 uint64, a1, a2, cpus int, scale 
 			return err
 		}
 		agg := sys.Aggregate()
-		var tlbLookups, wbs, msgs uint64
+		var tlbLookups, wbs, msgs, vhits uint64
 		for cpu := 0; cpu < sys.CPUs(); cpu++ {
 			st := sys.Stats(cpu)
 			tlbLookups += st.TLB.Hits + st.TLB.Misses
 			wbs += st.WriteBacks
 			msgs += st.Coherence.Total()
+			vhits += st.VictimHits
 		}
 		tacc := timemodel.AccessTime(timemodel.DefaultParams(agg.H1, agg.H2))
-		fmt.Printf("%-13s %-7.3f %-7.3f %-12d %-12d %-14d %.3f\n",
-			org, agg.H1, agg.H2, tlbLookups, wbs, msgs, tacc)
+		label := spec
+		if spec == "vr" || spec == "rr" || spec == "rrnoincl" {
+			label = fmt.Sprint(org)
+		}
+		fmt.Printf("%-13s %-7.3f %-7.3f %-12d %-12d %-14d %-10d %.3f\n",
+			label, agg.H1, agg.H2, tlbLookups, wbs, msgs, vhits, tacc)
 	}
 	return nil
 }
@@ -291,16 +316,24 @@ func parseSize(s string) (uint64, error) {
 	return n * mult, nil
 }
 
-func parseOrg(s string) (system.Organization, error) {
+// parseOrg maps an -org spelling to the organization plus the orthogonal
+// write-through first-level policy ("vr-wt", "rr-wt").
+func parseOrg(s string) (org system.Organization, writeThrough bool, err error) {
 	switch strings.ToLower(s) {
 	case "vr":
-		return system.VR, nil
+		return system.VR, false, nil
 	case "rr", "rrincl":
-		return system.RRInclusion, nil
+		return system.RRInclusion, false, nil
 	case "rrnoincl", "noincl":
-		return system.RRNoInclusion, nil
+		return system.RRNoInclusion, false, nil
+	case "rlt":
+		return system.VRRLT, false, nil
+	case "vr-wt":
+		return system.VR, true, nil
+	case "rr-wt":
+		return system.RRInclusion, true, nil
 	default:
-		return 0, fmt.Errorf("unknown organization %q (vr, rr, rrnoincl)", s)
+		return 0, false, fmt.Errorf("unknown organization %q (vr, rr, rrnoincl, rlt, vr-wt, rr-wt)", s)
 	}
 }
 
@@ -348,9 +381,12 @@ func buildProbe(o options, stdout io.Writer) (*probe.Probe, *probe.Windows, erro
 }
 
 func run(o options, stdout io.Writer) error {
-	org, err := parseOrg(o.org)
+	org, writeThrough, err := parseOrg(o.org)
 	if err != nil {
 		return err
+	}
+	if o.rltEntries != 0 && org != system.VRRLT {
+		return fmt.Errorf("-rlt-entries requires -org rlt")
 	}
 	l1Size, err := parseSize(o.l1)
 	if err != nil {
@@ -445,14 +481,17 @@ func run(o options, stdout io.Writer) error {
 		eng.SetLatencies(monitor.NewLatencies(cpus))
 	}
 	sc := system.Config{
-		CPUs:         cpus,
-		Organization: org,
-		L1:           cache.Geometry{Size: l1Size, Block: o.b1, Assoc: o.a1},
-		Split:        o.split,
-		L2:           cache.Geometry{Size: l2Size, Block: o.b2, Assoc: o.a2},
-		Probe:        pr,
-		Cycles:       eng,
-		Audit:        aud,
+		CPUs:           cpus,
+		Organization:   org,
+		L1:             cache.Geometry{Size: l1Size, Block: o.b1, Assoc: o.a1},
+		Split:          o.split,
+		L2:             cache.Geometry{Size: l2Size, Block: o.b2, Assoc: o.a2},
+		L1WriteThrough: writeThrough,
+		VictimEntries:  o.victim,
+		RLTEntries:     o.rltEntries,
+		Probe:          pr,
+		Cycles:         eng,
+		Audit:          aud,
 	}
 	if wlCfg != nil {
 		sc.PageSize = wlCfg.PageSize
@@ -910,6 +949,12 @@ func printReport(w io.Writer, sys *system.System, sc system.Config) {
 			st.Coherence.Total())
 		if s := st.Coherence.String(); s != "" {
 			fmt.Fprintf(w, " (%s)", s)
+		}
+		if st.VictimInserts > 0 || st.VictimHits > 0 {
+			fmt.Fprintf(w, ", victim hits %d / inserts %d", st.VictimHits, st.VictimInserts)
+		}
+		if st.RLTEvictions > 0 {
+			fmt.Fprintf(w, ", rlt evictions %d", st.RLTEvictions)
 		}
 		fmt.Fprintln(w)
 	}

@@ -39,18 +39,23 @@ func TestParseSize(t *testing.T) {
 }
 
 func TestParseOrg(t *testing.T) {
-	cases := map[string]system.Organization{
-		"vr": system.VR, "VR": system.VR,
-		"rr": system.RRInclusion, "rrincl": system.RRInclusion,
-		"rrnoincl": system.RRNoInclusion, "noincl": system.RRNoInclusion,
+	cases := map[string]struct {
+		org system.Organization
+		wt  bool
+	}{
+		"vr": {system.VR, false}, "VR": {system.VR, false},
+		"rr": {system.RRInclusion, false}, "rrincl": {system.RRInclusion, false},
+		"rrnoincl": {system.RRNoInclusion, false}, "noincl": {system.RRNoInclusion, false},
+		"rlt":   {system.VRRLT, false},
+		"vr-wt": {system.VR, true}, "rr-wt": {system.RRInclusion, true},
 	}
 	for in, want := range cases {
-		got, err := parseOrg(in)
-		if err != nil || got != want {
-			t.Errorf("parseOrg(%q) = %v, %v; want %v", in, got, err, want)
+		org, wt, err := parseOrg(in)
+		if err != nil || org != want.org || wt != want.wt {
+			t.Errorf("parseOrg(%q) = %v, %v, %v; want %v, %v", in, org, wt, err, want.org, want.wt)
 		}
 	}
-	if _, err := parseOrg("bogus"); err == nil {
+	if _, _, err := parseOrg("bogus"); err == nil {
 		t.Error("parseOrg(bogus): want error")
 	}
 }
@@ -325,19 +330,24 @@ func TestRunHTTPMonitor(t *testing.T) {
 }
 
 func TestRunCompare(t *testing.T) {
-	if err := runCompare("pops", "4K", "64K", 16, 32, 1, 1, 0, 0.001); err != nil {
+	if err := runCompare(smallRun()); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunCompareErrors(t *testing.T) {
-	if err := runCompare("", "4K", "64K", 16, 32, 1, 1, 0, 1); err == nil {
+	mod := func(f func(*options)) options {
+		o := smallRun()
+		f(&o)
+		return o
+	}
+	if err := runCompare(mod(func(o *options) { o.preset = "" })); err == nil {
 		t.Error("compare without preset accepted")
 	}
-	if err := runCompare("nope", "4K", "64K", 16, 32, 1, 1, 0, 1); err == nil {
+	if err := runCompare(mod(func(o *options) { o.preset = "nope" })); err == nil {
 		t.Error("unknown preset accepted")
 	}
-	if err := runCompare("pops", "4Q", "64K", 16, 32, 1, 1, 0, 1); err == nil {
+	if err := runCompare(mod(func(o *options) { o.l1 = "4Q" })); err == nil {
 		t.Error("bad size accepted")
 	}
 }

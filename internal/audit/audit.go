@@ -60,21 +60,32 @@ const (
 	InvTranslation
 	// InvTLB: every resident TLB entry agrees with the page tables.
 	InvTLB
+	// InvVictimExclusive: every victim-cache entry is exclusive of the
+	// first level (the block is not resident there), contained in the
+	// second level, and carries the second level's current token — the
+	// victim cache is a timing layer that may never supply different data.
+	InvVictimExclusive
+	// InvRLTReciprocity: the reverse-lookup synonym table mirrors the first
+	// level exactly — one entry per present line, each keyed by the line's
+	// physical address and agreeing with the subentry's v-pointer.
+	InvRLTReciprocity
 
 	// NumInvariants bounds the enum for tables indexed by Invariant.
 	NumInvariants
 )
 
 var invariantNames = [NumInvariants]string{
-	InvInclusion:    "inclusion",
-	InvUniqueCopy:   "unique-copy",
-	InvReciprocity:  "reciprocity",
-	InvBufferBit:    "buffer-bit",
-	InvDirtyBits:    "dirty-bits",
-	InvSwappedValid: "swapped-valid",
-	InvCoherence:    "coherence",
-	InvTranslation:  "translation",
-	InvTLB:          "tlb",
+	InvInclusion:       "inclusion",
+	InvUniqueCopy:      "unique-copy",
+	InvReciprocity:     "reciprocity",
+	InvBufferBit:       "buffer-bit",
+	InvDirtyBits:       "dirty-bits",
+	InvSwappedValid:    "swapped-valid",
+	InvCoherence:       "coherence",
+	InvTranslation:     "translation",
+	InvTLB:             "tlb",
+	InvVictimExclusive: "victim-exclusive",
+	InvRLTReciprocity:  "rlt-reciprocity",
 }
 
 // String returns the invariant's stable name (used in reports and JSON).

@@ -42,6 +42,11 @@ func (c *checker) checkCPU(cs *CPUSnapshot) {
 	}
 	if !cs.Inclusive {
 		c.checkNoInclusion(cs)
+		c.checkVictim(cs)
+		if cs.HasRLT || len(cs.RLT) > 0 {
+			c.add(InvRLTReciprocity, cs.CPU, "RLT",
+				"reverse-lookup table present outside the V-R organization")
+		}
 		c.checkTLB(cs)
 		return
 	}
@@ -168,7 +173,121 @@ func (c *checker) checkCPU(cs *CPUSnapshot) {
 				"buffered entry without a matching buffer bit")
 		}
 	}
+	c.checkVictim(cs)
+	c.checkRLT(cs, children)
 	c.checkTLB(cs)
+}
+
+// checkVictim verifies the victim-cache invariant on any organization:
+// every parked entry names a block that is absent from the first level,
+// present in the second, and carries the second level's current token (or
+// the in-flight buffered write-back's).
+func (c *checker) checkVictim(cs *CPUSnapshot) {
+	if !cs.HasVictim && len(cs.Victim) == 0 {
+		return
+	}
+	// First-level residency by physical address.
+	l1Held := make(map[uint64]string)
+	for i := range cs.L1Lines {
+		ll := &cs.L1Lines[i]
+		l1Held[ll.Addr] = fmt.Sprintf("L1[%d.%d]", ll.Set, ll.Way)
+	}
+	// Second-level sub lookup (plus inclusive first-level residency).
+	type subRef struct {
+		sub *RSub
+		rl  *RLine
+		si  int
+	}
+	subAt := make(map[uint64]subRef)
+	for i := range cs.RLines {
+		rl := &cs.RLines[i]
+		for si := range rl.Subs {
+			pa := rl.Addr + uint64(si)*cs.L1Block
+			subAt[pa] = subRef{sub: &rl.Subs[si], rl: rl, si: si}
+			if rl.Subs[si].Inclusion {
+				l1Held[pa] = vloc(rl.Subs[si].VCache, rl.Subs[si].VSet, rl.Subs[si].VWay)
+			}
+		}
+	}
+	wbToken := make(map[[3]int]uint64, len(cs.WriteBuffer))
+	for _, e := range cs.WriteBuffer {
+		wbToken[[3]int{e.RSet, e.RWay, e.RSub}] = e.Token
+	}
+	for i := range cs.Victim {
+		ve := &cs.Victim[i]
+		loc := fmt.Sprintf("VC[%#x]", ve.PA)
+		if holder, held := l1Held[ve.PA]; held {
+			c.add(InvVictimExclusive, cs.CPU, loc,
+				"parked block also resident at the first level (%s)", holder)
+			continue
+		}
+		ref, ok := subAt[ve.PA]
+		if !ok {
+			c.add(InvVictimExclusive, cs.CPU, loc,
+				"parked block not contained in the second level")
+			continue
+		}
+		want := ref.sub.Token
+		if ref.sub.Buffer {
+			want = wbToken[[3]int{ref.rl.Set, ref.rl.Way, ref.si}]
+		}
+		if ve.Token != want {
+			c.add(InvVictimExclusive, cs.CPU, loc,
+				"parked token %d but second level holds %d", ve.Token, want)
+		}
+	}
+}
+
+// checkRLT verifies the reverse-lookup table's reciprocity: the table and
+// the first-level lines are in bijection, each entry keyed by its line's
+// physical address and agreeing with the subentry v-pointer.
+func (c *checker) checkRLT(cs *CPUSnapshot, children int) {
+	if !cs.HasRLT && len(cs.RLT) == 0 {
+		return
+	}
+	if len(cs.RLT) != children {
+		c.add(InvRLTReciprocity, cs.CPU, "RLT",
+			"%d table entries but %d first-level lines", len(cs.RLT), children)
+	}
+	vIndex := make(map[[3]int]*VLine)
+	for vi := range cs.VCaches {
+		vcs := &cs.VCaches[vi]
+		for li := range vcs.Lines {
+			vl := &vcs.Lines[li]
+			vIndex[[3]int{vcs.Cache, vl.Set, vl.Way}] = vl
+		}
+	}
+	rIndex := make(map[[2]int]*RLine, len(cs.RLines))
+	for i := range cs.RLines {
+		rl := &cs.RLines[i]
+		rIndex[[2]int{rl.Set, rl.Way}] = rl
+	}
+	for i := range cs.RLT {
+		e := &cs.RLT[i]
+		loc := fmt.Sprintf("RLT[%#x]", e.PA)
+		vl, ok := vIndex[[3]int{e.VCache, e.VSet, e.VWay}]
+		if !ok {
+			c.add(InvRLTReciprocity, cs.CPU, loc,
+				"entry points at absent line %s", vloc(e.VCache, e.VSet, e.VWay))
+			continue
+		}
+		rl, ok := rIndex[[2]int{vl.RSet, vl.RWay}]
+		if !ok || vl.RSub < 0 || vl.RSub >= len(rl.Subs) {
+			// The forward pass already reported the broken parent.
+			continue
+		}
+		if pa := rl.Addr + uint64(vl.RSub)*cs.L1Block; pa != e.PA {
+			c.add(InvRLTReciprocity, cs.CPU, loc,
+				"entry keyed %#x but its line holds %#x", e.PA, pa)
+			continue
+		}
+		sub := &rl.Subs[vl.RSub]
+		if sub.VCache != e.VCache || sub.VSet != e.VSet || sub.VWay != e.VWay {
+			c.add(InvRLTReciprocity, cs.CPU, loc,
+				"entry %s disagrees with subentry v-pointer %s",
+				vloc(e.VCache, e.VSet, e.VWay), vloc(sub.VCache, sub.VSet, sub.VWay))
+		}
+	}
 }
 
 // checkNoInclusion covers the no-inclusion baseline: the subentry inclusion

@@ -48,6 +48,31 @@ type CPUSnapshot struct {
 	RLines      []RLine          `json:"l2"`
 	WriteBuffer []WBEntry        `json:"writeBuffer,omitempty"`
 	TLB         []TLBEntry       `json:"tlb,omitempty"`
+	// Victim holds the parked first-level victims when a victim cache is
+	// configured; RLT the reverse-lookup synonym table's entries when that
+	// strategy is active. HasVictim marks a configured (possibly empty)
+	// victim cache, HasRLT an active reverse-lookup strategy, so the checks
+	// can run on empty structures too.
+	HasVictim bool          `json:"hasVictim,omitempty"`
+	Victim    []VictimEntry `json:"victim,omitempty"`
+	HasRLT    bool          `json:"hasRLT,omitempty"`
+	RLT       []RLTEntry    `json:"rlt,omitempty"`
+}
+
+// VictimEntry is one block parked in the victim cache between the levels.
+type VictimEntry struct {
+	PA    uint64 `json:"pa"`
+	Token uint64 `json:"token,omitempty"`
+}
+
+// RLTEntry is one reverse translation of the reverse-lookup synonym table:
+// an L1-block-aligned physical address and the first-level location holding
+// that block.
+type RLTEntry struct {
+	PA     uint64 `json:"pa"`
+	VCache int    `json:"vcache,omitempty"`
+	VSet   int    `json:"vset"`
+	VWay   int    `json:"vway"`
 }
 
 // VCacheSnapshot is one first-level virtual cache (the unified cache, or

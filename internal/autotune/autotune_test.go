@@ -90,6 +90,87 @@ func TestGrammarRejectsBadTokens(t *testing.T) {
 	}
 }
 
+// TestGrammarSynonymAxes covers the victim-cache and RLT axes: the RLT
+// axis must only attach to the "rlt" organization (and be dropped, not
+// rejected, elsewhere), labels must carry the new fields, and every
+// expanded candidate must actually build.
+func TestGrammarSynonymAxes(t *testing.T) {
+	g := Grammar{
+		Organizations: []string{"vr", "rlt"},
+		L1Sizes:       []uint64{4 << 10},
+		L2Sizes:       []uint64{64 << 10},
+		VictimEntries: []int{0, 4},
+		RLTEntries:    []int{0, 16},
+	}
+	cands, err := g.Expand(1, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// vr expands over victim only (2); rlt over victim x rlt (4).
+	if len(cands) != 6 {
+		for _, c := range cands {
+			t.Log(c.Label)
+		}
+		t.Fatalf("expanded to %d candidates, want 6", len(cands))
+	}
+	var sawVC, sawRLT bool
+	for _, c := range cands {
+		if c.Config.RLTEntries != 0 && c.Config.Organization != system.VRRLT {
+			t.Errorf("%s: RLT entries on a non-rlt organization", c.Label)
+		}
+		if c.Config.VictimEntries == 4 {
+			sawVC = true
+			if !bytes.Contains([]byte(c.Label), []byte("/vc=4")) {
+				t.Errorf("%s: victim cache missing from label", c.Label)
+			}
+		}
+		if c.Config.RLTEntries == 16 {
+			sawRLT = true
+			if !bytes.Contains([]byte(c.Label), []byte("/rlt=16")) {
+				t.Errorf("%s: RLT size missing from label", c.Label)
+			}
+		}
+		if _, err := system.New(c.Config); err != nil {
+			t.Errorf("%s: expanded candidate does not build: %v", c.Label, err)
+		}
+	}
+	if !sawVC || !sawRLT {
+		t.Errorf("axes not exercised: victim=%v rlt=%v", sawVC, sawRLT)
+	}
+}
+
+func TestLegalRejectsSynonymMisuse(t *testing.T) {
+	base := system.Config{
+		Organization:  system.VR,
+		L1:            cache.Geometry{Size: 4 << 10, Block: 16, Assoc: 1},
+		L2:            cache.Geometry{Size: 64 << 10, Block: 32, Assoc: 1},
+		TLBEntries:    64,
+		TLBAssoc:      2,
+		WriteBufDepth: 1,
+	}
+	if !legal(base) {
+		t.Fatal("baseline config not legal")
+	}
+	c := base
+	c.RLTEntries = 16
+	if legal(c) {
+		t.Error("RLT entries on a vr organization accepted")
+	}
+	c.Organization = system.VRRLT
+	if !legal(c) {
+		t.Error("RLT entries on the rlt organization rejected")
+	}
+	c.RLTEntries = 12
+	if legal(c) {
+		t.Error("non-power-of-two RLT entry count accepted")
+	}
+	c = base
+	c.VictimEntries = -1
+	if legal(c) {
+		t.Error("negative victim entries accepted")
+	}
+}
+
 // TestSRAMBitsModel pins the cost model's monotonicity: more capacity,
 // associativity, buffer depth or TLB reach never costs fewer bits.
 func TestSRAMBitsModel(t *testing.T) {
@@ -119,8 +200,29 @@ func TestSRAMBitsModel(t *testing.T) {
 	if SRAMBits(grow) <= b0 {
 		t.Error("deepening the write buffer did not raise the cost")
 	}
+	grow = base
+	grow.VictimEntries = 4
+	if SRAMBits(grow) <= b0 {
+		t.Error("adding a victim cache did not raise the cost")
+	}
 	if SRAMBits(base) != b0 {
 		t.Error("cost model is not deterministic")
+	}
+
+	// The RLT trades per-subentry v-pointers for a shared table: a small
+	// table must cost less than pointers on every subentry, but growing the
+	// table must still raise the cost monotonically.
+	rlt := base
+	rlt.Organization = system.VRRLT
+	rlt.RLTEntries = 16
+	small := SRAMBits(rlt)
+	rlt.RLTEntries = 256
+	big := SRAMBits(rlt)
+	if big <= small {
+		t.Error("growing the RLT did not raise the cost")
+	}
+	if small >= b0 {
+		t.Errorf("a 16-entry RLT (%d bits) should undercut per-subentry v-pointers (%d bits)", small, b0)
 	}
 }
 

@@ -41,6 +41,11 @@ func recencyBits(assoc int) uint64 {
 //     recency.
 //   - Write buffer (or the write-through queue): depth x (physical address
 //   - one first-level block of data).
+//   - Victim cache (when configured): entries x (physical block tag +
+//     valid + one first-level block of data).
+//   - Reverse-lookup synonym table (the "rlt" organization): entries x
+//     (physical block tag + v-pointer + valid); in exchange the L2
+//     subentries drop their per-subentry v-pointers.
 //
 // The model is deliberately static and deterministic — two calls on the
 // same Config always agree — because it is the x-axis of the Pareto
@@ -56,7 +61,7 @@ func SRAMBits(cfg system.Config) uint64 {
 	l1 := cfg.L1
 	l1Lines := uint64(l1.Sets() * l1.Assoc)
 	l1Tag := uint64(addressBits) - uint64(l1.SetBits()) - uint64(l1.BlockBits())
-	vr := cfg.Organization == system.VR
+	vr := cfg.Organization == system.VR || cfg.Organization == system.VRRLT
 	if vr && cfg.PIDTagged {
 		l1Tag += pidBits
 	}
@@ -77,8 +82,36 @@ func SRAMBits(cfg system.Config) uint64 {
 	subs := l2.Block / l1.Block
 	vptr := uint64(1) + uint64(l1.SetBits()) + recencyBits(l1.Assoc) // cache select + set + way
 	subBits := (4 + vptr) * subs                                     // inclusion, buffer, V-dirty, R-dirty + v-pointer
-	l2Ctl := uint64(1) + 1 + recencyBits(l2.Assoc) + subBits         // valid + coherence state + recency + subentries
+	if cfg.Organization == system.VRRLT {
+		// The reverse-lookup table replaces the per-subentry v-pointers
+		// with a small shared structure, costed below.
+		subBits = 4 * subs
+	}
+	l2Ctl := uint64(1) + 1 + recencyBits(l2.Assoc) + subBits // valid + coherence state + recency + subentries
 	bits += cfgLevelBits(l2Lines, l2Tag+l2Ctl, l2.Size)
+
+	// Reverse-lookup synonym table: each entry tags a physical block and
+	// holds one v-pointer plus a valid bit.
+	if cfg.Organization == system.VRRLT {
+		entries := uint64(cfg.RLTEntries)
+		if entries == 0 {
+			// Mirror system.New's default: the largest power of two no
+			// bigger than half the first level's line count.
+			entries = 1
+			for entries*2 <= l1Lines/2 {
+				entries *= 2
+			}
+		}
+		rltTag := uint64(addressBits) - uint64(l1.BlockBits())
+		bits += entries * (rltTag + vptr + 1)
+	}
+
+	// Victim cache: fully associative, one block of data plus physical tag,
+	// valid bit, and FIFO state folded into the tag entry.
+	if cfg.VictimEntries > 0 {
+		vtag := uint64(addressBits) - uint64(l1.BlockBits())
+		bits += uint64(cfg.VictimEntries) * (vtag + 1 + l1.Block*8)
+	}
 
 	// TLB.
 	entries := cfg.TLBEntries

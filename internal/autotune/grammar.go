@@ -24,8 +24,9 @@ import (
 // axes default to a single paper-typical value, so the zero grammar is
 // small but valid.
 type Grammar struct {
-	// Organizations are hierarchy tokens: "vr", "rr", "rrnoincl", and the
-	// write-through first-level variants "vr-wt" and "rr-wt".
+	// Organizations are hierarchy tokens: "vr", "rr", "rrnoincl", the
+	// reverse-lookup-table synonym scheme "rlt", and the write-through
+	// first-level variants "vr-wt" and "rr-wt".
 	Organizations []string `json:"organizations"`
 
 	L1Sizes  []uint64 `json:"l1Sizes"`  // bytes; default {16K}
@@ -47,6 +48,17 @@ type Grammar struct {
 	// Policies are replacement policies applied to both levels: "lru",
 	// "fifo", "random". Default {"lru"}.
 	Policies []string `json:"policies"`
+
+	// VictimEntries are victim-cache sizes in blocks; 0 means no victim
+	// cache. Default {0}. The axis applies to every organization.
+	VictimEntries []int `json:"victimEntries"`
+
+	// RLTEntries are reverse-lookup synonym-table sizes for the "rlt"
+	// organization; 0 lets the system pick its default (half the
+	// first-level line count). Non-zero values are silently dropped for
+	// organizations without an RLT, so mixing "vr" and "rlt" in one
+	// grammar expands cleanly.
+	RLTEntries []int `json:"rltEntries"`
 }
 
 // Candidate is one expanded configuration: the machine to build, its
@@ -87,6 +99,8 @@ func organization(tok string) (system.Organization, bool, error) {
 		return system.RRInclusion, false, nil
 	case "rrnoincl":
 		return system.RRNoInclusion, false, nil
+	case "rlt":
+		return system.VRRLT, false, nil
 	case "vr-wt":
 		return system.VR, true, nil
 	case "rr-wt":
@@ -130,6 +144,8 @@ func (g Grammar) Expand(cpus int, pageSize uint64) ([]Candidate, error) {
 	tlbEntries := orDefaultInt(g.TLBEntries, 64)
 	tlbAssocs := orDefaultInt(g.TLBAssocs, 2)
 	policies := orDefaultStr(g.Policies, "lru")
+	victims := orDefaultInt(g.VictimEntries, 0)
+	rltSizes := orDefaultInt(g.RLTEntries, 0)
 
 	var out []Candidate
 	for _, orgTok := range orgs {
@@ -150,28 +166,46 @@ func (g Grammar) Expand(cpus int, pageSize uint64) ([]Candidate, error) {
 								for _, wb := range wbDepths {
 									for _, te := range tlbEntries {
 										for _, ta := range tlbAssocs {
-											if k < 1 || !addr.IsPow2(uint64(k)) {
-												return nil, fmt.Errorf("autotune: block ratio %d is not a positive power of two", k)
+											for _, vc := range victims {
+												for _, re := range rltSizes {
+													if k < 1 || !addr.IsPow2(uint64(k)) {
+														return nil, fmt.Errorf("autotune: block ratio %d is not a positive power of two", k)
+													}
+													if org != system.VRRLT && re != 0 {
+														// The RLT axis only exists on the
+														// rlt organization; drop rather than
+														// error so mixed grammars expand.
+														continue
+													}
+													cfg := system.Config{
+														CPUs:           cpus,
+														Organization:   org,
+														PageSize:       pageSize,
+														L1:             cache.Geometry{Size: l1s, Block: l1Block, Assoc: l1a},
+														L2:             cache.Geometry{Size: l2s, Block: l1Block * uint64(k), Assoc: l2a},
+														TLBEntries:     te,
+														TLBAssoc:       ta,
+														WriteBufDepth:  wb,
+														L1Policy:       p,
+														L2Policy:       p,
+														L1WriteThrough: wt,
+														VictimEntries:  vc,
+														RLTEntries:     re,
+													}
+													if !legal(cfg) {
+														continue
+													}
+													label := fmt.Sprintf("%s/%s/L1=%s/L2=%s/wb=%d/tlb=%dx%d",
+														orgTok, pol, cfg.L1, cfg.L2, wb, te, ta)
+													if vc != 0 {
+														label += fmt.Sprintf("/vc=%d", vc)
+													}
+													if re != 0 {
+														label += fmt.Sprintf("/rlt=%d", re)
+													}
+													out = append(out, Candidate{Label: label, Config: cfg})
+												}
 											}
-											cfg := system.Config{
-												CPUs:           cpus,
-												Organization:   org,
-												PageSize:       pageSize,
-												L1:             cache.Geometry{Size: l1s, Block: l1Block, Assoc: l1a},
-												L2:             cache.Geometry{Size: l2s, Block: l1Block * uint64(k), Assoc: l2a},
-												TLBEntries:     te,
-												TLBAssoc:       ta,
-												WriteBufDepth:  wb,
-												L1Policy:       p,
-												L2Policy:       p,
-												L1WriteThrough: wt,
-											}
-											if !legal(cfg) {
-												continue
-											}
-											label := fmt.Sprintf("%s/%s/L1=%s/L2=%s/wb=%d/tlb=%dx%d",
-												orgTok, pol, cfg.L1, cfg.L2, wb, te, ta)
-											out = append(out, Candidate{Label: label, Config: cfg})
 										}
 									}
 								}
@@ -206,6 +240,20 @@ func legal(cfg system.Config) bool {
 	}
 	if cfg.WriteBufDepth < 1 {
 		return false
+	}
+	if cfg.VictimEntries < 0 {
+		return false
+	}
+	if cfg.RLTEntries != 0 {
+		if cfg.Organization != system.VRRLT {
+			return false
+		}
+		// rlt.New demands a power-of-two set count; with the default
+		// associativity (clamped to the entry count) any power-of-two
+		// entry count satisfies it.
+		if cfg.RLTEntries < 0 || !addr.IsPow2(uint64(cfg.RLTEntries)) {
+			return false
+		}
 	}
 	return true
 }

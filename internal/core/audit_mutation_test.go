@@ -153,6 +153,113 @@ func TestMutationSVBit(t *testing.T) {
 	requireFlagged(t, r, audit.InvSwappedValid, true)
 }
 
+// victimMk builds a V-R hierarchy with a small victim cache parked between
+// the levels; rltMk builds the reverse-lookup-table synonym variant.
+func victimMk(o Options) (Hierarchy, error) { o.VictimEntries = 2; return NewVR(o) }
+func rltMk(o Options) (Hierarchy, error)    { o.RLTEntries = 8; return NewVR(o) }
+
+// parkVictim drives one conflict eviction so the victim cache holds a
+// parked block, and returns the machine.
+func parkVictim(t *testing.T) *rig {
+	t.Helper()
+	r := newRig(t, 1, victimMk, nil)
+	r.write(0, 1, 0x100)
+	r.read(0, 1, 0x100+128) // same direct-mapped L1 set: evicts, parks 0x100
+	requireClean(t, r)
+	return r
+}
+
+func TestMutationVictimToken(t *testing.T) {
+	r := parkVictim(t)
+	h := vrOf(t, r, 0)
+	st := h.vic.ExportState()
+	bent := false
+	for i := range st.Entries {
+		if st.Entries[i].Valid && !bent {
+			st.Entries[i].Token += 7
+			bent = true
+		}
+	}
+	if !bent {
+		t.Fatal("no parked victim entry to corrupt; eviction did not park")
+	}
+	if err := h.vic.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	requireFlagged(t, r, audit.InvVictimExclusive, true)
+}
+
+func TestMutationVictimResidency(t *testing.T) {
+	r := newRig(t, 1, victimMk, nil)
+	r.write(0, 1, 0x100)
+	res := r.read(0, 1, 0x100+128)
+	requireClean(t, r)
+	h := vrOf(t, r, 0)
+	st := h.vic.ExportState()
+	bent := false
+	for i := range st.Entries {
+		if st.Entries[i].Valid && !bent {
+			// Re-key the parked entry to the block that is live in the
+			// first level right now: exclusivity broken by construction.
+			st.Entries[i].PA = uint64(res.PA) &^ 15
+			bent = true
+		}
+	}
+	if !bent {
+		t.Fatal("no parked victim entry to corrupt; eviction did not park")
+	}
+	if err := h.vic.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	requireFlagged(t, r, audit.InvVictimExclusive, true)
+}
+
+func TestMutationRLTDroppedEntry(t *testing.T) {
+	r := newRig(t, 1, rltMk, nil)
+	r.read(0, 1, 0x100)
+	requireClean(t, r)
+	h := vrOf(t, r, 0)
+	st := h.rlt.ExportState()
+	dropped := false
+	for i := range st.Slots {
+		if st.Slots[i].Valid && !dropped {
+			st.Slots[i].Valid = false
+			dropped = true
+		}
+	}
+	if !dropped {
+		t.Fatal("no live RLT entry to corrupt")
+	}
+	if err := h.rlt.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	requireFlagged(t, r, audit.InvRLTReciprocity, true)
+}
+
+func TestMutationRLTBentPointer(t *testing.T) {
+	r := newRig(t, 1, rltMk, nil)
+	r.read(0, 1, 0x100)
+	requireClean(t, r)
+	h := vrOf(t, r, 0)
+	st := h.rlt.ExportState()
+	bent := false
+	for i := range st.Slots {
+		if st.Slots[i].Valid && !bent {
+			// Way 1 of a direct-mapped first level does not exist: the
+			// entry now points at an absent line.
+			st.Slots[i].VWay++
+			bent = true
+		}
+	}
+	if !bent {
+		t.Fatal("no live RLT entry to corrupt")
+	}
+	if err := h.rlt.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	requireFlagged(t, r, audit.InvRLTReciprocity, true)
+}
+
 func TestMutationCoherenceState(t *testing.T) {
 	// Two CPUs read the same shared address; both hold the block shared.
 	// Promoting one copy to private breaks cross-CPU exclusivity.

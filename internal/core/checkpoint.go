@@ -6,9 +6,11 @@ import (
 	"repro/internal/addr"
 	"repro/internal/cache"
 	"repro/internal/rcache"
+	"repro/internal/rlt"
 	"repro/internal/stats"
 	"repro/internal/tlb"
 	"repro/internal/vcache"
+	"repro/internal/victim"
 	"repro/internal/writebuf"
 )
 
@@ -33,6 +35,9 @@ type StatsState struct {
 	BufferStalls         uint64
 	EagerFlushWriteBacks uint64
 	MemWritesDirect      uint64
+	VictimHits           uint64
+	VictimInserts        uint64
+	RLTEvictions         uint64
 
 	WriteIntervals     stats.IntervalTrackerState
 	WriteBackIntervals stats.IntervalTrackerState
@@ -54,6 +59,9 @@ func (s *Stats) ExportState() StatsState {
 		BufferStalls:         s.BufferStalls,
 		EagerFlushWriteBacks: s.EagerFlushWriteBacks,
 		MemWritesDirect:      s.MemWritesDirect,
+		VictimHits:           s.VictimHits,
+		VictimInserts:        s.VictimInserts,
+		RLTEvictions:         s.RLTEvictions,
 		WriteIntervals:       s.WriteIntervals.ExportState(),
 		WriteBackIntervals:   s.WriteBackIntervals.ExportState(),
 	}
@@ -80,6 +88,9 @@ func (s *Stats) RestoreState(st StatsState) error {
 	s.BufferStalls = st.BufferStalls
 	s.EagerFlushWriteBacks = st.EagerFlushWriteBacks
 	s.MemWritesDirect = st.MemWritesDirect
+	s.VictimHits = st.VictimHits
+	s.VictimInserts = st.VictimInserts
+	s.RLTEvictions = st.RLTEvictions
 	return nil
 }
 
@@ -103,6 +114,9 @@ func (s *Stats) Merge(o *Stats) error {
 	s.BufferStalls += o.BufferStalls
 	s.EagerFlushWriteBacks += o.EagerFlushWriteBacks
 	s.MemWritesDirect += o.MemWritesDirect
+	s.VictimHits += o.VictimHits
+	s.VictimInserts += o.VictimInserts
+	s.RLTEvictions += o.RLTEvictions
 	if err := s.WriteIntervals.Merge(o.WriteIntervals); err != nil {
 		return err
 	}
@@ -139,6 +153,11 @@ type HierarchyState struct {
 	WriteBuf *writebuf.State
 	WTQueue  WTQueueState
 
+	// Victim and RLT are present exactly when the exporting hierarchy had a
+	// victim cache / reverse-lookup table configured.
+	Victim *victim.State
+	RLT    *rlt.State
+
 	Stats StatsState
 }
 
@@ -159,6 +178,8 @@ func (h *VR) ExportState() *HierarchyState {
 	st.TLB, st.TLBStats = h.tlb.ExportState()
 	wb := h.wb.ExportState()
 	st.WriteBuf = &wb
+	st.Victim = h.vic.ExportState()
+	st.RLT = h.rlt.ExportState()
 	return st
 }
 
@@ -190,6 +211,12 @@ func (h *VR) RestoreState(st *HierarchyState) error {
 	if err := h.st.RestoreState(st.Stats); err != nil {
 		return err
 	}
+	if err := h.vic.RestoreState(st.Victim); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if err := h.rlt.RestoreState(st.RLT); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
 	h.wt.deadlines = append(h.wt.deadlines[:0], st.WTQueue.Deadlines...)
 	h.wt.clock = st.WTQueue.Clock
 	h.pid = st.PID
@@ -213,6 +240,7 @@ func (h *RRNoInclusion) ExportState() *HierarchyState {
 		Stats:  h.st.ExportState(),
 	}
 	st.TLB, st.TLBStats = h.tlb.ExportState()
+	st.Victim = h.vic.ExportState()
 	return st
 }
 
@@ -221,7 +249,7 @@ func (h *RRNoInclusion) RestoreState(st *HierarchyState) error {
 	if st.L1 == nil {
 		return fmt.Errorf("core: state carries no no-inclusion L1")
 	}
-	if len(st.VCaches) != 0 || st.WriteBuf != nil {
+	if len(st.VCaches) != 0 || st.WriteBuf != nil || st.RLT != nil {
 		return fmt.Errorf("core: state carries V-R machinery, hierarchy is the no-inclusion baseline")
 	}
 	in := cache.State[nl1Line]{Clock: st.L1.Clock, Draws: st.L1.Draws, Ways: make([]cache.Entry[nl1Line], len(st.L1.Ways))}
@@ -242,6 +270,9 @@ func (h *RRNoInclusion) RestoreState(st *HierarchyState) error {
 	}
 	if err := h.st.RestoreState(st.Stats); err != nil {
 		return err
+	}
+	if err := h.vic.RestoreState(st.Victim); err != nil {
+		return fmt.Errorf("core: %w", err)
 	}
 	h.pid = st.PID
 	return nil

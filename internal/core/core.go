@@ -92,6 +92,7 @@ type AccessResult struct {
 	Kind      stats.AccessKind //
 	L1Hit     bool             //
 	L2Hit     bool             // meaningful only when !L1Hit
+	VictimHit bool             // the miss was served by the victim cache (timing only)
 	Synonym   SynonymKind      //
 	PA        addr.PAddr       // physical address of the referenced L1 block
 	Token     uint64           // token read (loads) or written (stores)
@@ -123,6 +124,9 @@ type Stats struct {
 	BufferStalls         uint64 // write-buffer pushes that found the buffer full
 	EagerFlushWriteBacks uint64 // write-backs clustered at switch time (ablation)
 	MemWritesDirect      uint64 // L1 write-backs bypassing L2 (no-inclusion only)
+	VictimHits           uint64 // first-level misses served by the victim cache
+	VictimInserts        uint64 // first-level victims parked in the victim cache
+	RLTEvictions         uint64 // L1 lines evicted by reverse-lookup-table capacity
 
 	// WriteIntervals tracks distances between processor writes (the paper's
 	// Table 2 — the downward write stream of a write-through L1).
@@ -259,6 +263,22 @@ type Options struct {
 	// misses do not allocate. Incompatible with WriteUpdate.
 	L1WriteThrough bool
 
+	// VictimEntries, when positive, inserts a small fully-associative
+	// victim cache (Jouppi style) between the levels: first-level victims
+	// are parked there and a first-level miss that finds its block parked
+	// is charged TVictim instead of the second-level time. Purely a timing
+	// layer — the data a reference observes never changes. Any
+	// organization may enable it.
+	VictimEntries int
+
+	// RLTEntries, when positive, replaces the paper's per-subentry
+	// v-pointer synonym mechanism with a bounded reverse-lookup table of
+	// that many entries (internal/rlt): smaller SRAM state, but table
+	// capacity evictions force first-level lines out. V-R only. RLTAssoc
+	// selects the table's associativity (0: rlt.DefaultAssoc).
+	RLTEntries int
+	RLTAssoc   int
+
 	// Tracer, when set, observes every V<->R interface signal of the
 	// paper's Table 4 (see SignalKind).
 	Tracer Tracer
@@ -329,6 +349,12 @@ func (o *Options) validate() error {
 		if err := half.Validate(); err != nil {
 			return fmt.Errorf("core: split L1 half: %w", err)
 		}
+	}
+	if o.VictimEntries < 0 {
+		return fmt.Errorf("core: VictimEntries must be non-negative, got %d", o.VictimEntries)
+	}
+	if o.RLTEntries < 0 {
+		return fmt.Errorf("core: RLTEntries must be non-negative, got %d", o.RLTEntries)
 	}
 	return nil
 }

@@ -167,7 +167,7 @@ func TestGeometryFuzz(t *testing.T) {
 			o.WriteBufLatency = uint64(rng.Intn(16))
 		}
 		var mk mkFunc
-		switch rng.Intn(6) {
+		switch rng.Intn(10) {
 		case 0:
 			mk = vrMk
 		case 1:
@@ -178,6 +178,31 @@ func TestGeometryFuzz(t *testing.T) {
 			mk = pidMk
 		case 4:
 			mk = wtMk
+		case 5:
+			vcn := 1 + rng.Intn(8)
+			mk = func(o Options) (Hierarchy, error) {
+				o.VictimEntries = vcn
+				return NewVR(o)
+			}
+		case 6:
+			rln := 1 << rng.Intn(5)
+			mk = func(o Options) (Hierarchy, error) {
+				o.RLTEntries = rln
+				return NewVR(o)
+			}
+		case 7:
+			vcn, rln := 1+rng.Intn(8), 1<<rng.Intn(5)
+			mk = func(o Options) (Hierarchy, error) {
+				o.VictimEntries = vcn
+				o.RLTEntries = rln
+				return NewVR(o)
+			}
+		case 8:
+			vcn := 1 + rng.Intn(8)
+			mk = func(o Options) (Hierarchy, error) {
+				o.VictimEntries = vcn
+				return NewRRNoInclusion(o)
+			}
 		default:
 			mk = func(o Options) (Hierarchy, error) {
 				o.NaiveL2Replacement = true

@@ -3,7 +3,9 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/addr"
 	"repro/internal/rcache"
+	"repro/internal/rlt"
 	"repro/internal/vcache"
 )
 
@@ -126,5 +128,78 @@ func (h *VR) Check() error {
 	if bufferBits != h.wb.Len() {
 		return fmt.Errorf("%d buffer bits but %d buffered entries", bufferBits, h.wb.Len())
 	}
-	return nil
+	if err := h.checkVictim(); err != nil {
+		return err
+	}
+	return h.checkRLT(children)
+}
+
+// checkVictim validates the victim cache's invariants: every parked entry
+// is (a) exclusive — the block is not resident at the first level, (b)
+// contained — the second level still holds the block, and (c) fresh — it
+// carries the second level's current token (or the buffered one while a
+// write-back is in flight).
+func (h *VR) checkVictim() error {
+	var err error
+	h.vic.ForEach(func(pa addr.PAddr, token uint64) {
+		if err != nil {
+			return
+		}
+		set, way, ok := h.rc.Lookup(pa)
+		if !ok {
+			err = fmt.Errorf("victim entry %#x not contained in the R-cache", uint64(pa))
+			return
+		}
+		sub := h.rc.SubIndex(pa)
+		se := h.rc.Sub(set, way, sub)
+		switch {
+		case se.Inclusion:
+			err = fmt.Errorf("victim entry %#x also resident at the first level (%v)", uint64(pa), se.VPtr)
+		case se.Buffer:
+			if e, found := h.wb.Find(rptrOf(set, way, sub)); !found || e.Token != token {
+				err = fmt.Errorf("victim entry %#x token %d disagrees with buffered write-back", uint64(pa), token)
+			}
+		case se.Token != token:
+			err = fmt.Errorf("victim entry %#x token %d, R-cache holds %d", uint64(pa), token, se.Token)
+		}
+	})
+	return err
+}
+
+// checkRLT validates the reverse-lookup table's reciprocity: the table
+// mirrors the first level exactly — one entry per present line, each
+// pointing at a line whose physical address is the entry's key and whose
+// subentry v-pointer agrees.
+func (h *VR) checkRLT(children int) error {
+	if h.rlt == nil {
+		return nil
+	}
+	if n := h.rlt.Len(); n != children {
+		return fmt.Errorf("rlt holds %d entries but %d first-level lines are present", n, children)
+	}
+	var err error
+	h.rlt.ForEach(func(e rlt.Entry) {
+		if err != nil {
+			return
+		}
+		if e.VP.Cache < 0 || e.VP.Cache >= len(h.vcs) {
+			err = fmt.Errorf("rlt entry %#x points at cache %d", uint64(e.PA), e.VP.Cache)
+			return
+		}
+		child := h.vcs[e.VP.Cache]
+		if !child.Present(e.VP.Set, e.VP.Way) {
+			err = fmt.Errorf("rlt entry %#x points at absent line %v", uint64(e.PA), e.VP)
+			return
+		}
+		rp := child.Line(e.VP.Set, e.VP.Way).RPtr
+		if pa := h.rc.SubAddr(rp.Set, rp.Way, rp.Sub); pa != e.PA {
+			err = fmt.Errorf("rlt entry %#x points at line holding %#x", uint64(e.PA), uint64(pa))
+			return
+		}
+		if se := h.rc.Sub(rp.Set, rp.Way, rp.Sub); se.VPtr != e.VP {
+			err = fmt.Errorf("rlt entry %#x disagrees with subentry v-pointer %v != %v",
+				uint64(e.PA), e.VP, se.VPtr)
+		}
+	})
+	return err
 }

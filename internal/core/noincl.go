@@ -12,6 +12,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/tlb"
 	"repro/internal/trace"
+	"repro/internal/victim"
 )
 
 // nl1Line is the first-level line payload of the no-inclusion baseline.
@@ -35,6 +36,7 @@ type RRNoInclusion struct {
 	l1  *cache.Cache[nl1Line]
 	l2  *rcache.RCache // inclusion machinery unused; subentries carry data state
 	tlb *tlb.TLB
+	vic *victim.Cache // nil: no victim cache between the levels
 
 	pid addr.PID
 	st  *Stats
@@ -69,10 +71,14 @@ func NewRRNoInclusion(o Options) (*RRNoInclusion, error) {
 	if o.Protocol != WriteInvalidate {
 		return nil, fmt.Errorf("core: the no-inclusion baseline models the write-invalidate protocol only")
 	}
+	if o.RLTEntries > 0 {
+		return nil, fmt.Errorf("core: the reverse-lookup synonym table applies only to the V-R organization")
+	}
 	h := &RRNoInclusion{
 		opts: o,
 		l1:   cache.MustNew[nl1Line](o.L1, o.L1Policy, o.PolicySeed+1),
 		l2:   mustRCache(o),
+		vic:  victim.New(o.VictimEntries),
 		st:   newStats(),
 		pr:   o.Probe,
 	}
@@ -167,22 +173,44 @@ func (h *RRNoInclusion) fill(ref trace.Ref, kind statsKind, pa, paSub addr.PAddr
 	way, _ := h.l1.Victim(set, nil)
 	if h.l1.ValidAt(set, way) {
 		vl := h.l1.Line(set, way)
+		vicPA := addr.PAddr(h.l1.BlockAddr(set, h.l1.TagAt(set, way)))
+		inL2 := false
 		if vl.dirty {
 			h.st.WriteBacks++
 			h.st.WriteBackIntervals.Event()
-			vicPA := addr.PAddr(h.l1.BlockAddr(set, h.l1.TagAt(set, way)))
 			h.emit(probe.EvWriteBack, 0, 0, vicPA, 0)
 			if s2, w2, ok := h.l2.Lookup(vicPA); ok {
 				se := h.l2.Sub(s2, w2, h.l2.SubIndex(vicPA))
 				se.Token = vl.token
 				se.RDirty = true
+				inL2 = true
 			} else {
 				h.opts.Mem.Write(vicPA, vl.token)
 				h.st.MemWritesDirect++
 				h.cy.BusWrite()
 			}
+		} else {
+			_, _, inL2 = h.l2.Lookup(vicPA)
 		}
 		h.l1.Invalidate(set, way)
+		if inL2 && h.vic != nil {
+			// Park the victim only when the second level also holds the
+			// block — levels replace independently here, and the victim
+			// cache's containment invariant (VC subset of L2) must hold for
+			// every organization.
+			h.vic.Insert(vicPA, vl.token)
+			h.st.VictimInserts++
+			h.emit(probe.EvVictimInsert, 0, 0, vicPA, vl.token)
+		}
+	}
+
+	vhit := false
+	if h.vic != nil {
+		if token, ok := h.vic.Take(paSub); ok {
+			vhit = true
+			h.st.VictimHits++
+			h.emit(probe.EvVictimHit, kind, ref.Addr, paSub, token)
+		}
 	}
 
 	// Second level.
@@ -214,7 +242,7 @@ func (h *RRNoInclusion) fill(ref trace.Ref, kind statsKind, pa, paSub addr.PAddr
 		dirty = true
 	}
 	*h.l1.Install(set, way, tag) = nl1Line{state: state, dirty: dirty, token: token}
-	return AccessResult{Kind: kind, L2Hit: l2hit, PA: paSub, Token: token}
+	return AccessResult{Kind: kind, L2Hit: l2hit, VictimHit: vhit, PA: paSub, Token: token}
 }
 
 // l2Miss replaces an L2 victim (never touching the L1 — the defining
@@ -223,6 +251,9 @@ func (h *RRNoInclusion) l2Miss(pa addr.PAddr, isWrite bool) (set, way int) {
 	vic := h.l2.PickVictim(pa)
 	if vic.Present {
 		l := h.l2.Line(vic.Set, vic.Way)
+		// Parked victims under the departing line go with it (VC subset
+		// of L2).
+		h.vic.InvalidateRange(h.l2.BlockAddr(vic.Set, vic.Way), h.opts.L2.Block)
 		for i := range l.Subs {
 			if l.Subs[i].RDirty {
 				h.opts.Mem.Write(h.l2.SubAddr(vic.Set, vic.Way, i), l.Subs[i].Token)
@@ -299,10 +330,12 @@ func (h *RRNoInclusion) SnoopBus(t bus.Txn) bus.SnoopResult {
 			h.flushL2Subs(s2, w2, l, &res)
 			l.State = rcache.Shared
 		case bus.Invalidate:
+			h.vic.InvalidateRange(h.l2.BlockAddr(s2, w2), h.opts.L2.Block)
 			h.l2.Invalidate(s2, w2)
 		case bus.ReadMod:
 			res.Shared = true
 			h.flushL2Subs(s2, w2, l, &res)
+			h.vic.InvalidateRange(h.l2.BlockAddr(s2, w2), h.opts.L2.Block)
 			h.l2.Invalidate(s2, w2)
 		}
 	}
@@ -360,6 +393,27 @@ func (h *RRNoInclusion) Check() error {
 			if l.Subs[i].Inclusion || l.Subs[i].Buffer || l.Subs[i].VDirty {
 				err = fmt.Errorf("L2[%d.%d.%d] inclusion machinery used in no-inclusion baseline", set, way, i)
 			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	h.vic.ForEach(func(pa addr.PAddr, token uint64) {
+		if err != nil {
+			return
+		}
+		set, tag := h.l1.Locate(uint64(pa))
+		if _, ok := h.l1.Probe(set, tag); ok {
+			err = fmt.Errorf("victim entry %#x also resident at the first level", uint64(pa))
+			return
+		}
+		s2, w2, ok := h.l2.Lookup(pa)
+		if !ok {
+			err = fmt.Errorf("victim entry %#x not contained in the second level", uint64(pa))
+			return
+		}
+		if se := h.l2.Sub(s2, w2, h.l2.SubIndex(pa)); se.Token != token {
+			err = fmt.Errorf("victim entry %#x token %d, second level holds %d", uint64(pa), token, se.Token)
 		}
 	})
 	return err

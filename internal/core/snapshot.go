@@ -4,6 +4,7 @@ import (
 	"repro/internal/addr"
 	"repro/internal/audit"
 	"repro/internal/rcache"
+	"repro/internal/rlt"
 	"repro/internal/vcache"
 	"repro/internal/writebuf"
 )
@@ -51,6 +52,16 @@ func (h *VR) Snapshot() *audit.CPUSnapshot {
 		})
 	})
 	cs.TLB = snapshotTLB(h.tlb, h.opts.MMU)
+	cs.HasVictim = h.vic != nil
+	h.vic.ForEach(func(pa addr.PAddr, token uint64) {
+		cs.Victim = append(cs.Victim, audit.VictimEntry{PA: uint64(pa), Token: token})
+	})
+	cs.HasRLT = h.rlt != nil
+	h.rlt.ForEach(func(e rlt.Entry) {
+		cs.RLT = append(cs.RLT, audit.RLTEntry{
+			PA: uint64(e.PA), VCache: e.VP.Cache, VSet: e.VP.Set, VWay: e.VP.Way,
+		})
+	})
 	return cs
 }
 
@@ -78,6 +89,10 @@ func (h *RRNoInclusion) Snapshot() *audit.CPUSnapshot {
 	})
 	cs.RLines = snapshotRCache(h.l2)
 	cs.TLB = snapshotTLB(h.tlb, h.opts.MMU)
+	cs.HasVictim = h.vic != nil
+	h.vic.ForEach(func(pa addr.PAddr, token uint64) {
+		cs.Victim = append(cs.Victim, audit.VictimEntry{PA: uint64(pa), Token: token})
+	})
 	return cs
 }
 

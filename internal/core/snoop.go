@@ -68,6 +68,8 @@ func (h *VR) snoopUpdate(a addr.PAddr, token uint64) bool {
 	se := h.rc.Sub(set, way, sub)
 	se.Token = token
 	se.RDirty = false
+	// A parked victim copy is stale now; drop it rather than refresh.
+	h.vic.InvalidateRange(a, h.opts.L1.Block)
 	if se.Buffer {
 		// A buffered modified copy being updated remotely cannot happen
 		// under a consistent protocol (dirty implies private), but refresh
@@ -158,6 +160,8 @@ func (h *VR) snoopInvalidate(a addr.PAddr) {
 		return
 	}
 	l := h.rc.Line(set, way)
+	// The line leaves the second level, so parked victims under it go too.
+	h.vic.InvalidateRange(h.rc.BlockAddr(set, way), h.opts.L2.Block)
 	for i := range l.Subs {
 		se := &l.Subs[i]
 		if se.Buffer {
@@ -173,6 +177,7 @@ func (h *VR) snoopInvalidate(a addr.PAddr) {
 			// invalidate(v-pointer): only blocks actually present at the
 			// first level disturb it — the shielding effect.
 			h.vcs[se.VPtr.Cache].Invalidate(se.VPtr.Set, se.VPtr.Way)
+			h.syn.Invalidated(h.rc.SubAddr(set, way, i))
 			h.st.Coherence.Record(stats.MsgInvalidate)
 			h.emit(probe.EvCohInvalidate, 0, 0, a, 0)
 			h.sig(SigInvalidate, rptrOf(set, way, i), se.VPtr, a)

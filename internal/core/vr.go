@@ -8,10 +8,12 @@ import (
 	"repro/internal/cycles"
 	"repro/internal/probe"
 	"repro/internal/rcache"
+	"repro/internal/rlt"
 	"repro/internal/stats"
 	"repro/internal/tlb"
 	"repro/internal/trace"
 	"repro/internal/vcache"
+	"repro/internal/victim"
 	"repro/internal/writebuf"
 )
 
@@ -32,6 +34,10 @@ type VR struct {
 	tlb *tlb.TLB
 	wb  *writebuf.Buffer
 	wt  wtQueue // write-through buffer occupancy (L1WriteThrough only)
+
+	syn SynonymStrategy // how first-level copies are found on a miss
+	rlt *rlt.Table      // non-nil iff syn is the reverse-lookup strategy
+	vic *victim.Cache   // nil: no victim cache between the levels
 
 	pid addr.PID
 	st  *Stats
@@ -105,6 +111,19 @@ func newVR(o Options, virtual bool) (*VR, error) {
 	}
 	h.rc.SetNaiveReplacement(o.NaiveL2Replacement)
 	h.wt = wtQueue{depth: o.WriteBufDepth, latency: o.WriteBufLatency}
+	h.syn = vptrStrategy{}
+	if o.RLTEntries > 0 {
+		if !virtual {
+			return nil, fmt.Errorf("core: the reverse-lookup synonym table applies only to the V-R organization")
+		}
+		tbl, err := rlt.New(o.RLTEntries, o.RLTAssoc, o.L1.Block)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		h.rlt = tbl
+		h.syn = &rltStrategy{h: h}
+	}
+	h.vic = victim.New(o.VictimEntries)
 	t, err := tlb.New(o.MMU, o.TLBEntries, o.TLBAssoc)
 	if err != nil {
 		return nil, err
@@ -191,6 +210,16 @@ func (h *VR) Access(ref trace.Ref) AccessResult {
 	}
 
 	set, way, lst := vc.Lookup(ref.PID, la)
+	if lst == vcache.Hit && h.virtual && !vc.PIDTagged() && vc.Line(set, way).PID != ref.PID {
+		// Without PID tags, a live line of another process matches on the
+		// bare virtual tag — but the same virtual address in a different
+		// address space is a different physical block. The swapped-valid
+		// scheme normally rules this out (a switch marks every line SV
+		// before the next process runs); a trace that interleaves the
+		// outgoing process's last references past the switch record would
+		// otherwise alias here. Treat it as the revalidation miss it is.
+		lst = vcache.MissPresent
+	}
 	if lst == vcache.Hit {
 		h.st.L1.Record(kind, true)
 		vc.Touch(set, way)
@@ -295,10 +324,13 @@ func (h *VR) fill(ci int, ref trace.Ref, kind statsKind, la addr.VAddr, paKnown 
 	vic := vc.PickVictim(ref.PID, la)
 	if vic.Present {
 		h.sig(SigReplacement, vic.RPtr, rcache.VPtr{Cache: ci, Set: vic.Set, Way: vic.Way}, 0)
+		vicPA := h.rc.SubAddr(vic.RPtr.Set, vic.RPtr.Way, vic.RPtr.Sub)
 		h.evictVVictim(vic)
 		// The slot is logically empty from here on; the sameset synonym
 		// path below fills a different way and leaves this one free.
 		vc.Invalidate(vic.Set, vic.Way)
+		h.syn.Invalidated(vicPA)
+		h.victimInsert(vicPA, vic.Token)
 	}
 
 	// 2. Translate (the V-R hierarchy reaches its TLB only now).
@@ -308,6 +340,7 @@ func (h *VR) fill(ci int, ref trace.Ref, kind statsKind, la addr.VAddr, paKnown 
 	}
 	paSub := h.subAlign(pa)
 	h.sig(SigMiss, vic.RPtr, rcache.VPtr{Cache: ci, Set: vic.Set, Way: vic.Way}, paSub)
+	vhit := h.victimTake(kind, ref.Addr, paSub)
 
 	// 3. Second-level lookup.
 	rset, rway, l2hit := h.rc.Lookup(pa)
@@ -338,9 +371,12 @@ func (h *VR) fill(ci int, ref trace.Ref, kind statsKind, la addr.VAddr, paKnown 
 	se := h.rc.Sub(rset, rway, sub)
 	rp := rptrOf(rset, rway, sub)
 
-	// 4. Synonym resolution / data supply.
+	// 4. Synonym resolution / data supply. The strategy seam answers "where
+	// does a first-level copy live?"; the v-pointer strategy reads the
+	// subentry, the reverse-lookup strategy consults its table.
 	fset, fway := vic.Set, vic.Way
 	syn := SynNone
+	loc, resident := h.syn.Locate(se, paSub)
 	switch {
 	case se.Buffer:
 		// The modified copy sits in the write buffer (often it was the very
@@ -355,13 +391,15 @@ func (h *VR) fill(ci int, ref trace.Ref, kind statsKind, la addr.VAddr, paKnown 
 		vc.Install(fset, fway, la, ref.PID, rp, true, e.Token)
 		se.Inclusion = true
 		se.VPtr = rcache.VPtr{Cache: ci, Set: fset, Way: fway}
+		h.syn.Installed(paSub, se.VPtr)
 		syn = SynBuffered
 		h.sig(SigSameSet, rp, se.VPtr, paSub)
-	case se.Inclusion:
-		old := se.VPtr
+	case resident:
+		old := loc
 		if old.Cache == ci && old.Set == fset {
 			// Same set: retag the existing line in place; the slot freed in
-			// step 1 stays free.
+			// step 1 stays free. The copy's location is unchanged, so the
+			// strategy needs no notification.
 			vc.Retag(old.Set, old.Way, la, ref.PID)
 			fset, fway = old.Set, old.Way
 			syn = SynSameSet
@@ -375,6 +413,7 @@ func (h *VR) fill(ci int, ref trace.Ref, kind statsKind, la addr.VAddr, paKnown 
 			src.Invalidate(old.Set, old.Way)
 			vc.Install(fset, fway, la, ref.PID, rp, dirty, token)
 			se.VPtr = rcache.VPtr{Cache: ci, Set: fset, Way: fway}
+			h.syn.Installed(paSub, se.VPtr)
 			if old.Cache != ci {
 				syn = SynCross
 			} else {
@@ -386,6 +425,7 @@ func (h *VR) fill(ci int, ref trace.Ref, kind statsKind, la addr.VAddr, paKnown 
 		vc.Install(fset, fway, la, ref.PID, rp, false, se.Token)
 		se.Inclusion = true
 		se.VPtr = rcache.VPtr{Cache: ci, Set: fset, Way: fway}
+		h.syn.Installed(paSub, se.VPtr)
 		if vic.Present && vic.RPtr == rp {
 			// The clean victim evicted in step 1 was the synonym itself
 			// (the common direct-mapped sameset case): the R-cache just
@@ -409,11 +449,12 @@ func (h *VR) fill(ci int, ref trace.Ref, kind statsKind, la addr.VAddr, paKnown 
 		h.performWrite(vc, fset, fway, rp, token)
 	}
 	return AccessResult{
-		Kind:    kind,
-		L2Hit:   l2hit,
-		Synonym: syn,
-		PA:      paSub,
-		Token:   token,
+		Kind:      kind,
+		L2Hit:     l2hit,
+		VictimHit: vhit,
+		Synonym:   syn,
+		PA:        paSub,
+		Token:     token,
 	}
 }
 
@@ -482,6 +523,9 @@ func (h *VR) l2Miss(pa addr.PAddr, isWrite bool) (set, way int) {
 // fallback) and draining any buffered write-backs it owns.
 func (h *VR) evictRVictim(vic rcache.Victim) {
 	l := h.rc.Line(vic.Set, vic.Way)
+	// Parked victims live under the second level; when their line leaves,
+	// so do they (the VC-subset-of-L2 containment invariant).
+	h.vic.InvalidateRange(h.rc.BlockAddr(vic.Set, vic.Way), h.opts.L2.Block)
 	for i := range l.Subs {
 		se := &l.Subs[i]
 		subAddr := h.rc.SubAddr(vic.Set, vic.Way, i)
@@ -503,6 +547,7 @@ func (h *VR) evictRVictim(vic rcache.Victim) {
 				h.cy.BusWrite()
 			}
 			child.Invalidate(se.VPtr.Set, se.VPtr.Way)
+			h.syn.Invalidated(subAddr)
 			h.st.InclusionInvals++
 			h.st.Coherence.Record(stats.MsgInclusionInvalidate)
 			h.emit(probe.EvInclusionInval, 0, 0, subAddr, 0)
@@ -575,19 +620,20 @@ func (h *VR) contextSwitch(newPID addr.PID) {
 	for _, vc := range h.vcs {
 		vc.ForEachPresent(func(set, way int, l *vcache.Line) {
 			se := h.rc.Sub(l.RPtr.Set, l.RPtr.Way, l.RPtr.Sub)
+			subAddr := h.rc.SubAddr(l.RPtr.Set, l.RPtr.Way, l.RPtr.Sub)
 			if l.Dirty {
 				se.Token = l.Token
 				se.RDirty = true
 				h.st.EagerFlushWriteBacks++
 				h.st.WriteBacks++
 				h.st.WriteBackIntervals.Event()
-				h.emit(probe.EvWriteBack, 0, 0,
-					h.rc.SubAddr(l.RPtr.Set, l.RPtr.Way, l.RPtr.Sub), probe.WBEager)
+				h.emit(probe.EvWriteBack, 0, 0, subAddr, probe.WBEager)
 			}
 			se.VDirty = false
 			se.Inclusion = false
 			se.VPtr = rcache.VPtr{}
 			vc.Invalidate(set, way)
+			h.syn.Invalidated(subAddr)
 		})
 	}
 }

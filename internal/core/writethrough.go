@@ -106,6 +106,8 @@ func (h *VR) wtWrite(ref trace.Ref, kind statsKind, l1hit bool, ci, set, way int
 	token := h.opts.Tokens.Next()
 	se.Token = token
 	se.RDirty = true
+	// A parked victim copy of this block is stale now.
+	h.vic.InvalidateRange(h.subAlign(pa), h.opts.L1.Block)
 	if se.Inclusion {
 		// Refresh the first-level copy (the hitting line itself, or a
 		// synonym under another virtual address) so it never goes stale.

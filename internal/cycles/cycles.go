@@ -37,6 +37,13 @@ type Params struct {
 	T2 uint64 `json:"t2"` // second-level hit service time
 	TM uint64 `json:"tm"` // memory service time including bus overhead
 
+	// TVictim is the service time of a first-level miss satisfied by the
+	// victim cache (internal/victim). Zero means "same as t2" — a victim
+	// cache then shifts traffic off the bus without a latency advantage;
+	// setting TVictim < t2 models the single-cycle side array of Jouppi's
+	// design.
+	TVictim uint64 `json:"tVictim"`
+
 	TLBMissPenalty uint64 `json:"tlbMissPenalty"` // extra cycles per TLB miss
 	CtxSwitchCost  uint64 `json:"ctxSwitchCost"`  // flush cost per context switch
 
@@ -394,6 +401,25 @@ func (c *CPU) EndAccess(kind stats.AccessKind, level int) {
 		d = c.e.p.T2
 	default:
 		d = c.e.p.TM
+	}
+	a := c.e.agentFor(c.id)
+	a.clock += d
+	a.refs++
+	a.bd.Access += d
+	c.e.lat.Record(c.id, monitor.LatAccess, d)
+	c.e.emit(c.id, probe.EvTimeAccess, kind, d)
+}
+
+// EndAccessVictim charges the service time of one completed reference that
+// missed the first level but was supplied by the victim cache: TVictim
+// when configured, otherwise t2.
+func (c *CPU) EndAccessVictim(kind stats.AccessKind) {
+	if c == nil {
+		return
+	}
+	d := c.e.p.TVictim
+	if d == 0 {
+		d = c.e.p.T2
 	}
 	a := c.e.agentFor(c.id)
 	a.clock += d

@@ -56,6 +56,7 @@ func All() []Experiment {
 		{"protocol", "Extension: write-invalidate vs write-update coherence (pops)", UpdateProtocol},
 		{"replacement", "Ablation: relaxed vs naive L2 victim selection (pops)", RelaxedReplacement},
 		{"writepolicy", "Section 2: write-through vs write-back first level (pops)", WritePolicy},
+		{"synonym", "Extension: synonym strategies — v-pointer vs reverse-lookup table vs victim cache (pops)", SynonymStrategy},
 		{"scaling", "Future work: shielding factor vs CPU count (pops)", Scaling},
 		{"bandwidth", "Motivation: bus occupancy per organization (pops)", Bandwidth},
 		{"assocsweep", "Sensitivity: associativity beyond the paper's direct-mapped caches (pops)", AssocSweep},

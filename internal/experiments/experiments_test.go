@@ -66,6 +66,44 @@ func TestTable1ContainsPaperRows(t *testing.T) {
 	}
 }
 
+// TestSynonymStrategyShape pins the synonym experiment's claims: a victim
+// cache never moves the hit ratios (it is timing-only, so the vptr+victim
+// row still reproduces the paper's V-R numbers), while the bounded RLT
+// really does evict and pays for it in h1.
+func TestSynonymStrategyShape(t *testing.T) {
+	tc := scaled(tracegen.PopsLike(), testScale)
+	p := mainSizePairs()[2]
+	base := machineConfig(tc, p, system.VR)
+	vic := machineConfig(tc, p, system.VR)
+	vic.VictimEntries = 4
+	rlt := machineConfig(tc, p, system.VRRLT)
+	systems, err := runSweep(tc, []system.Config{base, vic, rlt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggBase, aggVic, aggRLT := systems[0].Aggregate(), systems[1].Aggregate(), systems[2].Aggregate()
+	if aggVic.H1 != aggBase.H1 || aggVic.H2 != aggBase.H2 {
+		t.Errorf("victim cache moved the hit ratios: base h1=%v h2=%v, victim h1=%v h2=%v",
+			aggBase.H1, aggBase.H2, aggVic.H1, aggVic.H2)
+	}
+	var vicHits, rltEv uint64
+	for cpu := 0; cpu < systems[1].CPUs(); cpu++ {
+		vicHits += systems[1].Stats(cpu).VictimHits
+	}
+	for cpu := 0; cpu < systems[2].CPUs(); cpu++ {
+		rltEv += systems[2].Stats(cpu).RLTEvictions
+	}
+	if vicHits == 0 {
+		t.Error("victim cache never hit at experiment scale")
+	}
+	if rltEv == 0 {
+		t.Error("default-sized RLT never evicted at experiment scale")
+	}
+	if aggRLT.H1 > aggBase.H1 {
+		t.Errorf("RLT improved h1 (%v > %v): forced evictions cannot add hits", aggRLT.H1, aggBase.H1)
+	}
+}
+
 func TestTable6Labels(t *testing.T) {
 	var b strings.Builder
 	if err := Table6(&b, testScale); err != nil {

@@ -93,7 +93,7 @@ type Config struct {
 // stream fixes both.
 type MachineSpec struct {
 	Label string `json:"label,omitempty"`
-	Org   string `json:"org,omitempty"` // vr | rr | rrnoincl | vr-wt | rr-wt
+	Org   string `json:"org,omitempty"` // vr | rr | rrnoincl | rlt | vr-wt | rr-wt
 
 	L1Size  uint64 `json:"l1Size,omitempty"`
 	L1Assoc int    `json:"l1Assoc,omitempty"`
@@ -108,6 +108,12 @@ type MachineSpec struct {
 	TLBAssoc      int    `json:"tlbAssoc,omitempty"`
 	WriteBufDepth int    `json:"writeBufDepth,omitempty"`
 	Policy        string `json:"policy,omitempty"` // lru | fifo | random
+
+	// Victim inserts a victim cache of that many blocks (any organization);
+	// 0 means none. RLTEntries sizes the "rlt" organization's reverse-lookup
+	// table (0 selects the system default) and is rejected elsewhere.
+	Victim     int `json:"victim,omitempty"`
+	RLTEntries int `json:"rltEntries,omitempty"`
 }
 
 // TimedSpec overrides the cycle engine's latency parameters.
@@ -148,6 +154,8 @@ const (
 	maxTLBEntries   = 1 << 16
 	maxWriteBuf     = 1 << 10
 	maxSweepConfigs = 64
+	maxVictim       = 1 << 10 // victim-cache blocks
+	maxRLT          = 1 << 16 // reverse-lookup-table entries
 	maxGrammarAxis  = 32      // values per grammar axis
 	maxCandidates   = 8192    // expanded grammar size
 	maxLatency      = 1 << 20 // cycles, per timing parameter
@@ -338,9 +346,9 @@ func (m *MachineSpec) validate(field string) error {
 		return errf(field+".label", "longer than %d bytes", maxLabelLen)
 	}
 	switch m.Org {
-	case "", "vr", "rr", "rrnoincl", "vr-wt", "rr-wt":
+	case "", "vr", "rr", "rrnoincl", "rlt", "vr-wt", "rr-wt":
 	default:
-		return errf(field+".org", "unknown organization %q (vr, rr, rrnoincl, vr-wt, rr-wt)", m.Org)
+		return errf(field+".org", "unknown organization %q (vr, rr, rrnoincl, rlt, vr-wt, rr-wt)", m.Org)
 	}
 	switch m.Policy {
 	case "", "lru", "fifo", "random":
@@ -358,13 +366,19 @@ func (m *MachineSpec) validate(field string) error {
 		{"tlbEntries", uint64(max(m.TLBEntries, 0)), maxTLBEntries},
 		{"tlbAssoc", uint64(max(m.TLBAssoc, 0)), maxTLBEntries},
 		{"writeBufDepth", uint64(max(m.WriteBufDepth, 0)), maxWriteBuf},
+		{"victim", uint64(max(m.Victim, 0)), maxVictim},
+		{"rltEntries", uint64(max(m.RLTEntries, 0)), maxRLT},
 	} {
 		if v.val > v.max {
 			return errf(field+"."+v.name, "%d exceeds the %d limit", v.val, v.max)
 		}
 	}
-	if m.L1Assoc < 0 || m.L2Assoc < 0 || m.TLBEntries < 0 || m.TLBAssoc < 0 || m.WriteBufDepth < 0 {
+	if m.L1Assoc < 0 || m.L2Assoc < 0 || m.TLBEntries < 0 || m.TLBAssoc < 0 || m.WriteBufDepth < 0 ||
+		m.Victim < 0 || m.RLTEntries < 0 {
 		return errf(field, "negative geometry values")
+	}
+	if m.RLTEntries != 0 && m.Org != "rlt" {
+		return errf(field+".rltEntries", "only the rlt organization has a reverse-lookup table")
 	}
 	// Geometry legality (powers of two, set counts, L1 < L2, block ratio)
 	// is checked by building the machine spec through the autotune grammar;
@@ -409,6 +423,8 @@ func (m *MachineSpec) build(field string, cpus int, pageSize uint64) (machine, e
 		TLBEntries:     []int{orDefaultI(m.TLBEntries, 64)},
 		TLBAssocs:      []int{orDefaultI(m.TLBAssoc, 2)},
 		Policies:       []string{orDefault(m.Policy, "lru")},
+		VictimEntries:  []int{m.Victim},
+		RLTEntries:     []int{m.RLTEntries},
 	}
 	cands, err := g.Expand(cpus, pageSize)
 	if err != nil {
@@ -469,6 +485,7 @@ func (a *AutotuneSpec) validate() error {
 			{"l2Assocs", len(g.L2Assocs)}, {"blockRatios", len(g.BlockRatios)},
 			{"writeBufDepths", len(g.WriteBufDepths)}, {"tlbEntries", len(g.TLBEntries)},
 			{"tlbAssocs", len(g.TLBAssocs)}, {"policies", len(g.Policies)},
+			{"victimEntries", len(g.VictimEntries)}, {"rltEntries", len(g.RLTEntries)},
 		} {
 			if axis.n > maxGrammarAxis {
 				return errf("autotune.grammar."+axis.name, "%d values exceed the %d limit", axis.n, maxGrammarAxis)
@@ -503,6 +520,16 @@ func (a *AutotuneSpec) validate() error {
 		for _, v := range g.WriteBufDepths {
 			if v < 0 || v > maxWriteBuf {
 				return errf("autotune.grammar.writeBufDepths", "depth %d outside [0, %d]", v, maxWriteBuf)
+			}
+		}
+		for _, v := range g.VictimEntries {
+			if v < 0 || v > maxVictim {
+				return errf("autotune.grammar.victimEntries", "%d outside [0, %d]", v, maxVictim)
+			}
+		}
+		for _, v := range g.RLTEntries {
+			if v < 0 || v > maxRLT {
+				return errf("autotune.grammar.rltEntries", "%d outside [0, %d]", v, maxRLT)
 			}
 		}
 	}

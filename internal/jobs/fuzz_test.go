@@ -26,7 +26,15 @@ func FuzzJobConfigDecode(f *testing.F) {
 		`{"kind":"sweep","preset":"thor","machines":[{"org":"vr"},{"org":"rr","l2Size":524288},{"label":"wt","org":"vr-wt"}]}`,
 		`{"kind":"autotune","preset":"pops","scale":0.02,"autotune":{"exhaustive":true,"grammar":{"organizations":["vr","rr"]}}}`,
 		`{"kind":"autotune","preset":"pops","autotune":{"probeRefs":20000,"shards":2,"margin":0.5}}`,
+		// Synonym-strategy fields: the rlt organization, victim caches, and
+		// the grammar axes for both.
+		`{"kind":"run","preset":"pops","machine":{"org":"rlt","rltEntries":16,"victim":4}}`,
+		`{"kind":"sweep","preset":"abaqus","machines":[{"org":"vr","victim":8},{"org":"rlt"},{"org":"rrnoincl","victim":4}]}`,
+		`{"kind":"autotune","preset":"pops","autotune":{"grammar":{"organizations":["vr","rlt"],"victimEntries":[0,4],"rltEntries":[0,16]}}}`,
 		// Structurally valid, semantically wrong: exercise every validator arm.
+		`{"kind":"run","preset":"pops","machine":{"org":"vr","rltEntries":16}}`,
+		`{"kind":"run","preset":"pops","machine":{"org":"rlt","rltEntries":12}}`,
+		`{"kind":"run","preset":"pops","machine":{"victim":-1}}`,
 		`{"kind":"walk","preset":"pops"}`,
 		`{"kind":"run","preset":"pops","scale":-3}`,
 		`{"kind":"run","preset":"pops","machine":{"l1Size":12345}}`,

@@ -91,6 +91,17 @@ const (
 	// flush, 2 = no flush needed (physically-addressed or PID-tagged L1).
 	EvCtxSwitch
 
+	// Victim-cache activity (the Jouppi-style layer between L1 and L2):
+	// a first-level miss served from the victim cache, and a first-level
+	// victim parked there. Aux carries the data token.
+	EvVictimHit
+	EvVictimInsert
+
+	// A first-level line evicted because the reverse-lookup synonym table
+	// ran out of capacity (the RLT strategy's extra misses; a dirty line
+	// additionally emits EvWriteBack with the WBRLT bit).
+	EvRLTEvict
+
 	// Timing charges from the cycle engine (internal/cycles). Aux carries
 	// the cycles charged; EvTimeAccess additionally sets Access to the
 	// reference class. The sum of a CPU's Aux values per kind equals the
@@ -116,6 +127,7 @@ const (
 const (
 	WBSwapped = 1 << 0
 	WBEager   = 1 << 1
+	WBRLT     = 1 << 2
 )
 
 var kindNames = [NumKinds]string{
@@ -151,6 +163,9 @@ var kindNames = [NumKinds]string{
 	EvDMARead:             "dma-read",
 	EvDMAWrite:            "dma-write",
 	EvCtxSwitch:           "ctx-switch",
+	EvVictimHit:           "victim-hit",
+	EvVictimInsert:        "victim-insert",
+	EvRLTEvict:            "rlt-evict",
 	EvTimeAccess:          "time-access",
 	EvTimeTLBMiss:         "time-tlb-miss",
 	EvTimeBusWait:         "time-bus-wait",
@@ -168,7 +183,7 @@ func (k Kind) String() string {
 }
 
 // Category groups kinds into the lanes used by exporters and filters:
-// access, tlb, synonym, writebuf, coherence, bus, dma, ctx, time.
+// access, tlb, synonym, writebuf, coherence, bus, dma, ctx, victim, time.
 func (k Kind) Category() string {
 	switch k {
 	case EvL1Hit, EvL1Miss, EvL2Hit, EvL2Miss:
@@ -188,6 +203,10 @@ func (k Kind) Category() string {
 		return "dma"
 	case EvCtxSwitch:
 		return "ctx"
+	case EvVictimHit, EvVictimInsert:
+		return "victim"
+	case EvRLTEvict:
+		return "synonym"
 	case EvTimeAccess, EvTimeTLBMiss, EvTimeBusWait, EvTimeWBStall, EvTimeCtxSwitch:
 		return "time"
 	default:

@@ -57,6 +57,9 @@ type CPUStats struct {
 	BufferStalls      uint64 `json:"bufferStalls"`
 	TLBMisses         uint64 `json:"tlbMisses"`
 	CoherenceToL1     uint64 `json:"coherenceMessagesToL1"`
+	VictimHits        uint64 `json:"victimHits,omitempty"`
+	VictimInserts     uint64 `json:"victimInserts,omitempty"`
+	RLTEvictions      uint64 `json:"rltEvictions,omitempty"`
 }
 
 // CPUTiming is one processor's measured timing.
@@ -258,6 +261,9 @@ func FromSystem(sys *system.System, cfg system.Config) Results {
 			BufferStalls:      st.BufferStalls,
 			TLBMisses:         st.TLB.Misses,
 			CoherenceToL1:     st.Coherence.Total(),
+			VictimHits:        st.VictimHits,
+			VictimInserts:     st.VictimInserts,
+			RLTEvictions:      st.RLTEvictions,
 		})
 	}
 	return r

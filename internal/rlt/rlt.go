@@ -1,0 +1,260 @@
+// Package rlt implements a reverse-lookup synonym table (Desai & Deshmukh,
+// arXiv 2108.00444): a small set-associative, physically-indexed table
+// mapping L1-block-aligned physical addresses to the first-level location
+// holding that block. It is a drop-in alternative to the paper's scheme of
+// storing a v-pointer in every R-cache subentry — instead of widening every
+// L2 subentry, a separate bounded table carries the reverse translations,
+// and is looked up in parallel with the L2 tags on a first-level miss.
+//
+// The trade-off the experiments measure: the table is much smaller than
+// per-subentry v-pointers (its SRAM cost scales with the number of L1
+// lines, not L2 subentries), but it is *capacity-limited* — when the table
+// evicts an entry, the first-level line it named can no longer be found by
+// reverse lookup and must be evicted too (written back first if dirty).
+// Those forced evictions are the strategy's extra misses and bus traffic.
+//
+// The table mirrors the first level exactly: one entry per present L1 line,
+// inserted on fill and removed on invalidation, so lookup hits are
+// authoritative. Audit's RLT-reciprocity invariant checks the mirror.
+package rlt
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/rcache"
+)
+
+// Entry is one reverse translation: the L1-block-aligned physical address
+// and the first-level location holding the block.
+type Entry struct {
+	PA addr.PAddr
+	VP rcache.VPtr
+}
+
+type slot struct {
+	pa    addr.PAddr
+	vp    rcache.VPtr
+	stamp uint64
+	valid bool
+}
+
+// Table is a set-associative reverse-lookup table with LRU replacement.
+type Table struct {
+	slots      []slot // sets × ways, row-major
+	ways       int
+	setMask    uint64
+	blockShift uint
+	clock      uint64
+	live       int
+}
+
+// DefaultAssoc is the associativity used when the configuration leaves it
+// zero, clamped to the entry count.
+const DefaultAssoc = 4
+
+// New builds a table with the given total entry count and associativity;
+// assoc <= 0 selects DefaultAssoc (clamped to entries). The set count
+// (entries/assoc) must be a power of two. l1Block is the first-level block
+// size the table is indexed by.
+func New(entries, assoc int, l1Block uint64) (*Table, error) {
+	if entries <= 0 {
+		return nil, fmt.Errorf("rlt: entries must be positive, got %d", entries)
+	}
+	if assoc <= 0 {
+		assoc = DefaultAssoc
+	}
+	if assoc > entries {
+		assoc = entries
+	}
+	if entries%assoc != 0 {
+		return nil, fmt.Errorf("rlt: %d entries not divisible by associativity %d", entries, assoc)
+	}
+	sets := entries / assoc
+	if !addr.IsPow2(uint64(sets)) {
+		return nil, fmt.Errorf("rlt: set count %d (entries %d / assoc %d) is not a power of two", sets, entries, assoc)
+	}
+	if !addr.IsPow2(l1Block) {
+		return nil, fmt.Errorf("rlt: L1 block size %d is not a power of two", l1Block)
+	}
+	return &Table{
+		slots:      make([]slot, entries),
+		ways:       assoc,
+		setMask:    uint64(sets - 1),
+		blockShift: addr.MustLog2(l1Block),
+	}, nil
+}
+
+// Cap returns the total entry count (0 when the table is nil/disabled).
+func (t *Table) Cap() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.slots)
+}
+
+// Len returns the number of live entries.
+func (t *Table) Len() int {
+	if t == nil {
+		return 0
+	}
+	return t.live
+}
+
+func (t *Table) row(pa addr.PAddr) []slot {
+	set := (uint64(pa) >> t.blockShift) & t.setMask
+	base := int(set) * t.ways
+	return t.slots[base : base+t.ways]
+}
+
+// Lookup finds the first-level location of the block at pa (L1-block
+// aligned), refreshing its recency on a hit.
+func (t *Table) Lookup(pa addr.PAddr) (rcache.VPtr, bool) {
+	if t == nil {
+		return rcache.VPtr{}, false
+	}
+	row := t.row(pa)
+	for i := range row {
+		if row[i].valid && row[i].pa == pa {
+			t.clock++
+			row[i].stamp = t.clock
+			return row[i].vp, true
+		}
+	}
+	return rcache.VPtr{}, false
+}
+
+// Insert records that the block at pa now lives at vp. A same-address
+// entry is updated in place. When the set is full, the least-recently-used
+// entry is evicted and returned: its first-level line can no longer be
+// found by reverse lookup, so the caller must evict it from the first
+// level too.
+func (t *Table) Insert(pa addr.PAddr, vp rcache.VPtr) (Entry, bool) {
+	if t == nil {
+		return Entry{}, false
+	}
+	row := t.row(pa)
+	victim, found := -1, false
+	for i := range row {
+		if row[i].valid && row[i].pa == pa {
+			t.clock++
+			row[i].vp = vp
+			row[i].stamp = t.clock
+			return Entry{}, false
+		}
+		if !row[i].valid && victim < 0 {
+			victim = i
+		}
+	}
+	if victim < 0 {
+		victim = 0
+		for i := 1; i < len(row); i++ {
+			if row[i].stamp < row[victim].stamp {
+				victim = i
+			}
+		}
+		found = true
+	}
+	evicted := Entry{PA: row[victim].pa, VP: row[victim].vp}
+	t.clock++
+	row[victim] = slot{pa: pa, vp: vp, stamp: t.clock, valid: true}
+	if !found {
+		t.live++
+	}
+	return evicted, found
+}
+
+// Remove drops the entry for pa, if present (the first-level line was
+// invalidated or evicted through the normal paths).
+func (t *Table) Remove(pa addr.PAddr) {
+	if t == nil {
+		return
+	}
+	row := t.row(pa)
+	for i := range row {
+		if row[i].valid && row[i].pa == pa {
+			row[i] = slot{}
+			t.live--
+			return
+		}
+	}
+}
+
+// ForEach visits every live entry in (set, way) order.
+func (t *Table) ForEach(fn func(Entry)) {
+	if t == nil {
+		return
+	}
+	for i := range t.slots {
+		if t.slots[i].valid {
+			fn(Entry{PA: t.slots[i].pa, VP: t.slots[i].vp})
+		}
+	}
+}
+
+// SlotState is one serialized slot.
+type SlotState struct {
+	PA     uint64
+	VCache int
+	VSet   int
+	VWay   int
+	Stamp  uint64
+	Valid  bool
+}
+
+// State is the canonical serialized form of a table.
+type State struct {
+	Slots []SlotState
+	Clock uint64
+}
+
+// ExportState captures the full table state; nil tables export nil.
+func (t *Table) ExportState() *State {
+	if t == nil {
+		return nil
+	}
+	s := &State{Slots: make([]SlotState, len(t.slots)), Clock: t.clock}
+	for i, sl := range t.slots {
+		s.Slots[i] = SlotState{
+			PA:     uint64(sl.pa),
+			VCache: sl.vp.Cache,
+			VSet:   sl.vp.Set,
+			VWay:   sl.vp.Way,
+			Stamp:  sl.stamp,
+			Valid:  sl.valid,
+		}
+	}
+	return s
+}
+
+// RestoreState restores a state captured by ExportState on an identically
+// shaped table.
+func (t *Table) RestoreState(s *State) error {
+	if t == nil {
+		if s == nil {
+			return nil
+		}
+		return fmt.Errorf("rlt: state for a disabled table")
+	}
+	if s == nil {
+		return fmt.Errorf("rlt: missing table state")
+	}
+	if len(s.Slots) != len(t.slots) {
+		return fmt.Errorf("rlt: slot count %d, table has %d", len(s.Slots), len(t.slots))
+	}
+	live := 0
+	for i, sl := range s.Slots {
+		t.slots[i] = slot{
+			pa:    addr.PAddr(sl.PA),
+			vp:    rcache.VPtr{Cache: sl.VCache, Set: sl.VSet, Way: sl.VWay},
+			stamp: sl.Stamp,
+			valid: sl.Valid,
+		}
+		if sl.Valid {
+			live++
+		}
+	}
+	t.clock = s.Clock
+	t.live = live
+	return nil
+}

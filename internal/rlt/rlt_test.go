@@ -1,0 +1,156 @@
+package rlt
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/rcache"
+)
+
+func vp(c, s, w int) rcache.VPtr { return rcache.VPtr{Cache: c, Set: s, Way: w} }
+
+func TestNilTableIsDisabled(t *testing.T) {
+	var tab *Table
+	if tab.Cap() != 0 || tab.Len() != 0 {
+		t.Fatalf("nil table reports cap %d len %d", tab.Cap(), tab.Len())
+	}
+	if _, ok := tab.Lookup(0x100); ok {
+		t.Fatal("nil table produced a hit")
+	}
+	if _, ev := tab.Insert(0x100, vp(0, 1, 2)); ev {
+		t.Fatal("nil table evicted")
+	}
+	tab.Remove(0x100)
+	tab.ForEach(func(Entry) { t.Fatal("nil table visited an entry") })
+	if tab.ExportState() != nil {
+		t.Fatal("nil table exported state")
+	}
+	if err := tab.RestoreState(nil); err != nil {
+		t.Fatalf("nil table rejects nil state: %v", err)
+	}
+	if err := tab.RestoreState(&State{}); err == nil {
+		t.Fatal("nil table accepted non-nil state")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, tc := range []struct {
+		entries, assoc int
+		block          uint64
+		ok             bool
+	}{
+		{0, 0, 16, false},  // no entries
+		{8, 0, 16, true},   // default assoc
+		{8, 3, 16, false},  // not divisible
+		{24, 4, 16, false}, // sets not pow2
+		{8, 4, 12, false},  // block not pow2
+		{2, 0, 16, true},   // assoc clamps to entries
+	} {
+		_, err := New(tc.entries, tc.assoc, tc.block)
+		if (err == nil) != tc.ok {
+			t.Errorf("New(%d,%d,%d): err = %v, want ok=%v", tc.entries, tc.assoc, tc.block, err, tc.ok)
+		}
+	}
+}
+
+func TestLookupInsertRemove(t *testing.T) {
+	tab, err := New(8, 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tab.Lookup(0x100); ok {
+		t.Fatal("hit in an empty table")
+	}
+	if _, ev := tab.Insert(0x100, vp(0, 3, 1)); ev {
+		t.Fatal("insert into empty set evicted")
+	}
+	got, ok := tab.Lookup(0x100)
+	if !ok || got != vp(0, 3, 1) {
+		t.Fatalf("Lookup = %v,%v", got, ok)
+	}
+	// Same-address insert updates in place.
+	if _, ev := tab.Insert(0x100, vp(1, 2, 0)); ev {
+		t.Fatal("same-address insert evicted")
+	}
+	if got, _ := tab.Lookup(0x100); got != vp(1, 2, 0) {
+		t.Fatalf("updated Lookup = %v", got)
+	}
+	if tab.Len() != 1 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	tab.Remove(0x100)
+	if _, ok := tab.Lookup(0x100); ok || tab.Len() != 0 {
+		t.Fatal("entry survived Remove")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 4 entries, 2 ways -> 2 sets; block 16. Addresses 0x00 and 0x40 land
+	// in set 0, 0x10 and 0x50 in set 1.
+	tab, err := New(4, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.Insert(0x00, vp(0, 0, 0))
+	tab.Insert(0x40, vp(0, 0, 1))
+	tab.Lookup(0x00) // make 0x40 the LRU
+	ev, evicted := tab.Insert(0x80, vp(0, 0, 2))
+	if !evicted || ev.PA != 0x40 || ev.VP != vp(0, 0, 1) {
+		t.Fatalf("evicted %+v,%v; want PA 0x40", ev, evicted)
+	}
+	if _, ok := tab.Lookup(0x00); !ok {
+		t.Fatal("recently-used entry was evicted")
+	}
+	if tab.Len() != 2 {
+		t.Fatalf("Len = %d after full-set insert", tab.Len())
+	}
+}
+
+func TestForEachOrder(t *testing.T) {
+	tab, err := New(4, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.Insert(0x10, vp(0, 1, 0)) // set 1
+	tab.Insert(0x00, vp(0, 0, 0)) // set 0
+	var got []addr.PAddr
+	tab.ForEach(func(e Entry) { got = append(got, e.PA) })
+	if len(got) != 2 || got[0] != 0x00 || got[1] != 0x10 {
+		t.Fatalf("ForEach order = %v, want set-major [0x0 0x10]", got)
+	}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	tab, err := New(4, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.Insert(0x00, vp(0, 0, 0))
+	tab.Insert(0x40, vp(0, 0, 1))
+	tab.Lookup(0x00)
+	s := tab.ExportState()
+
+	r, _ := New(4, 2, 16)
+	if err := r.RestoreState(s); err != nil {
+		t.Fatalf("RestoreState: %v", err)
+	}
+	if r.Len() != tab.Len() {
+		t.Fatalf("restored Len = %d want %d", r.Len(), tab.Len())
+	}
+	// LRU behaviour must continue identically.
+	e1, _ := tab.Insert(0x80, vp(0, 0, 2))
+	e2, _ := r.Insert(0x80, vp(0, 0, 2))
+	if e1 != e2 {
+		t.Fatalf("post-restore eviction diverged: %+v vs %+v", e1, e2)
+	}
+}
+
+func TestRestoreStateRejectsMismatch(t *testing.T) {
+	tab, _ := New(4, 2, 16)
+	if err := tab.RestoreState(nil); err == nil {
+		t.Fatal("accepted nil state on a live table")
+	}
+	if err := tab.RestoreState(&State{Slots: make([]SlotState, 2)}); err == nil {
+		t.Fatal("accepted wrong slot count")
+	}
+}

@@ -26,11 +26,13 @@ import (
 // Organization selects the cache organization under evaluation.
 type Organization int
 
-// Organizations the paper compares.
+// Organizations the paper compares, plus the reverse-lookup-table synonym
+// variant.
 const (
 	VR            Organization = iota // virtual L1 / real L2 with inclusion
 	RRInclusion                       // real L1 / real L2 with inclusion
 	RRNoInclusion                     // real L1 / real L2, independent levels
+	VRRLT                             // VR with the reverse-lookup synonym table
 )
 
 // String returns the organization's table label.
@@ -42,6 +44,8 @@ func (o Organization) String() string {
 		return "RR(incl)"
 	case RRNoInclusion:
 		return "RR(no incl)"
+	case VRRLT:
+		return "VR(rlt)"
 	default:
 		return fmt.Sprintf("Organization(%d)", int(o))
 	}
@@ -80,6 +84,15 @@ type Config struct {
 	// L1WriteThrough selects the Section 2 write-through, no-write-allocate
 	// first-level policy instead of write-back.
 	L1WriteThrough bool
+	// VictimEntries inserts a victim cache of that many blocks between the
+	// levels of every CPU (any organization; 0 disables).
+	VictimEntries int
+	// RLTEntries sizes the VRRLT organization's reverse-lookup synonym
+	// table; 0 defaults to half the first level's line count. RLTAssoc is
+	// the table's associativity (0: rlt.DefaultAssoc). Ignored by the other
+	// organizations.
+	RLTEntries int
+	RLTAssoc   int
 	// Tracer, when set, observes every hierarchy's Table 4 interface
 	// signals (Signal.CPU attributes them).
 	Tracer core.Tracer
@@ -157,6 +170,12 @@ func New(cfg Config) (*System, error) {
 	if err := cfg.L2.Validate(); err != nil {
 		return nil, fmt.Errorf("system: L2: %w", err)
 	}
+	// The reverse-lookup table exists only under VRRLT; a size on any other
+	// organization would be silently ignored, so reject it instead (the CLI
+	// and job surfaces enforce the same rule).
+	if (cfg.RLTEntries != 0 || cfg.RLTAssoc != 0) && cfg.Organization != VRRLT {
+		return nil, fmt.Errorf("system: RLTEntries/RLTAssoc require the VRRLT organization")
+	}
 	mmu, err := vm.New(cfg.PageSize)
 	if err != nil {
 		return nil, err
@@ -198,6 +217,7 @@ func New(cfg Config) (*System, error) {
 
 			NaiveL2Replacement: cfg.NaiveL2Replacement,
 			L1WriteThrough:     cfg.L1WriteThrough,
+			VictimEntries:      cfg.VictimEntries,
 			Tracer:             cfg.Tracer,
 			Probe:              cfg.Probe,
 			Cycles:             cfg.Cycles,
@@ -210,6 +230,21 @@ func New(cfg Config) (*System, error) {
 			h, err = core.NewRR(opts)
 		case RRNoInclusion:
 			h, err = core.NewRRNoInclusion(opts)
+		case VRRLT:
+			opts.RLTEntries = cfg.RLTEntries
+			opts.RLTAssoc = cfg.RLTAssoc
+			if opts.RLTEntries == 0 {
+				// Default: the largest power of two no bigger than half the
+				// first level's line count — small enough that capacity
+				// evictions actually occur (the trade-off stays visible),
+				// and a legal set count for any associativity.
+				lines := int(cfg.L1.Size / cfg.L1.Block)
+				opts.RLTEntries = 1
+				for opts.RLTEntries*2 <= lines/2 {
+					opts.RLTEntries *= 2
+				}
+			}
+			h, err = core.NewVR(opts)
 		default:
 			err = fmt.Errorf("system: unknown organization %d", cfg.Organization)
 		}
@@ -280,7 +315,11 @@ func (s *System) Apply(ref trace.Ref) (core.AccessResult, error) {
 		s.cyc[ref.CPU].CtxSwitch()
 	} else {
 		s.refs++
-		s.cyc[ref.CPU].EndAccess(res.Kind, res.Level())
+		if res.VictimHit {
+			s.cyc[ref.CPU].EndAccessVictim(res.Kind)
+		} else {
+			s.cyc[ref.CPU].EndAccess(res.Kind, res.Level())
+		}
 	}
 	if s.oracle != nil && !res.CtxSwitch {
 		if ref.Kind == trace.Write {

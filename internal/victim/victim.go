@@ -1,0 +1,186 @@
+// Package victim implements a small fully-associative victim cache that
+// sits between the first and second levels of a hierarchy (Jouppi, ISCA
+// 1990; SNIPPETS.md snippet 2). Lines evicted from the first level by
+// capacity pressure are parked here; a first-level miss that hits the
+// victim cache costs a short transfer instead of a full second-level
+// access.
+//
+// The cache is deliberately passive with respect to correctness: it holds
+// only blocks that the second level also holds (VC ⊆ L2), so a victim hit
+// never changes which data a reference observes — it only changes the
+// timing charge and the hit/miss accounting. The hierarchies enforce that
+// containment by invalidating victim entries whenever the overlapping L2
+// block is evicted, invalidated, or updated by the coherence protocol.
+// That passivity is what lets the cross-organization differential harness
+// demand byte-identical data behaviour with and without a victim cache.
+//
+// All methods are nil-safe in the style of cycles.CPU: a nil *Cache is a
+// disabled victim cache, and the hot path pays only a nil check.
+package victim
+
+import "repro/internal/addr"
+
+// entry is one parked block, keyed by its L1-block-aligned physical
+// address. The token mirrors the L2 subentry's data token; audits use it
+// to verify the VC ⊆ L2 containment.
+type entry struct {
+	pa    addr.PAddr
+	token uint64
+	valid bool
+}
+
+// Cache is a fixed-size fully-associative FIFO victim cache.
+type Cache struct {
+	entries []entry
+	next    int // FIFO insertion cursor
+}
+
+// New builds a victim cache with the given number of entries; entries <= 0
+// returns nil, the disabled cache.
+func New(entries int) *Cache {
+	if entries <= 0 {
+		return nil
+	}
+	return &Cache{entries: make([]entry, entries)}
+}
+
+// Cap returns the entry count (0 when disabled).
+func (c *Cache) Cap() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.entries)
+}
+
+// Len returns the number of live entries.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.entries {
+		if c.entries[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// Take looks up the L1-block-aligned physical address pa and, on a hit,
+// removes the entry (the block is moving back into the first level, and
+// the two levels are exclusive). It returns the parked token.
+func (c *Cache) Take(pa addr.PAddr) (uint64, bool) {
+	if c == nil {
+		return 0, false
+	}
+	for i := range c.entries {
+		if c.entries[i].valid && c.entries[i].pa == pa {
+			c.entries[i].valid = false
+			return c.entries[i].token, true
+		}
+	}
+	return 0, false
+}
+
+// Insert parks an evicted first-level block. A same-address entry is
+// refreshed in place; otherwise the oldest slot is overwritten (entries
+// are always clean with respect to L2, so dropping one is free).
+func (c *Cache) Insert(pa addr.PAddr, token uint64) {
+	if c == nil {
+		return
+	}
+	for i := range c.entries {
+		if c.entries[i].valid && c.entries[i].pa == pa {
+			c.entries[i].token = token
+			return
+		}
+	}
+	c.entries[c.next] = entry{pa: pa, token: token, valid: true}
+	c.next++
+	if c.next == len(c.entries) {
+		c.next = 0
+	}
+}
+
+// InvalidateRange drops every entry whose address falls in
+// [start, start+size): the overlapping L2 block is going away or changing,
+// so the parked copies may no longer be supplied.
+func (c *Cache) InvalidateRange(start addr.PAddr, size uint64) {
+	if c == nil {
+		return
+	}
+	for i := range c.entries {
+		if c.entries[i].valid && c.entries[i].pa >= start && uint64(c.entries[i].pa) < uint64(start)+size {
+			c.entries[i].valid = false
+		}
+	}
+}
+
+// ForEach visits every live entry in slot order (audit snapshots rely on
+// the deterministic order).
+func (c *Cache) ForEach(fn func(pa addr.PAddr, token uint64)) {
+	if c == nil {
+		return
+	}
+	for i := range c.entries {
+		if c.entries[i].valid {
+			fn(c.entries[i].pa, c.entries[i].token)
+		}
+	}
+}
+
+// EntryState is one serialized entry.
+type EntryState struct {
+	PA    uint64
+	Token uint64
+	Valid bool
+}
+
+// State is the canonical serialized form of a victim cache: every slot in
+// order plus the FIFO cursor, so restore reproduces the exact replacement
+// behaviour.
+type State struct {
+	Entries []EntryState
+	Next    int
+}
+
+// ExportState captures the full cache state; nil caches export nil.
+func (c *Cache) ExportState() *State {
+	if c == nil {
+		return nil
+	}
+	s := &State{Entries: make([]EntryState, len(c.entries)), Next: c.next}
+	for i, e := range c.entries {
+		s.Entries[i] = EntryState{PA: uint64(e.pa), Token: e.token, Valid: e.valid}
+	}
+	return s
+}
+
+// RestoreState restores a state captured by ExportState on an identically
+// sized cache.
+func (c *Cache) RestoreState(s *State) error {
+	if c == nil {
+		if s == nil {
+			return nil
+		}
+		return errState("state for a disabled victim cache")
+	}
+	if s == nil {
+		return errState("missing victim cache state")
+	}
+	if len(s.Entries) != len(c.entries) {
+		return errState("entry count mismatch")
+	}
+	if s.Next < 0 || s.Next >= len(c.entries) {
+		return errState("cursor out of range")
+	}
+	for i, e := range s.Entries {
+		c.entries[i] = entry{pa: addr.PAddr(e.PA), token: e.Token, valid: e.Valid}
+	}
+	c.next = s.Next
+	return nil
+}
+
+type errState string
+
+func (e errState) Error() string { return "victim: " + string(e) }

@@ -1,0 +1,133 @@
+package victim
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+)
+
+func TestNilCacheIsDisabled(t *testing.T) {
+	var c *Cache
+	if c != New(0) || New(-3) != nil {
+		t.Fatalf("New with entries <= 0 must return nil")
+	}
+	if c.Cap() != 0 || c.Len() != 0 {
+		t.Fatalf("nil cache reports capacity %d len %d", c.Cap(), c.Len())
+	}
+	c.Insert(0x100, 1)
+	c.InvalidateRange(0, 1<<32)
+	c.ForEach(func(addr.PAddr, uint64) { t.Fatal("nil cache visited an entry") })
+	if _, ok := c.Take(0x100); ok {
+		t.Fatal("nil cache produced a hit")
+	}
+	if c.ExportState() != nil {
+		t.Fatal("nil cache exported state")
+	}
+	if err := c.RestoreState(nil); err != nil {
+		t.Fatalf("nil cache rejects nil state: %v", err)
+	}
+	if err := c.RestoreState(&State{}); err == nil {
+		t.Fatal("nil cache accepted non-nil state")
+	}
+}
+
+func TestTakeRemovesEntry(t *testing.T) {
+	c := New(4)
+	c.Insert(0x100, 7)
+	if tok, ok := c.Take(0x100); !ok || tok != 7 {
+		t.Fatalf("Take = %d,%v want 7,true", tok, ok)
+	}
+	if _, ok := c.Take(0x100); ok {
+		t.Fatal("entry survived Take")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d after Take", c.Len())
+	}
+}
+
+func TestInsertRefreshesSameAddress(t *testing.T) {
+	c := New(2)
+	c.Insert(0x100, 1)
+	c.Insert(0x100, 2)
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, same-address insert must not duplicate", c.Len())
+	}
+	if tok, _ := c.Take(0x100); tok != 2 {
+		t.Fatalf("token = %d, want refreshed 2", tok)
+	}
+}
+
+func TestFIFOReplacement(t *testing.T) {
+	c := New(2)
+	c.Insert(0x100, 1)
+	c.Insert(0x200, 2)
+	c.Insert(0x300, 3) // overwrites 0x100, the oldest
+	if _, ok := c.Take(0x100); ok {
+		t.Fatal("oldest entry survived a full insert")
+	}
+	for _, want := range []addr.PAddr{0x200, 0x300} {
+		if _, ok := c.Take(want); !ok {
+			t.Fatalf("entry %#x missing after FIFO replacement", want)
+		}
+	}
+}
+
+func TestInvalidateRange(t *testing.T) {
+	c := New(4)
+	c.Insert(0x100, 1)
+	c.Insert(0x110, 2)
+	c.Insert(0x200, 3)
+	c.InvalidateRange(0x100, 0x20)
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d after invalidating [0x100,0x120)", c.Len())
+	}
+	if _, ok := c.Take(0x200); !ok {
+		t.Fatal("entry outside the range was dropped")
+	}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	c := New(3)
+	c.Insert(0x100, 1)
+	c.Insert(0x200, 2)
+	c.Take(0x100)
+	s := c.ExportState()
+
+	r := New(3)
+	if err := r.RestoreState(s); err != nil {
+		t.Fatalf("RestoreState: %v", err)
+	}
+	if r.Len() != c.Len() {
+		t.Fatalf("restored Len = %d want %d", r.Len(), c.Len())
+	}
+	// Replacement behaviour must continue identically: fill both and
+	// compare survivors.
+	for _, pa := range []addr.PAddr{0x300, 0x400, 0x500} {
+		c.Insert(pa, uint64(pa))
+		r.Insert(pa, uint64(pa))
+	}
+	var got, want []addr.PAddr
+	c.ForEach(func(pa addr.PAddr, _ uint64) { want = append(want, pa) })
+	r.ForEach(func(pa addr.PAddr, _ uint64) { got = append(got, pa) })
+	if len(got) != len(want) {
+		t.Fatalf("survivor count %d want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("survivor %d = %#x want %#x", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRestoreStateRejectsMismatch(t *testing.T) {
+	c := New(2)
+	if err := c.RestoreState(nil); err == nil {
+		t.Fatal("accepted nil state on a live cache")
+	}
+	if err := c.RestoreState(&State{Entries: make([]EntryState, 3)}); err == nil {
+		t.Fatal("accepted wrong entry count")
+	}
+	if err := c.RestoreState(&State{Entries: make([]EntryState, 2), Next: 2}); err == nil {
+		t.Fatal("accepted out-of-range cursor")
+	}
+}

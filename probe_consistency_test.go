@@ -142,6 +142,9 @@ func verifyEventsMatchStats(t *testing.T, cfg vrsim.Config, sys *vrsim.System, p
 		eq("eager-flush write-backs", c.eager, st.EagerFlushWriteBacks)
 		eq("inclusion invalidations", c.kinds[probe.EvInclusionInval], st.InclusionInvals)
 		eq("buffer stalls", c.kinds[probe.EvWBStall], st.BufferStalls)
+		eq("victim hits", c.kinds[probe.EvVictimHit], st.VictimHits)
+		eq("victim inserts", c.kinds[probe.EvVictimInsert], st.VictimInserts)
+		eq("RLT evictions", c.kinds[probe.EvRLTEvict], st.RLTEvictions)
 		for syn, k := range synKinds {
 			eq(syn.String(), c.kinds[k], st.Synonyms[syn])
 		}
@@ -189,6 +192,12 @@ func verifyEventsMatchStats(t *testing.T, cfg vrsim.Config, sys *vrsim.System, p
 		(!cfg.L1WriteThrough && total.Of(probe.EvWriteBack) == 0) {
 		t.Errorf("workload too small to exercise the hierarchy: %v", total.Map())
 	}
+	if cfg.VictimEntries > 0 && total.Of(probe.EvVictimInsert) == 0 {
+		t.Errorf("victim cache configured but never filled: %v", total.Map())
+	}
+	if cfg.Organization == vrsim.VRRLT && total.Of(probe.EvRLTEvict) == 0 {
+		t.Errorf("RLT configured but never evicted: %v", total.Map())
+	}
 }
 
 func probeTestConfig(org vrsim.Organization) vrsim.Config {
@@ -200,9 +209,13 @@ func probeTestConfig(org vrsim.Organization) vrsim.Config {
 }
 
 func TestProbeEventsMatchStats(t *testing.T) {
-	for _, org := range []vrsim.Organization{vrsim.VR, vrsim.RRInclusion, vrsim.RRNoInclusion} {
+	for _, org := range []vrsim.Organization{vrsim.VR, vrsim.RRInclusion, vrsim.RRNoInclusion, vrsim.VRRLT} {
 		t.Run(org.String(), func(t *testing.T) {
-			checkConsistency(t, probeTestConfig(org))
+			cfg := probeTestConfig(org)
+			if org == vrsim.VRRLT {
+				cfg.RLTEntries = 16 // under-provisioned: capacity evictions occur
+			}
+			checkConsistency(t, cfg)
 		})
 	}
 }
@@ -217,11 +230,26 @@ func TestProbeEventsMatchStatsVariants(t *testing.T) {
 	wthrough.WriteBufDepth = 2
 	pid := probeTestConfig(vrsim.VR)
 	pid.PIDTagged = true
+	vrVictim := probeTestConfig(vrsim.VR)
+	vrVictim.VictimEntries = 4
+	niVictim := probeTestConfig(vrsim.RRNoInclusion)
+	niVictim.VictimEntries = 4
+	rltVictim := probeTestConfig(vrsim.VRRLT)
+	rltVictim.RLTEntries = 16
+	rltVictim.VictimEntries = 4
+	wtVictim := probeTestConfig(vrsim.VR)
+	wtVictim.L1WriteThrough = true
+	wtVictim.WriteBufDepth = 2
+	wtVictim.VictimEntries = 4
 	cases := map[string]vrsim.Config{
-		"eager-flush":   eager,
-		"write-update":  update,
-		"write-through": wthrough,
-		"pid-tagged":    pid,
+		"eager-flush":          eager,
+		"write-update":         update,
+		"write-through":        wthrough,
+		"pid-tagged":           pid,
+		"vr-victim":            vrVictim,
+		"noincl-victim":        niVictim,
+		"rlt-victim":           rltVictim,
+		"write-through-victim": wtVictim,
 	}
 	for name, cfg := range cases {
 		t.Run(name, func(t *testing.T) { checkConsistency(t, cfg) })

@@ -18,9 +18,13 @@
 //		L2:           vrsim.Geometry{Size: 256 << 10, Block: 32, Assoc: 1},
 //	})
 //
-// Three organizations are available: VR (the paper's proposal), and the
-// two physically-addressed baselines it is evaluated against, RRInclusion
-// and RRNoInclusion.
+// Four organizations are available: VR (the paper's proposal), the two
+// physically-addressed baselines it is evaluated against, RRInclusion and
+// RRNoInclusion, and VRRLT, a V-R variant that resolves synonyms through a
+// bounded reverse-lookup table instead of unbounded per-subentry
+// v-pointers. Orthogonally, Config.L1WriteThrough selects the Section 2
+// write-through first level, and Config.VictimEntries inserts a small
+// victim cache between the levels of any organization.
 //
 // # Driving it
 //
@@ -86,6 +90,10 @@ const (
 	// RRNoInclusion is the physically-addressed baseline whose levels
 	// replace independently; every bus transaction probes the L1.
 	RRNoInclusion = system.RRNoInclusion
+	// VRRLT is the V-R organization with synonym resolution through a
+	// bounded reverse-lookup synonym table (Config.RLTEntries) instead of
+	// per-subentry v-pointers.
+	VRRLT = system.VRRLT
 )
 
 // Config describes a machine; see system.Config for field documentation.
@@ -266,6 +274,9 @@ const (
 	EvDMARead             = probe.EvDMARead
 	EvDMAWrite            = probe.EvDMAWrite
 	EvCtxSwitch           = probe.EvCtxSwitch
+	EvVictimHit           = probe.EvVictimHit
+	EvVictimInsert        = probe.EvVictimInsert
+	EvRLTEvict            = probe.EvRLTEvict
 	EvTimeAccess          = probe.EvTimeAccess
 	EvTimeTLBMiss         = probe.EvTimeTLBMiss
 	EvTimeBusWait         = probe.EvTimeBusWait
